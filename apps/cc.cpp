@@ -1,0 +1,7 @@
+// Standalone app: connected components via the "afforest" algorithm.
+// See apps/driver.hpp for the flag protocol.
+#include "apps/driver.hpp"
+
+int main(int argc, char** argv) {
+  return afforest::apps::run_cc_app(argc, argv, "afforest");
+}

@@ -1,0 +1,102 @@
+// Shared driver for the standalone per-algorithm apps (GAPBS-style):
+// resolve a graph source from flags, run one CC algorithm for N trials,
+// report the trial summary, optionally verify.
+//
+// Common flags:
+//   --graph <file.el|.mtx|.sg>   load a graph file
+//   --generate <family>          or generate a named suite graph
+//   --scale N                    log2 vertices for --generate (default 16)
+//   --seed S                     generator seed (default 42)
+//   --trials K                   timing trials (default 16, as the paper)
+//   --verify                     check against serial union-find
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "cc/common.hpp"
+#include "cc/component_stats.hpp"
+#include "cc/registry.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/generators/suite.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "util/cli.hpp"
+#include "util/platform.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace afforest::apps {
+
+/// Runs the named registry algorithm under the standard app protocol.
+/// Returns a process exit code.
+inline int run_cc_app(int argc, char** argv, const std::string& algo_name,
+                      const std::string& default_generate = "kron") {
+  try {
+    CommandLine cl(argc, argv);
+    cl.describe("graph", "input graph file (.el, .mtx, or .sg)");
+    cl.describe("generate",
+                "suite family to generate when no --graph is given "
+                "(road|osm-eur|twitter|web|urand|kron|smallworld|rgg|regular)");
+    cl.describe("scale", "log2 vertex count for --generate (default 16)");
+    cl.describe("seed", "generator seed (default 42)");
+    cl.describe("trials", "timing trials (default 16)");
+    cl.describe("threads", "cap OpenMP threads (default: all)");
+    cl.describe("verify", "verify against serial union-find");
+    const auto& algo = cc_algorithm(algo_name);
+    if (cl.help_requested()) {
+      cl.print_help(algo_name + ": " + algo.description);
+      return 0;
+    }
+
+    const std::string graph_path = cl.get_string("graph", "");
+    Graph g;
+    if (!graph_path.empty()) {
+      g = load_graph(graph_path);
+    } else {
+      g = make_suite_graph(cl.get_string("generate", default_generate),
+                           static_cast<int>(cl.get_int("scale", 16)),
+                           static_cast<std::uint64_t>(cl.get_int("seed", 42)));
+    }
+    const auto trials = static_cast<int>(cl.get_int("trials", 16));
+    const auto threads = cl.get_int("threads", 0);
+    if (threads > 0) set_num_threads(static_cast<int>(threads));
+    const bool verify = cl.get_bool("verify", false);
+    for (const auto& f : cl.unknown_flags())
+      std::cerr << "warning: unknown flag --" << f << " ignored\n";
+
+    std::cout << algo_name << " (" << algo.description << ")\n"
+              << platform_summary() << '\n'
+              << format_degree_stats(compute_degree_stats(g)) << '\n';
+
+    std::vector<double> seconds;
+    ComponentLabels<std::int32_t> labels;
+    for (int t = 0; t < trials; ++t) {
+      Timer timer;
+      timer.start();
+      labels = algo.run(g);
+      timer.stop();
+      seconds.push_back(timer.seconds());
+    }
+    const auto summary = summarize_trials(seconds);
+    const auto comps = summarize_components(labels);
+    std::cout << "components: " << comps.num_components
+              << "  largest: " << comps.largest_size << " ("
+              << 100.0 * comps.largest_fraction << "%)\n"
+              << "time: median " << summary.median_s * 1e3 << " ms  [p25 "
+              << summary.p25_s * 1e3 << ", p75 " << summary.p75_s * 1e3
+              << "] over " << summary.trials << " trials\n";
+    if (verify) {
+      const bool ok = labels_equivalent(labels, union_find_cc(g));
+      std::cout << "verification: " << (ok ? "PASS" : "FAIL") << '\n';
+      if (!ok) return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace afforest::apps

@@ -1,0 +1,50 @@
+// Reproduces Fig 6a (Linkage) and Fig 6b (Coverage): convergence rate vs
+// percentage of processed edges on the web graph, comparing the four
+// subgraph partitioning strategies of §V-B.
+//
+// Expected shape: neighbor sampling reaches ~80%+ linkage/coverage within
+// two rounds, far ahead of random edge sampling; row partitioning is
+// slowest; the spanning-forest ordering is the optimum.
+#include <iostream>
+
+#include "analysis/convergence.hpp"
+#include "bench/harness.hpp"
+#include "graph/generators/suite.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count (default 14)");
+  cl.describe("graph", "suite graph to analyze (default web)");
+  cl.describe("batches", "batches for row/random strategies (default 20)");
+  if (!bench::standard_preamble(
+          cl, "Fig 6a/6b: linkage & coverage vs processed edges by strategy"))
+    return 0;
+  const int scale = static_cast<int>(cl.get_int("scale", 14));
+  const std::string graph_name = cl.get_string("graph", "web");
+  const int batches = static_cast<int>(cl.get_int("batches", 20));
+  bench::warn_unknown_flags(cl);
+
+  const Graph g = make_suite_graph(graph_name, scale);
+  std::cout << "graph=" << graph_name << " V=" << g.num_nodes()
+            << " E=" << g.num_edges() << "\n\n";
+
+  for (auto strategy :
+       {PartitionStrategy::kRowPartition, PartitionStrategy::kRandomEdges,
+        PartitionStrategy::kNeighborRounds, PartitionStrategy::kOptimalSF}) {
+    ConvergenceOptions opts;
+    opts.strategy = strategy;
+    opts.num_batches = batches;
+    const auto pts = measure_convergence(g, opts);
+    TextTable table({"% edges", "linkage", "coverage"});
+    for (const auto& p : pts)
+      table.add_row({TextTable::fmt(p.pct_edges_processed, 1),
+                     TextTable::fmt(p.linkage, 4),
+                     TextTable::fmt(p.coverage, 4)});
+    std::cout << "strategy: " << to_string(strategy) << "\n";
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig 8c: runtime vs average component fraction f on uniformly
+// random graphs with |V|·f-sized components.
+//
+// Expected shape: BFS-based CC (bfs, dobfs) serializes per component, so
+// runtime grows as f shrinks (more components); SV and Afforest are flat;
+// DOBFS is fastest near f=1 (few giant components, bottom-up shines);
+// Afforest's skip heuristic keeps it competitive there.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "cc/registry.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/component_mix.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count (default 15)");
+  cl.describe("degree", "average degree of each component (default 8)");
+  cl.describe("trials", "timing trials per point (default 5)");
+  if (!bench::standard_preamble(
+          cl, "Fig 8c: runtime vs component fraction (urand-mix sweep)"))
+    return 0;
+  const int scale = static_cast<int>(cl.get_int("scale", 15));
+  const double degree = cl.get_double("degree", 8.0);
+  const int trials = static_cast<int>(cl.get_int("trials", 5));
+  bench::warn_unknown_flags(cl);
+
+  const std::int64_t n = std::int64_t{1} << scale;
+  const std::vector<std::string> algos = {"sv", "lp", "bfs", "dobfs",
+                                          "afforest", "afforest-noskip"};
+  TextTable table({"f", "components", "sv ms", "lp ms", "bfs ms", "dobfs ms",
+                   "afforest ms", "afforest-noskip ms"});
+  // f sweeps decades from one giant component down to many tiny ones;
+  // the smallest f keeps components above ~32 vertices.
+  for (double f : {1.0, 0.5, 0.1, 0.01, 0.001}) {
+    if (static_cast<double>(n) * f < 2) continue;
+    const Graph g = build_undirected(
+        generate_component_mix_edges<std::int32_t>(n, degree, f, 7), n);
+    std::vector<std::string> row{
+        TextTable::fmt(f, 3),
+        TextTable::fmt_int(static_cast<long long>(1.0 / f))};
+    for (const auto& name : algos) {
+      const auto& algo = cc_algorithm(name);
+      const auto summary = bench::time_trials([&] { algo.run(g); }, trials);
+      row.push_back(TextTable::fmt(summary.median_s * 1e3, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: bfs/dobfs grow as f shrinks; sv/afforest "
+               "flat; dobfs fastest near f=1; skip helps afforest there.\n";
+  return 0;
+}

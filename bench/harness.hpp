@@ -1,0 +1,53 @@
+// Shared helpers for the table/figure benchmark binaries: repeated-trial
+// timing with the paper's reporting convention (median, 25th/75th
+// percentiles) and common CLI plumbing.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/platform.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace afforest::bench {
+
+/// Times `fn` `trials` times and summarizes (median / p25 / p75), matching
+/// §VI's methodology.  The function's side effects are discarded.
+inline TrialSummary time_trials(const std::function<void()>& fn,
+                                int trials) {
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    Timer timer;
+    timer.start();
+    fn();
+    timer.stop();
+    seconds.push_back(timer.seconds());
+  }
+  return summarize_trials(seconds);
+}
+
+/// Standard preamble: handles --help, prints the experiment banner, and
+/// warns about unknown flags.
+inline bool standard_preamble(const CommandLine& cl,
+                              const std::string& description) {
+  if (cl.help_requested()) {
+    cl.print_help(description);
+    return false;
+  }
+  std::cout << "== " << description << "\n"
+            << "host: " << platform_summary() << "\n\n";
+  return true;
+}
+
+/// Report leftover (likely misspelled) flags after all get_* calls.
+inline void warn_unknown_flags(const CommandLine& cl) {
+  for (const auto& f : cl.unknown_flags())
+    std::cerr << "warning: unknown flag --" << f << " ignored\n";
+}
+
+}  // namespace afforest::bench

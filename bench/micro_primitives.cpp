@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks of Afforest's primitives and the graph
+// substrate: link on pre-merged vs fresh trees, compress on shallow vs deep
+// forests, sample_frequent_element, CSR build, and full algorithm runs on a
+// fixed graph.
+#include <benchmark/benchmark.h>
+
+#include "cc/afforest.hpp"
+#include "cc/registry.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/uniform.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace {
+
+using namespace afforest;
+using NodeID = std::int32_t;
+
+void BM_LinkFreshSingletons(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto comp = identity_labels<NodeID>(n);
+    state.ResumeTiming();
+    for (std::int64_t v = 1; v < n; ++v)
+      link(static_cast<NodeID>(v - 1), static_cast<NodeID>(v), comp);
+    benchmark::DoNotOptimize(comp.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_LinkFreshSingletons)->Range(1 << 10, 1 << 16);
+
+void BM_LinkAlreadyConverged(benchmark::State& state) {
+  // The Table II insight: validating a converged tree costs ~1 iteration.
+  const std::int64_t n = state.range(0);
+  auto comp = identity_labels<NodeID>(n);
+  for (std::int64_t v = 1; v < n; ++v)
+    link(static_cast<NodeID>(v - 1), static_cast<NodeID>(v), comp);
+  compress_all(comp);
+  for (auto _ : state) {
+    for (std::int64_t v = 1; v < n; ++v)
+      link(static_cast<NodeID>(v - 1), static_cast<NodeID>(v), comp);
+    benchmark::DoNotOptimize(comp.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_LinkAlreadyConverged)->Range(1 << 10, 1 << 16);
+
+void BM_CompressShallowForest(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  auto base = identity_labels<NodeID>(n);
+  for (std::int64_t v = 1; v < n; ++v)
+    link(static_cast<NodeID>(v - 1), static_cast<NodeID>(v), base);
+  compress_all(base);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto comp = base.clone();
+    state.ResumeTiming();
+    compress_all(comp);
+    benchmark::DoNotOptimize(comp.data());
+  }
+}
+BENCHMARK(BM_CompressShallowForest)->Range(1 << 10, 1 << 16);
+
+void BM_SampleFrequentElement(benchmark::State& state) {
+  pvector<NodeID> comp(1 << 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sample_frequent_element(comp, static_cast<std::int32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SampleFrequentElement)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BuildCSR(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto edges = generate_uniform_edges<NodeID>(n, 8 * n, 1);
+  for (auto _ : state) {
+    auto g = build_undirected(edges, n);
+    benchmark::DoNotOptimize(g.num_stored_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n);
+}
+BENCHMARK(BM_BuildCSR)->Range(1 << 10, 1 << 15);
+
+void BM_FullAlgorithm(benchmark::State& state, const char* algo_name) {
+  static const Graph g = make_suite_graph("kron", 14);
+  const auto& algo = cc_algorithm(algo_name);
+  for (auto _ : state) {
+    auto labels = algo.run(g);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK_CAPTURE(BM_FullAlgorithm, afforest, "afforest");
+BENCHMARK_CAPTURE(BM_FullAlgorithm, afforest_noskip, "afforest-noskip");
+BENCHMARK_CAPTURE(BM_FullAlgorithm, sv, "sv");
+BENCHMARK_CAPTURE(BM_FullAlgorithm, dobfs, "dobfs");
+
+}  // namespace

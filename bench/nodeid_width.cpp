@@ -1,0 +1,67 @@
+// NodeID width ablation: the whole pipeline is templated on the vertex id
+// type (as in GAPBS).  64-bit ids double π and CSR memory traffic; this
+// bench measures what that costs Afforest and SV on the same topology —
+// the practical answer to "should I build with int64 ids below 2^31
+// vertices?" (no).
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "cc/afforest.hpp"
+#include "cc/shiloach_vishkin.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/kronecker.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace afforest;
+
+template <typename NodeID>
+CSRGraph<NodeID> make_graph(int scale) {
+  return build_undirected(
+      generate_kronecker_edges<NodeID>(scale, 16, 42),
+      std::int64_t{1} << scale);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count (default 15)");
+  cl.describe("trials", "timing trials per cell (default 7)");
+  if (!bench::standard_preamble(cl, "NodeID width ablation: int32 vs int64"))
+    return 0;
+  const int scale = static_cast<int>(cl.get_int("scale", 15));
+  const int trials = static_cast<int>(cl.get_int("trials", 7));
+  bench::warn_unknown_flags(cl);
+
+  const auto g32 = make_graph<std::int32_t>(scale);
+  const auto g64 = make_graph<std::int64_t>(scale);
+  std::cout << "kron scale=" << scale << " V=" << g32.num_nodes()
+            << " E=" << g32.num_edges() << "\n\n";
+
+  TextTable table({"algorithm", "int32 ms", "int64 ms", "overhead"});
+  {
+    const auto t32 =
+        bench::time_trials([&] { afforest_cc(g32); }, trials);
+    const auto t64 =
+        bench::time_trials([&] { afforest_cc(g64); }, trials);
+    table.add_row({"afforest", TextTable::fmt(t32.median_s * 1e3, 2),
+                   TextTable::fmt(t64.median_s * 1e3, 2),
+                   TextTable::fmt(t64.median_s / t32.median_s, 2) + "x"});
+  }
+  {
+    const auto t32 =
+        bench::time_trials([&] { shiloach_vishkin(g32); }, trials);
+    const auto t64 =
+        bench::time_trials([&] { shiloach_vishkin(g64); }, trials);
+    table.add_row({"sv", TextTable::fmt(t32.median_s * 1e3, 2),
+                   TextTable::fmt(t64.median_s * 1e3, 2),
+                   TextTable::fmt(t64.median_s / t32.median_s, 2) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: int64 costs up to ~2x on memory-bound "
+               "phases; use int32 ids below 2^31 vertices.\n";
+  return 0;
+}

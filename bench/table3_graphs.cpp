@@ -1,0 +1,40 @@
+// Reproduces Table III: the evaluated graph suite and its statistics
+// (|V|, |E|, average degree, number of components, giant-component share).
+// Our suite substitutes synthetic models for the paper's real datasets
+// (DESIGN.md §3); this table documents the substituted graphs' shapes.
+#include <iostream>
+
+#include "bench/harness.hpp"
+#include "cc/component_stats.hpp"
+#include "cc/union_find.hpp"
+#include "graph/generators/suite.hpp"
+#include "graph/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count per graph (default 14)");
+  if (!bench::standard_preamble(cl, "Table III: graph suite statistics"))
+    return 0;
+  const int scale = static_cast<int>(cl.get_int("scale", 14));
+  bench::warn_unknown_flags(cl);
+
+  TextTable table({"graph", "V", "E", "avg deg", "max deg", "components",
+                   "cmax %", "approx diam", "models"});
+  for (const auto& entry : graph_suite_entries()) {
+    const Graph g = make_suite_graph(entry.name, scale);
+    const auto deg = compute_degree_stats(g);
+    const auto comp = summarize_components(union_find_cc(g));
+    table.add_row({entry.name, TextTable::fmt_int(deg.num_nodes),
+                   TextTable::fmt_int(deg.num_edges),
+                   TextTable::fmt(deg.average_degree, 2),
+                   TextTable::fmt_int(deg.max_degree),
+                   TextTable::fmt_int(comp.num_components),
+                   TextTable::fmt(100.0 * comp.largest_fraction, 1),
+                   TextTable::fmt_int(approximate_diameter(g)),
+                   entry.description});
+  }
+  table.print(std::cout);
+  return 0;
+}

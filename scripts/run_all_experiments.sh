@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure into results/ and the raw logs the
+# repository's EXPERIMENTS.md cites.  Usage:
+#   scripts/run_all_experiments.sh [build-dir] [results-dir]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+RESULTS_DIR=${2:-results}
+
+if [[ ! -d "$BUILD_DIR/bench" ]]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$RESULTS_DIR"
+for bench in "$BUILD_DIR"/bench/bench_*; do
+  [[ -x "$bench" && -f "$bench" ]] || continue
+  name=$(basename "$bench")
+  echo "== $name"
+  "$bench" | tee "$RESULTS_DIR/$name.txt"
+  echo
+done
+echo "all experiment outputs written to $RESULTS_DIR/"

@@ -1,0 +1,49 @@
+// Convergence measures and subgraph partitioning strategies (paper §V-B).
+//
+// Linkage(t) = (|V| - T_t) / (|V| - C): fraction of all tree connections
+//              already made after processing batch t.
+// Coverage(t) = τ_max(t) / |c_max|: largest fraction of the true giant
+//              component already gathered in a single tree.
+//
+// measure_convergence() replays Afforest's link/compress over an edge
+// ordering produced by one of four partitioning strategies and records
+// both measures after every batch — the data behind Fig 6a/6b.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace afforest {
+
+/// Edge-partitioning strategies compared in Fig 6.
+enum class PartitionStrategy {
+  kRowPartition,    ///< adjacency-matrix rows in contiguous blocks
+  kRandomEdges,     ///< uniformly shuffled edges, equal batches
+  kNeighborRounds,  ///< round r = r-th neighbor of every vertex (§IV-C)
+  kOptimalSF,       ///< spanning-forest edges first (theoretical optimum)
+};
+
+std::string to_string(PartitionStrategy s);
+
+struct ConvergencePoint {
+  double pct_edges_processed = 0;  ///< 0–100, X axis of Fig 6
+  double linkage = 0;              ///< 0–1
+  double coverage = 0;             ///< 0–1
+};
+
+struct ConvergenceOptions {
+  PartitionStrategy strategy = PartitionStrategy::kNeighborRounds;
+  int num_batches = 20;        ///< for row/random/SF-remainder batching
+  std::uint64_t shuffle_seed = 7;
+};
+
+/// Replays link over g's edges in the strategy's order, compressing and
+/// measuring after every batch.  The final point always has linkage = 1
+/// and coverage = 1 (all edges processed ⇒ converged, Theorem 1).
+std::vector<ConvergencePoint> measure_convergence(const Graph& g,
+                                                  ConvergenceOptions opts);
+
+}  // namespace afforest

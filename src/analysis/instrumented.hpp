@@ -1,0 +1,168 @@
+// Instrumented variants of the CC kernels for the paper's Table II:
+// per-edge local iteration counts of Afforest's link loop, outer iteration
+// counts of SV, and the maximal component-tree depth each algorithm builds.
+//
+// The instrumented kernels mirror the production ones exactly, adding
+// counters; they are kept separate so the hot paths carry no bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/afforest.hpp"
+#include "cc/common.hpp"
+#include "cc/shiloach_vishkin.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/parallel.hpp"
+
+namespace afforest {
+
+/// Maximum depth of any parent chain in comp (0 = all self-pointing).
+/// Well-defined because Invariant 1 keeps π acyclic.
+template <typename NodeID_>
+std::int64_t max_tree_depth(const pvector<NodeID_>& comp) {
+  const std::int64_t n = static_cast<std::int64_t>(comp.size());
+  std::int64_t max_depth = 0;
+#pragma omp parallel for reduction(max : max_depth) schedule(dynamic, 16384)
+  for (std::int64_t v = 0; v < n; ++v) {
+    std::int64_t depth = 0;
+    NodeID_ x = static_cast<NodeID_>(v);
+    while (comp[x] != x) {
+      x = comp[x];
+      ++depth;
+    }
+    max_depth = std::max(max_depth, depth);
+  }
+  return max_depth;
+}
+
+/// Counters accumulated over one algorithm run.
+struct LinkStats {
+  std::int64_t link_calls = 0;        ///< number of link() invocations
+  std::int64_t local_iterations = 0;  ///< total iterations of link's loop
+  std::int64_t max_tree_depth = 0;    ///< deepest π tree seen at any probe
+
+  [[nodiscard]] double avg_local_iterations() const {
+    return link_calls == 0 ? 0.0
+                           : static_cast<double>(local_iterations) /
+                                 static_cast<double>(link_calls);
+  }
+};
+
+/// link() with an iteration counter (adds to `iters` the number of times
+/// the while-loop body would run, counting a trivially-linked edge as 1 —
+/// the "validation" iteration §V-A describes).
+template <typename NodeID_>
+void link_counted(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp,
+                  std::int64_t& iters) {
+  NodeID_ p1 = atomic_load(comp[u]);
+  NodeID_ p2 = atomic_load(comp[v]);
+  ++iters;  // the initial comparison pass
+  while (p1 != p2) {
+    const NodeID_ high = std::max(p1, p2);
+    const NodeID_ low = std::min(p1, p2);
+    const NodeID_ p_high = atomic_load(comp[high]);
+    if (p_high == low) break;
+    if (p_high == high && compare_and_swap(comp[high], high, low)) break;
+    p1 = atomic_load(comp[atomic_load(comp[high])]);
+    p2 = atomic_load(comp[low]);
+    ++iters;
+  }
+}
+
+/// Afforest (no component skipping, per Table II's setup) with counters.
+template <typename NodeID_>
+LinkStats afforest_instrumented(const CSRGraph<NodeID_>& g,
+                                ComponentLabels<NodeID_>* out_labels = nullptr,
+                                std::int32_t neighbor_rounds = 2) {
+  using OffsetT = typename CSRGraph<NodeID_>::OffsetT;
+  const std::int64_t n = g.num_nodes();
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+  LinkStats stats;
+
+  auto probe_depth = [&] {
+    stats.max_tree_depth =
+        std::max(stats.max_tree_depth, max_tree_depth(comp));
+  };
+
+  for (std::int32_t r = 0; r < neighbor_rounds; ++r) {
+    std::int64_t iters = 0;
+    std::int64_t calls = 0;
+#pragma omp parallel for reduction(+ : iters, calls) schedule(dynamic, 16384)
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (r < g.out_degree(static_cast<NodeID_>(v))) {
+        link_counted(static_cast<NodeID_>(v),
+                     g.neighbor(static_cast<NodeID_>(v), r), comp, iters);
+        ++calls;
+      }
+    }
+    stats.local_iterations += iters;
+    stats.link_calls += calls;
+    probe_depth();
+    compress_all(comp);
+  }
+
+  {
+    std::int64_t iters = 0;
+    std::int64_t calls = 0;
+#pragma omp parallel for reduction(+ : iters, calls) schedule(dynamic, 1024)
+    for (std::int64_t v = 0; v < n; ++v) {
+      const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
+      for (OffsetT k = neighbor_rounds; k < deg; ++k) {
+        link_counted(static_cast<NodeID_>(v),
+                     g.neighbor(static_cast<NodeID_>(v), k), comp, iters);
+        ++calls;
+      }
+    }
+    stats.local_iterations += iters;
+    stats.link_calls += calls;
+  }
+  probe_depth();
+  compress_all(comp);
+  if (out_labels != nullptr) *out_labels = std::move(comp);
+  return stats;
+}
+
+/// SV counters for the same table: outer iterations and max tree depth
+/// probed after every hook phase.
+struct SVStats {
+  std::int64_t iterations = 0;
+  std::int64_t max_tree_depth = 0;
+};
+
+template <typename NodeID_>
+SVStats shiloach_vishkin_instrumented(
+    const CSRGraph<NodeID_>& g,
+    ComponentLabels<NodeID_>* out_labels = nullptr) {
+  const std::int64_t n = g.num_nodes();
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+  SVStats stats;
+  bool change = true;
+  while (change) {
+    change = false;
+    ++stats.iterations;
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t u = 0; u < n; ++u) {
+      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+        const NodeID_ comp_u = comp[u];
+        const NodeID_ comp_v = comp[v];
+        if (comp_u == comp_v) continue;
+        const NodeID_ high_comp = std::max(comp_u, comp_v);
+        const NodeID_ low_comp = std::min(comp_u, comp_v);
+        if (high_comp == atomic_load(comp[high_comp])) {
+          change = true;
+          atomic_store(comp[high_comp], low_comp);
+        }
+      }
+    }
+    stats.max_tree_depth =
+        std::max(stats.max_tree_depth, max_tree_depth(comp));
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t v = 0; v < n; ++v) {
+      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+    }
+  }
+  if (out_labels != nullptr) *out_labels = std::move(comp);
+  return stats;
+}
+
+}  // namespace afforest

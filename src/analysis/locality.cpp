@@ -1,0 +1,56 @@
+#include "analysis/locality.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+namespace afforest {
+
+LocalityMetrics compute_locality(const MemTrace& trace, int phase,
+                                 std::int64_t domain) {
+  (void)domain;
+  LocalityMetrics m;
+  const auto events = trace.events();
+
+  // Per-thread previous index for sequentiality; global per-index counts.
+  std::unordered_map<std::uint16_t, std::int64_t> prev_index;
+  std::unordered_map<std::int64_t, std::int64_t> counts;
+  std::int64_t sequential = 0, pairs = 0;
+  for (const auto& e : events) {
+    if (phase >= 0 && e.phase != phase) continue;
+    ++m.total_accesses;
+    ++counts[e.index];
+    const auto it = prev_index.find(e.thread);
+    if (it != prev_index.end()) {
+      const std::int64_t delta = e.index - it->second;
+      if (delta >= -1 && delta <= 1) ++sequential;
+      ++pairs;
+      it->second = e.index;
+    } else {
+      prev_index.emplace(e.thread, e.index);
+    }
+  }
+  m.footprint = static_cast<std::int64_t>(counts.size());
+  m.sequential_fraction =
+      pairs == 0 ? 0.0
+                 : static_cast<double>(sequential) / static_cast<double>(pairs);
+
+  // Gini coefficient over per-index access counts.
+  if (!counts.empty() && m.total_accesses > 0) {
+    std::vector<std::int64_t> sorted;
+    sorted.reserve(counts.size());
+    for (const auto& [_, c] : counts) sorted.push_back(c);
+    std::sort(sorted.begin(), sorted.end());
+    const double n = static_cast<double>(sorted.size());
+    double weighted = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i)
+      weighted += (2.0 * (static_cast<double>(i) + 1) - n - 1) *
+                  static_cast<double>(sorted[i]);
+    m.gini_concentration =
+        weighted / (n * static_cast<double>(m.total_accesses));
+  }
+  return m;
+}
+
+}  // namespace afforest

@@ -1,0 +1,30 @@
+// Quantitative locality metrics over a MemTrace (complements Fig 7's
+// visual heat-maps with numbers the paper's §V-C narrative makes
+// qualitatively: Afforest's accesses are more sequential and more
+// concentrated than SV's).
+//
+//   sequential_fraction — share of consecutive same-thread accesses whose
+//                         index delta is 0 or ±1 (stride-1 friendliness)
+//   footprint           — number of distinct indices touched
+//   gini_concentration  — 0 = accesses spread evenly over touched
+//                         addresses, ->1 = concentrated on a few hot roots
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/memtrace.hpp"
+
+namespace afforest {
+
+struct LocalityMetrics {
+  double sequential_fraction = 0;
+  std::int64_t footprint = 0;
+  double gini_concentration = 0;
+  std::int64_t total_accesses = 0;
+};
+
+/// Metrics for one phase (phase = -1 aggregates all phases).
+LocalityMetrics compute_locality(const MemTrace& trace, int phase,
+                                 std::int64_t domain);
+
+}  // namespace afforest

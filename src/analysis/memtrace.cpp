@@ -1,0 +1,223 @@
+#include "analysis/memtrace.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace afforest {
+
+MemTrace::MemTrace() : per_thread_(static_cast<std::size_t>(
+                           std::max(1, omp_get_max_threads()))) {}
+
+int MemTrace::begin_phase(const std::string& name) {
+  phase_names_.push_back(name);
+  current_phase_ = static_cast<int>(phase_names_.size()) - 1;
+  return current_phase_;
+}
+
+void MemTrace::record(std::int64_t index, bool is_write) {
+  if (current_phase_ < 0)
+    throw std::logic_error("MemTrace::record before begin_phase");
+  const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+  per_thread_[tid].push_back(MemEvent{
+      index, static_cast<std::uint16_t>(current_phase_),
+      static_cast<std::uint16_t>(tid), is_write});
+}
+
+std::vector<MemEvent> MemTrace::events() const {
+  std::vector<MemEvent> out;
+  std::size_t total = 0;
+  for (const auto& t : per_thread_) total += t.size();
+  out.reserve(total);
+  for (const auto& t : per_thread_) out.insert(out.end(), t.begin(), t.end());
+  return out;
+}
+
+std::int64_t MemTrace::total_accesses() const {
+  std::int64_t total = 0;
+  for (const auto& t : per_thread_)
+    total += static_cast<std::int64_t>(t.size());
+  return total;
+}
+
+std::int64_t MemTrace::accesses_in_phase(int phase) const {
+  std::int64_t total = 0;
+  for (const auto& t : per_thread_)
+    for (const auto& e : t)
+      if (e.phase == phase) ++total;
+  return total;
+}
+
+std::vector<std::int64_t> MemTrace::access_histogram(
+    int phase, int buckets, std::int64_t domain) const {
+  std::vector<std::int64_t> hist(static_cast<std::size_t>(buckets), 0);
+  if (domain <= 0) return hist;
+  for (const auto& t : per_thread_) {
+    for (const auto& e : t) {
+      if (e.phase != phase) continue;
+      auto b = static_cast<std::size_t>(e.index * buckets / domain);
+      if (b >= hist.size()) b = hist.size() - 1;
+      ++hist[b];
+    }
+  }
+  return hist;
+}
+
+void MemTrace::render_heatmap(std::ostream& os, int buckets,
+                              std::int64_t domain) const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  for (std::size_t p = 0; p < phase_names_.size(); ++p) {
+    const auto hist = access_histogram(static_cast<int>(p), buckets, domain);
+    const std::int64_t peak =
+        *std::max_element(hist.begin(), hist.end());
+    os << phase_names_[p];
+    for (std::size_t pad = phase_names_[p].size(); pad < 5; ++pad) os << ' ';
+    os << '|';
+    for (const auto count : hist) {
+      const std::size_t shade =
+          peak == 0 ? 0
+                    : static_cast<std::size_t>(
+                          count * (sizeof(kShades) - 2) / peak);
+      os << kShades[shade];
+    }
+    os << "|  accesses=" << accesses_in_phase(static_cast<int>(p)) << '\n';
+  }
+}
+
+TracedPi::TracedPi(std::int64_t n, MemTrace& trace)
+    : data_(static_cast<std::size_t>(n)), trace_(trace) {}
+
+namespace {
+
+using NodeID = std::int32_t;
+
+void traced_init(TracedPi& pi, MemTrace& trace) {
+  trace.begin_phase("I");
+  for (std::int64_t v = 0; v < pi.size(); ++v)
+    pi.store(v, static_cast<NodeID>(v));
+}
+
+void traced_link(NodeID u, NodeID v, TracedPi& pi) {
+  NodeID p1 = pi.load(u);
+  NodeID p2 = pi.load(v);
+  while (p1 != p2) {
+    const NodeID high = std::max(p1, p2);
+    const NodeID low = std::min(p1, p2);
+    const NodeID p_high = pi.load(high);
+    if (p_high == low) break;
+    if (p_high == high) {
+      pi.store(high, low);  // serial mirror of the CAS
+      break;
+    }
+    p1 = pi.load(pi.load(high));
+    p2 = pi.load(low);
+  }
+}
+
+void traced_compress_all(TracedPi& pi) {
+  for (std::int64_t v = 0; v < pi.size(); ++v) {
+    while (true) {
+      const NodeID parent = pi.load(v);
+      const NodeID grand = pi.load(parent);
+      if (grand == parent) break;
+      pi.store(v, grand);
+    }
+  }
+}
+
+ComponentLabels<NodeID> extract_labels(const TracedPi& pi) {
+  ComponentLabels<NodeID> out(static_cast<std::size_t>(pi.size()));
+  for (std::int64_t v = 0; v < pi.size(); ++v) out[v] = pi.raw()[v];
+  return out;
+}
+
+}  // namespace
+
+TraceResult run_traced_sv(const Graph& g) {
+  TraceResult result;
+  TracedPi pi(g.num_nodes(), result.trace);
+  traced_init(pi, result.trace);
+  bool change = true;
+  int iter = 0;
+  while (change) {
+    change = false;
+    ++iter;
+    result.trace.begin_phase("H" + std::to_string(iter));
+    for (std::int64_t u = 0; u < g.num_nodes(); ++u) {
+      for (NodeID v : g.out_neigh(static_cast<NodeID>(u))) {
+        const NodeID comp_u = pi.load(u);
+        const NodeID comp_v = pi.load(v);
+        if (comp_u == comp_v) continue;
+        const NodeID high = std::max(comp_u, comp_v);
+        const NodeID low = std::min(comp_u, comp_v);
+        if (pi.load(high) == high) {
+          change = true;
+          pi.store(high, low);
+        }
+      }
+    }
+    result.trace.begin_phase("S" + std::to_string(iter));
+    for (std::int64_t v = 0; v < g.num_nodes(); ++v) {
+      while (pi.load(v) != pi.load(pi.load(v))) pi.store(v, pi.load(pi.load(v)));
+    }
+  }
+  result.labels = extract_labels(pi);
+  return result;
+}
+
+TraceResult run_traced_afforest(const Graph& g, AfforestOptions opts) {
+  TraceResult result;
+  TracedPi pi(g.num_nodes(), result.trace);
+  traced_init(pi, result.trace);
+  const std::int64_t n = g.num_nodes();
+
+  for (std::int32_t r = 0; r < opts.neighbor_rounds; ++r) {
+    result.trace.begin_phase("L" + std::to_string(r + 1));
+    for (std::int64_t v = 0; v < n; ++v)
+      if (r < g.out_degree(static_cast<NodeID>(v)))
+        traced_link(static_cast<NodeID>(v),
+                    g.neighbor(static_cast<NodeID>(v), r), pi);
+    result.trace.begin_phase("C" + std::to_string(r + 1));
+    traced_compress_all(pi);
+  }
+
+  NodeID c = 0;
+  if (opts.skip_largest && n > 0) {
+    result.trace.begin_phase("F");
+    // Serial mirror of sample_frequent_element, through the tracer.
+    std::unordered_map<NodeID, std::int32_t> counts;
+    Xoshiro256 rng(opts.sample_seed);
+    for (std::int32_t i = 0; i < opts.sample_count; ++i) {
+      const auto idx = static_cast<std::int64_t>(
+          rng.next_bounded(static_cast<std::uint64_t>(n)));
+      ++counts[pi.load(idx)];
+    }
+    std::int32_t best = -1;
+    for (const auto& [label, count] : counts) {
+      if (count > best) {
+        best = count;
+        c = label;
+      }
+    }
+  }
+
+  result.trace.begin_phase("L*");
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (opts.skip_largest && pi.load(v) == c) continue;
+    const std::int64_t deg = g.out_degree(static_cast<NodeID>(v));
+    for (std::int64_t k = opts.neighbor_rounds; k < deg; ++k)
+      traced_link(static_cast<NodeID>(v),
+                  g.neighbor(static_cast<NodeID>(v), k), pi);
+  }
+  result.trace.begin_phase("C*");
+  traced_compress_all(pi);
+  result.labels = extract_labels(pi);
+  return result;
+}
+
+}  // namespace afforest

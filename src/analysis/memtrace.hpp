@@ -1,0 +1,107 @@
+// Software memory-access tracer for the parent array π (paper Fig 7).
+//
+// The paper visualizes which π addresses each algorithm phase touches
+// (heat-map) and which thread touches them (scatter).  That is an
+// algorithmic property — which indices are read/written when — so a
+// software shim reproduces it exactly: TracedPi wraps the label array and
+// logs every load/store with (phase, thread, index, is_write).
+//
+// run_traced_sv / run_traced_afforest execute faithful mirrors of the
+// kernels through the shim and return the trace plus the resulting labels
+// (tests verify the traced runs still compute correct components).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cc/afforest.hpp"
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+struct MemEvent {
+  std::int64_t index;    ///< π index accessed
+  std::uint16_t phase;   ///< id from MemTrace::begin_phase
+  std::uint16_t thread;  ///< OpenMP thread id
+  bool is_write;
+};
+
+class MemTrace {
+ public:
+  MemTrace();
+
+  /// Starts a new algorithm phase (e.g. "I", "L1", "C1", "F", "H");
+  /// subsequent records are attributed to it.  Returns the phase id.
+  int begin_phase(const std::string& name);
+
+  /// Thread-safe (per-thread buffers); called by TracedPi.
+  void record(std::int64_t index, bool is_write);
+
+  [[nodiscard]] const std::vector<std::string>& phase_names() const {
+    return phase_names_;
+  }
+
+  /// All events, merged (ordering within a thread is preserved).
+  [[nodiscard]] std::vector<MemEvent> events() const;
+
+  [[nodiscard]] std::int64_t total_accesses() const;
+  [[nodiscard]] std::int64_t accesses_in_phase(int phase) const;
+
+  /// Histogram of accesses in `phase` over `buckets` equal index ranges of
+  /// [0, domain).  The Fig 7 heat-map rows.
+  [[nodiscard]] std::vector<std::int64_t> access_histogram(
+      int phase, int buckets, std::int64_t domain) const;
+
+  /// Renders one text heat-map row per phase ('.' = cold … '#' = hot).
+  void render_heatmap(std::ostream& os, int buckets,
+                      std::int64_t domain) const;
+
+ private:
+  std::vector<std::string> phase_names_;
+  int current_phase_ = -1;
+  std::vector<std::vector<MemEvent>> per_thread_;
+};
+
+/// Label array shim that records every access.
+class TracedPi {
+ public:
+  TracedPi(std::int64_t n, MemTrace& trace);
+
+  std::int32_t load(std::int64_t i) const {
+    trace_.record(i, false);
+    return data_[i];
+  }
+  void store(std::int64_t i, std::int32_t v) {
+    trace_.record(i, true);
+    data_[i] = v;
+  }
+  /// Untraced view for result extraction.
+  [[nodiscard]] const pvector<std::int32_t>& raw() const { return data_; }
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+
+ private:
+  mutable pvector<std::int32_t> data_;
+  MemTrace& trace_;
+};
+
+struct TraceResult {
+  MemTrace trace;
+  ComponentLabels<std::int32_t> labels;
+};
+
+/// Shiloach–Vishkin through the tracer.  Phases: I, then per iteration
+/// H<i> (hook) and S<i> (shortcut).
+TraceResult run_traced_sv(const Graph& g);
+
+/// Afforest through the tracer.  Phases: I, per round L<i> / C<i>, then F
+/// (find largest component, if skipping), L* (final link), C* (final
+/// compress).
+TraceResult run_traced_afforest(const Graph& g, AfforestOptions opts = {});
+
+}  // namespace afforest

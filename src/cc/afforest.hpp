@@ -1,0 +1,222 @@
+// Afforest — the paper's primary contribution (Sutton, Ben-Nun, Barak,
+// IPDPS 2018): a restructured Shiloach–Vishkin with subgraph sampling.
+//
+// Building blocks:
+//   link(u, v, comp)      — lock-free tree hooking (paper Fig 3).  Walks up
+//                           both parent chains; at each step hooks the
+//                           higher-indexed root onto the lower via CAS.
+//                           Maintains Invariant 1 (π(x) ≤ x), so π stays
+//                           acyclic (Lemma 1–2) and converges (Lemma 5).
+//   compress(v, comp)     — full path compression to the root (Fig 2b);
+//                           safe to run on all vertices in parallel
+//                           (Theorem 2).
+//   sample_frequent_element — probabilistic search for the giant
+//                           intermediate component (Fig 5, line 10):
+//                           samples comp[] uniformly and returns the mode.
+//
+// The driver (Fig 5):
+//   1. `neighbor_rounds` sampling rounds: round r links edge
+//      (v, r-th neighbor of v) for every vertex, then compresses.  This
+//      processes O(|V|) edges per round and, per §V-B, links >80 % of trees
+//      within two rounds on real-world topologies.
+//   2. Identify the largest intermediate component c.
+//   3. Final phase: every vertex NOT in c links its remaining neighbors
+//      (from index neighbor_rounds onward).  Vertices inside c are skipped
+//      entirely — correct by Theorem 3 because each unordered edge is
+//      stored in both endpoint rows.
+//   4. Final compress.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+
+/// Tuning knobs for Afforest.  Defaults follow the paper (§VI-A:
+/// neighbor_rounds = 2; "constant number" of samples = 1024).
+struct AfforestOptions {
+  std::int32_t neighbor_rounds = 2;
+  bool skip_largest = true;  ///< large-component skipping (paper §IV-D)
+  std::int32_t sample_count = 1024;
+  std::uint64_t sample_seed = 0xAFF0;
+};
+
+/// Hooks the trees containing u and v (paper Fig 3).  Lock-free; safe to
+/// call concurrently on arbitrary edges.
+template <typename NodeID_>
+void link(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
+  NodeID_ p1 = atomic_load(comp[u]);
+  NodeID_ p2 = atomic_load(comp[v]);
+  while (p1 != p2) {
+    const NodeID_ high = std::max(p1, p2);
+    const NodeID_ low = std::min(p1, p2);
+    const NodeID_ p_high = atomic_load(comp[high]);
+    // Already linked by another thread, or we win the CAS on the root.
+    if (p_high == low) break;
+    if (p_high == high && compare_and_swap(comp[high], high, low)) break;
+    // Lost the race or high was not a root: climb one level and retry.
+    p1 = atomic_load(comp[atomic_load(comp[high])]);
+    p2 = atomic_load(comp[low]);
+  }
+}
+
+/// Compresses v's path so comp[v] points directly at its root (Fig 2b).
+template <typename NodeID_>
+void compress(NodeID_ v, pvector<NodeID_>& comp) {
+  while (comp[comp[v]] != comp[v]) {
+    comp[v] = comp[comp[v]];
+  }
+}
+
+/// Runs compress on every vertex in parallel (Theorem 2).
+template <typename NodeID_>
+void compress_all(pvector<NodeID_>& comp) {
+  const std::int64_t n = static_cast<std::int64_t>(comp.size());
+#pragma omp parallel for schedule(dynamic, 16384)
+  for (std::int64_t v = 0; v < n; ++v)
+    compress(static_cast<NodeID_>(v), comp);
+}
+
+/// Probabilistic mode of comp[]: samples `count` entries uniformly at
+/// random and returns the most frequent value — the likely label of the
+/// giant intermediate component.  Requires depth-1 trees for the returned
+/// label to be a root (guaranteed after compress_all).
+template <typename NodeID_>
+NodeID_ sample_frequent_element(const pvector<NodeID_>& comp,
+                                std::int32_t count = 1024,
+                                std::uint64_t seed = 0xAFF0) {
+  std::unordered_map<NodeID_, std::int32_t> counts;
+  counts.reserve(static_cast<std::size_t>(count));
+  Xoshiro256 rng(seed);
+  for (std::int32_t i = 0; i < count; ++i) {
+    const auto idx = rng.next_bounded(comp.size());
+    ++counts[comp[idx]];
+  }
+  NodeID_ best = comp.empty() ? NodeID_{0} : comp[0];
+  std::int32_t best_count = -1;
+  for (const auto& [label, c] : counts) {
+    if (c > best_count) {
+      best = label;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+/// Full Afforest (paper Fig 5).  Returns component labels; labels are the
+/// minimum vertex id in each component (a property of Invariant 1 +
+/// convergence, relied on by tests).
+template <typename NodeID_>
+ComponentLabels<NodeID_> afforest_cc(const CSRGraph<NodeID_>& g,
+                                  AfforestOptions opts = {}) {
+  using OffsetT = typename CSRGraph<NodeID_>::OffsetT;
+  const std::int64_t n = g.num_nodes();
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+
+  // Phase 1: neighbor-round subgraph sampling (Fig 5 lines 2–9).
+  const std::int32_t rounds =
+      std::max(std::int32_t{0}, opts.neighbor_rounds);
+  for (std::int32_t r = 0; r < rounds; ++r) {
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (r < g.out_degree(static_cast<NodeID_>(v))) {
+        link(static_cast<NodeID_>(v),
+             g.neighbor(static_cast<NodeID_>(v), r), comp);
+      }
+    }
+    compress_all(comp);
+  }
+
+  // Phase 2: identify the giant intermediate component (Fig 5 line 10).
+  NodeID_ c = 0;
+  if (opts.skip_largest && n > 0) {
+    c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
+  }
+
+  // Phase 3: link remaining edges, skipping vertices inside c
+  // (Fig 5 lines 11–15; correctness by Theorem 3).  For directed graphs
+  // (weakly-connected components) the in-neighborhood is linked as well:
+  // an arc u->v whose tail u was skipped is still reached from v's
+  // in-edges, preserving the theorem's both-directions argument.
+  const bool directed = g.directed();
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (opts.skip_largest && comp[v] == c) continue;
+    const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
+    for (OffsetT k = rounds; k < deg; ++k)
+      link(static_cast<NodeID_>(v),
+           g.neighbor(static_cast<NodeID_>(v), k), comp);
+    if (directed) {
+      for (NodeID_ u : g.in_neigh(static_cast<NodeID_>(v)))
+        link(static_cast<NodeID_>(v), u, comp);
+    }
+  }
+
+  compress_all(comp);
+  return comp;
+}
+
+/// Afforest with UNIFORM edge sampling instead of neighbor rounds — the
+/// §IV-B strategy made runnable as an ablation.  Each stored edge is
+/// linked during the sampling phase with probability p (decided by a
+/// deterministic hash, so runs are reproducible).  Because a uniform
+/// sample is not a prefix of each neighborhood, the final phase cannot
+/// resume from an offset and must reprocess sampled edges — exactly the
+/// tracking disadvantage §VI-A cites when motivating the first-k-neighbors
+/// choice.  Component skipping still applies.
+template <typename NodeID_>
+ComponentLabels<NodeID_> afforest_uniform_sampling(const CSRGraph<NodeID_>& g,
+                                                   double sample_p,
+                                                   AfforestOptions opts = {}) {
+  const std::int64_t n = g.num_nodes();
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+
+  // Phase 1: link a uniform random subset of edges.
+  const auto threshold = static_cast<std::uint64_t>(
+      sample_p * static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+#pragma omp parallel for schedule(dynamic, 4096)
+  for (std::int64_t v = 0; v < n; ++v) {
+    for (NodeID_ w : g.out_neigh(static_cast<NodeID_>(v))) {
+      SplitMix64 hash((static_cast<std::uint64_t>(v) << 32) ^
+                      static_cast<std::uint64_t>(w) ^ opts.sample_seed);
+      if (hash.next() <= threshold)
+        link(static_cast<NodeID_>(v), w, comp);
+    }
+  }
+  compress_all(comp);
+
+  // Phase 2 + 3: identify and skip the giant component, then finish with
+  // ALL edges (sampled ones are revisited — they cost one validation
+  // iteration each).
+  NodeID_ c = 0;
+  if (opts.skip_largest && n > 0)
+    c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (opts.skip_largest && comp[v] == c) continue;
+    for (NodeID_ w : g.out_neigh(static_cast<NodeID_>(v)))
+      link(static_cast<NodeID_>(v), w, comp);
+  }
+  compress_all(comp);
+  return comp;
+}
+
+/// Afforest without large-component skipping — the "Afforest (no skip)"
+/// series of Fig 7b / Fig 8b / Fig 8c.
+template <typename NodeID_>
+ComponentLabels<NodeID_> afforest_no_skip(const CSRGraph<NodeID_>& g,
+                                          std::int32_t neighbor_rounds = 2) {
+  AfforestOptions opts;
+  opts.neighbor_rounds = neighbor_rounds;
+  opts.skip_largest = false;
+  return afforest_cc(g, opts);
+}
+
+}  // namespace afforest

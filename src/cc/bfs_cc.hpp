@@ -1,0 +1,78 @@
+// BFS-CC baseline (paper §II-B): identify components by running a parallel
+// level-synchronous BFS from one root per component, sequentially looping
+// over components.  Linear work in |E| but parallelism is limited to within
+// a component — the serialization Fig 8c exposes as the component count
+// grows.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/parallel.hpp"
+#include "util/sliding_queue.hpp"
+
+namespace afforest {
+
+/// Runs a top-down parallel BFS from `source`, writing `label` into comp
+/// for every reached vertex.  comp entries equal to `unvisited` mark
+/// unexplored vertices.  The caller provides the frontier queue (reset
+/// here) so repeated per-component searches do not reallocate.  Returns the
+/// number of vertices visited.
+template <typename NodeID_>
+std::int64_t bfs_label_component(const CSRGraph<NodeID_>& g, NodeID_ source,
+                                 NodeID_ label, NodeID_ unvisited,
+                                 pvector<NodeID_>& comp,
+                                 SlidingQueue<NodeID_>& queue) {
+  queue.reset();
+  comp[source] = label;
+  queue.push_back(source);
+  queue.slide_window();
+  std::int64_t visited = 1;
+  while (!queue.empty()) {
+#pragma omp parallel
+    {
+      QueueBuffer<NodeID_> lqueue(queue);
+#pragma omp for reduction(+ : visited) schedule(dynamic, 1024) nowait
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(queue.size());
+           ++i) {
+        const NodeID_ u = *(queue.begin() + i);
+        for (NodeID_ v : g.out_neigh(u)) {
+          // CAS claims the vertex so exactly one parent enqueues it.
+          NodeID_ expected = unvisited;
+          if (atomic_load(comp[v]) == unvisited &&
+              compare_and_swap(comp[v], expected, label)) {
+            lqueue.push_back(v);
+            ++visited;
+          }
+        }
+      }
+      lqueue.flush();
+    }
+    queue.slide_window();
+  }
+  return visited;
+}
+
+/// BFS-CC driver.  Labels are each component's discovery root (its lowest
+/// vertex id, because roots are scanned in ascending order).
+template <typename NodeID_>
+ComponentLabels<NodeID_> bfs_cc(const CSRGraph<NodeID_>& g,
+                                std::int64_t* out_num_components = nullptr) {
+  const std::int64_t n = g.num_nodes();
+  constexpr NodeID_ kUnvisited = -1;
+  ComponentLabels<NodeID_> comp(static_cast<std::size_t>(n));
+  comp.fill(kUnvisited);
+  SlidingQueue<NodeID_> queue(static_cast<std::size_t>(n));
+  std::int64_t num_components = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (comp[v] != kUnvisited) continue;
+    ++num_components;
+    bfs_label_component(g, static_cast<NodeID_>(v), static_cast<NodeID_>(v),
+                        kUnvisited, comp, queue);
+  }
+  if (out_num_components != nullptr) *out_num_components = num_components;
+  return comp;
+}
+
+}  // namespace afforest

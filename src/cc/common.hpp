@@ -1,0 +1,41 @@
+// Shared types and helpers for connected-components kernels.
+//
+// Every algorithm in cc/ has the same contract: it takes an undirected
+// CSRGraph and returns a label array `comp` of size |V| such that
+// comp[u] == comp[v]  iff  u and v are in the same connected component.
+// Different algorithms may pick different representative labels; use
+// labels_equivalent() (verifier.hpp) to compare partitions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/csr_graph.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+template <typename NodeID_>
+using ComponentLabels = pvector<NodeID_>;
+
+/// Number of distinct labels (i.e. components, counting isolated vertices).
+template <typename NodeID_>
+std::int64_t count_components(const ComponentLabels<NodeID_>& comp) {
+  std::unordered_map<NodeID_, bool> seen;
+  seen.reserve(1024);
+  for (NodeID_ label : comp) seen.emplace(label, true);
+  return static_cast<std::int64_t>(seen.size());
+}
+
+/// Initializes comp to the identity (every vertex its own component),
+/// in parallel — the first line of every tree-hooking algorithm.
+template <typename NodeID_>
+ComponentLabels<NodeID_> identity_labels(std::int64_t num_nodes) {
+  ComponentLabels<NodeID_> comp(static_cast<std::size_t>(num_nodes));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < num_nodes; ++v)
+    comp[v] = static_cast<NodeID_>(v);
+  return comp;
+}
+
+}  // namespace afforest

@@ -1,0 +1,67 @@
+// Component-level statistics derived from a label array: component count,
+// size distribution, and the giant-component fraction — the quantities in
+// the paper's Table III and the inputs to its Coverage measure.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/common.hpp"
+
+namespace afforest {
+
+struct ComponentSummary {
+  std::int64_t num_components = 0;
+  std::int64_t largest_size = 0;
+  double largest_fraction = 0;  ///< |c_max| / |V|
+  std::int64_t num_singletons = 0;
+};
+
+/// Sizes of all components, descending.
+template <typename NodeID_>
+std::vector<std::int64_t> component_sizes(
+    const ComponentLabels<NodeID_>& comp) {
+  std::unordered_map<NodeID_, std::int64_t> counts;
+  for (NodeID_ label : comp) ++counts[label];
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(counts.size());
+  for (const auto& [_, c] : counts) sizes.push_back(c);
+  std::sort(sizes.begin(), sizes.end(), std::greater<>());
+  return sizes;
+}
+
+template <typename NodeID_>
+ComponentSummary summarize_components(const ComponentLabels<NodeID_>& comp) {
+  ComponentSummary s;
+  const auto sizes = component_sizes(comp);
+  s.num_components = static_cast<std::int64_t>(sizes.size());
+  s.largest_size = sizes.empty() ? 0 : sizes.front();
+  s.largest_fraction =
+      comp.empty() ? 0.0
+                   : static_cast<double>(s.largest_size) /
+                         static_cast<double>(comp.size());
+  s.num_singletons = static_cast<std::int64_t>(
+      std::count(sizes.begin(), sizes.end(), std::int64_t{1}));
+  return s;
+}
+
+/// The label of the largest component (exact, unlike
+/// sample_frequent_element).  Undefined for empty input.
+template <typename NodeID_>
+NodeID_ largest_component_label(const ComponentLabels<NodeID_>& comp) {
+  std::unordered_map<NodeID_, std::int64_t> counts;
+  for (NodeID_ label : comp) ++counts[label];
+  NodeID_ best{};
+  std::int64_t best_count = -1;
+  for (const auto& [label, c] : counts) {
+    if (c > best_count || (c == best_count && label < best)) {
+      best = label;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace afforest

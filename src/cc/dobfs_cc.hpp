@@ -1,0 +1,188 @@
+// Direction-Optimizing BFS CC (DOBFS-CC) — the strongest traversal-based
+// baseline in the paper (Beamer's direction-optimizing BFS [1][7] applied
+// per component).
+//
+// A BFS step runs either top-down (scan the frontier queue, claim unvisited
+// neighbors) or bottom-up (scan all unvisited vertices, look for ANY parent
+// in the frontier bitmap and stop at the first hit).  When the frontier
+// covers a large fraction of the graph — the common case one level into a
+// giant low-diameter component — bottom-up skips most edges, which is why
+// DOBFS-CC is the one algorithm that beats Afforest on single-component
+// urand graphs (paper Fig 8a) and why its runtime drops as average degree
+// grows (Fig 6c).
+//
+// Switching heuristics and default constants follow GAPBS:
+// go bottom-up when scout_count > remaining_edges / alpha, return top-down
+// when the awake count falls below |V| / beta.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/bitmap.hpp"
+#include "util/parallel.hpp"
+#include "util/sliding_queue.hpp"
+
+namespace afforest {
+
+struct DOBFSOptions {
+  std::int64_t alpha = 15;  ///< top-down → bottom-up switch factor
+  std::int64_t beta = 18;   ///< bottom-up → top-down switch factor
+};
+
+namespace detail {
+
+/// Scratch buffers reused across per-component searches.
+template <typename NodeID_>
+struct DOBFSState {
+  explicit DOBFSState(std::int64_t n)
+      : queue(static_cast<std::size_t>(n)),
+        front(static_cast<std::size_t>(n)),
+        next(static_cast<std::size_t>(n)) {}
+  SlidingQueue<NodeID_> queue;
+  Bitmap front;
+  Bitmap next;
+};
+
+/// One top-down step; returns the number of edges incident to newly
+/// discovered vertices (the "scout count" driving the direction switch).
+template <typename NodeID_>
+std::int64_t td_step(const CSRGraph<NodeID_>& g, NodeID_ label,
+                     NodeID_ unvisited, pvector<NodeID_>& comp,
+                     SlidingQueue<NodeID_>& queue) {
+  std::int64_t scout_count = 0;
+#pragma omp parallel
+  {
+    QueueBuffer<NodeID_> lqueue(queue);
+#pragma omp for reduction(+ : scout_count) schedule(dynamic, 1024) nowait
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(queue.size());
+         ++i) {
+      const NodeID_ u = *(queue.begin() + i);
+      for (NodeID_ v : g.out_neigh(u)) {
+        NodeID_ expected = unvisited;
+        if (atomic_load(comp[v]) == unvisited &&
+            compare_and_swap(comp[v], expected, label)) {
+          lqueue.push_back(v);
+          scout_count += g.out_degree(v);
+        }
+      }
+    }
+    lqueue.flush();
+  }
+  queue.slide_window();
+  return scout_count;
+}
+
+/// One bottom-up step; returns the number of newly awakened vertices.
+template <typename NodeID_>
+std::int64_t bu_step(const CSRGraph<NodeID_>& g, NodeID_ label,
+                     NodeID_ unvisited, pvector<NodeID_>& comp,
+                     const Bitmap& front, Bitmap& next) {
+  const std::int64_t n = g.num_nodes();
+  std::int64_t awake_count = 0;
+  next.reset();
+#pragma omp parallel for reduction(+ : awake_count) schedule(dynamic, 2048)
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (comp[v] != unvisited) continue;
+    for (NodeID_ w : g.out_neigh(static_cast<NodeID_>(v))) {
+      if (front.get_bit(static_cast<std::size_t>(w))) {
+        comp[v] = label;  // exclusive: only this thread owns v
+        next.set_bit(static_cast<std::size_t>(v));
+        ++awake_count;
+        break;  // first parent suffices — the bottom-up edge saving
+      }
+    }
+  }
+  return awake_count;
+}
+
+template <typename NodeID_>
+void queue_to_bitmap(const SlidingQueue<NodeID_>& queue, Bitmap& bm) {
+  bm.reset();
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(queue.size()); ++i)
+    bm.set_bit_atomic(static_cast<std::size_t>(*(queue.begin() + i)));
+}
+
+template <typename NodeID_>
+void bitmap_to_queue(const CSRGraph<NodeID_>& g, const Bitmap& bm,
+                     SlidingQueue<NodeID_>& queue) {
+  const std::int64_t n = g.num_nodes();
+  queue.reset();
+#pragma omp parallel
+  {
+    QueueBuffer<NodeID_> lqueue(queue);
+#pragma omp for schedule(static) nowait
+    for (std::int64_t v = 0; v < n; ++v)
+      if (bm.get_bit(static_cast<std::size_t>(v)))
+        lqueue.push_back(static_cast<NodeID_>(v));
+    lqueue.flush();
+  }
+  queue.slide_window();
+}
+
+/// Direction-optimizing BFS labeling one component.  `remaining_edges` is
+/// the caller's estimate of unexplored stored edges, used by the alpha
+/// heuristic.
+template <typename NodeID_>
+void dobfs_label_component(const CSRGraph<NodeID_>& g, NodeID_ source,
+                           NodeID_ label, NodeID_ unvisited,
+                           pvector<NodeID_>& comp, DOBFSState<NodeID_>& state,
+                           std::int64_t remaining_edges,
+                           const DOBFSOptions& opts) {
+  const std::int64_t n = g.num_nodes();
+  auto& queue = state.queue;
+  queue.reset();
+  comp[source] = label;
+  queue.push_back(source);
+  queue.slide_window();
+  std::int64_t scout_count = g.out_degree(source);
+  std::int64_t edges_to_check = remaining_edges;
+  while (!queue.empty()) {
+    if (scout_count > edges_to_check / opts.alpha) {
+      queue_to_bitmap(queue, state.front);
+      std::int64_t awake_count = static_cast<std::int64_t>(queue.size());
+      std::int64_t old_awake;
+      do {
+        old_awake = awake_count;
+        awake_count =
+            bu_step(g, label, unvisited, comp, state.front, state.next);
+        state.front.swap(state.next);
+      } while (awake_count >= old_awake || awake_count > n / opts.beta);
+      bitmap_to_queue(g, state.front, queue);
+      scout_count = 1;
+    } else {
+      edges_to_check -= scout_count;
+      scout_count = td_step(g, label, unvisited, comp, queue);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// DOBFS-CC driver: sequential loop over components, direction-optimized
+/// search within each.
+template <typename NodeID_>
+ComponentLabels<NodeID_> dobfs_cc(const CSRGraph<NodeID_>& g,
+                                  DOBFSOptions opts = {},
+                                  std::int64_t* out_num_components = nullptr) {
+  const std::int64_t n = g.num_nodes();
+  constexpr NodeID_ kUnvisited = -1;
+  ComponentLabels<NodeID_> comp(static_cast<std::size_t>(n));
+  comp.fill(kUnvisited);
+  detail::DOBFSState<NodeID_> state(n);
+  std::int64_t remaining_edges = g.num_stored_edges();
+  std::int64_t num_components = 0;
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (comp[v] != kUnvisited) continue;
+    ++num_components;
+    detail::dobfs_label_component(g, static_cast<NodeID_>(v),
+                                  static_cast<NodeID_>(v), kUnvisited, comp,
+                                  state, remaining_edges, opts);
+  }
+  if (out_num_components != nullptr) *out_num_components = num_components;
+  return comp;
+}
+
+}  // namespace afforest

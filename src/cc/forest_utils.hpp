@@ -1,0 +1,77 @@
+// Structural utilities over parent arrays (π forests): validation of the
+// paper's Invariant 1, depth statistics, and tree-size distributions.
+// Shared by the analysis module, tests, and the worst-case benches.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+/// True iff π(x) ≤ x for every x (paper Invariant 1).  A forest satisfying
+/// this is automatically acyclic (Lemma 1).
+template <typename NodeID_>
+bool satisfies_parent_invariant(const pvector<NodeID_>& pi) {
+  for (std::size_t v = 0; v < pi.size(); ++v)
+    if (pi[v] > static_cast<NodeID_>(v) || pi[v] < 0) return false;
+  return true;
+}
+
+/// Depth of vertex v (0 for roots).  Precondition: π is acyclic.
+template <typename NodeID_>
+std::int64_t depth_of(const pvector<NodeID_>& pi, NodeID_ v) {
+  std::int64_t d = 0;
+  while (pi[v] != v) {
+    v = pi[v];
+    ++d;
+  }
+  return d;
+}
+
+/// Histogram of tree depths: bucket d counts vertices at depth d.
+template <typename NodeID_>
+std::vector<std::int64_t> depth_histogram(const pvector<NodeID_>& pi) {
+  std::vector<std::int64_t> hist;
+  for (std::size_t v = 0; v < pi.size(); ++v) {
+    const auto d =
+        static_cast<std::size_t>(depth_of(pi, static_cast<NodeID_>(v)));
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+/// Number of roots (trees) in the forest.
+template <typename NodeID_>
+std::int64_t count_trees(const pvector<NodeID_>& pi) {
+  std::int64_t roots = 0;
+  for (std::size_t v = 0; v < pi.size(); ++v)
+    if (pi[v] == static_cast<NodeID_>(v)) ++roots;
+  return roots;
+}
+
+/// Sizes of all trees keyed by root.  Precondition: π is acyclic.
+template <typename NodeID_>
+std::unordered_map<NodeID_, std::int64_t> tree_sizes(
+    const pvector<NodeID_>& pi) {
+  std::unordered_map<NodeID_, std::int64_t> sizes;
+  for (std::size_t v = 0; v < pi.size(); ++v) {
+    NodeID_ root = static_cast<NodeID_>(v);
+    while (pi[root] != root) root = pi[root];
+    ++sizes[root];
+  }
+  return sizes;
+}
+
+/// True iff every tree has depth ≤ 1 (the compress postcondition).
+template <typename NodeID_>
+bool is_depth_one(const pvector<NodeID_>& pi) {
+  for (std::size_t v = 0; v < pi.size(); ++v)
+    if (pi[pi[v]] != pi[v]) return false;
+  return true;
+}
+
+}  // namespace afforest

@@ -1,0 +1,75 @@
+#include "cc/registry.hpp"
+
+#include <stdexcept>
+
+#include "cc/afforest.hpp"
+#include "cc/bfs_cc.hpp"
+#include "cc/dobfs_cc.hpp"
+#include "cc/label_propagation.hpp"
+#include "cc/shiloach_vishkin.hpp"
+#include "cc/contraction.hpp"
+#include "cc/multistep.hpp"
+#include "cc/rem.hpp"
+#include "cc/union_find.hpp"
+#include "graph/edge_list.hpp"
+
+namespace afforest {
+
+const std::vector<AlgorithmEntry>& cc_algorithms() {
+  static const std::vector<AlgorithmEntry> algorithms = {
+      {"afforest", "Afforest with neighbor sampling + component skipping",
+       [](const Graph& g) { return afforest_cc(g); }},
+      {"afforest-noskip", "Afforest without large-component skipping",
+       [](const Graph& g) { return afforest_no_skip(g); }},
+      {"sv", "Shiloach-Vishkin (CSR, GAPBS formulation)",
+       [](const Graph& g) { return shiloach_vishkin(g); }},
+      {"sv-original", "Shiloach-Vishkin with the 1982 stagnant-root hook",
+       [](const Graph& g) { return shiloach_vishkin_original(g); }},
+      {"sv-edgelist", "Shiloach-Vishkin over an explicit edge list "
+                      "(Soman et al.'s GPU formulation on CPU)",
+       [](const Graph& g) {
+         EdgeList<std::int32_t> edges;
+         edges.reserve(static_cast<std::size_t>(g.num_stored_edges() / 2));
+         for (std::int64_t u = 0; u < g.num_nodes(); ++u)
+           for (std::int32_t v : g.out_neigh(static_cast<std::int32_t>(u)))
+             if (static_cast<std::int32_t>(u) < v)
+               edges.push_back({static_cast<std::int32_t>(u), v});
+         return shiloach_vishkin_edgelist(edges, g.num_nodes());
+       }},
+      {"lp", "synchronous min-label propagation",
+       [](const Graph& g) { return label_propagation(g); }},
+      {"lp-frontier", "data-driven min-label propagation",
+       [](const Graph& g) { return label_propagation_frontier(g); }},
+      {"bfs", "BFS-CC (parallel BFS per component)",
+       [](const Graph& g) { return bfs_cc(g); }},
+      {"dobfs", "direction-optimizing BFS-CC",
+       [](const Graph& g) { return dobfs_cc(g); }},
+      {"multistep", "giant-component BFS + label propagation remainder "
+                    "(Slota et al. hybrid)",
+       [](const Graph& g) { return multistep_cc(g); }},
+      {"contraction", "hook-and-contract quotient rounds "
+                      "(Hirschberg/Blelloch family)",
+       [](const Graph& g) { return contraction_cc(g); }},
+      {"rem", "Rem's union-find with path splicing (serial)",
+       [](const Graph& g) { return rem_cc(g); }},
+      {"rem-parallel", "lock-free Rem with CAS splicing",
+       [](const Graph& g) { return rem_cc_parallel(g); }},
+      {"serial-uf", "serial union-find reference",
+       [](const Graph& g) { return union_find_cc(g); }},
+  };
+  return algorithms;
+}
+
+const AlgorithmEntry& cc_algorithm(const std::string& name) {
+  for (const auto& a : cc_algorithms())
+    if (a.name == name) return a;
+  throw std::invalid_argument("unknown CC algorithm: " + name);
+}
+
+bool is_cc_algorithm(const std::string& name) {
+  for (const auto& a : cc_algorithms())
+    if (a.name == name) return true;
+  return false;
+}
+
+}  // namespace afforest

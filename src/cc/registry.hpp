@@ -1,0 +1,33 @@
+// Name → algorithm registry over the default Graph instantiation.
+// Benchmarks, examples, and the CLI tool all dispatch through this table so
+// every binary exposes the identical algorithm set.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace afforest {
+
+using CCFunction =
+    std::function<ComponentLabels<std::int32_t>(const Graph&)>;
+
+struct AlgorithmEntry {
+  std::string name;
+  std::string description;
+  CCFunction run;
+};
+
+/// All registered algorithms, in the order the paper's figures list them.
+const std::vector<AlgorithmEntry>& cc_algorithms();
+
+/// Lookup by name; throws std::invalid_argument for unknown names.
+const AlgorithmEntry& cc_algorithm(const std::string& name);
+
+/// True if `name` is registered.
+bool is_cc_algorithm(const std::string& name);
+
+}  // namespace afforest

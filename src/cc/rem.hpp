@@ -1,0 +1,106 @@
+// Rem's union-find algorithm — a classic high-performance disjoint-set
+// variant, included as an additional comparator in the spirit of the
+// paper's related work ([4]: a survey of CC algorithm families; [10]:
+// CAS-based hooking, which Afforest's link adopts).
+//
+// Rem's insight: walk BOTH parent chains simultaneously, always advancing
+// from the higher root, splicing the lower-parent pointer as you go
+// ("interleaved find with path splicing").  The serial version is among
+// the fastest sequential CC codes; the parallel version (Patwary,
+// Blair, Manne) replaces the splice with a CAS and retries on failure —
+// the same lock-free discipline as Afforest's link, against which it is an
+// interesting near-peer baseline.
+//
+// Like link, both maintain π(x) ≤ x, so final labels (after full
+// compression) are component minima.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/afforest.hpp"
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/parallel.hpp"
+
+namespace afforest {
+
+/// Serial Rem union: returns true if the edge merged two sets.
+template <typename NodeID_>
+bool rem_unite(NodeID_ u, NodeID_ v, pvector<NodeID_>& parent) {
+  NodeID_ r_u = u;
+  NodeID_ r_v = v;
+  while (parent[r_u] != parent[r_v]) {
+    if (parent[r_u] > parent[r_v]) {
+      if (r_u == parent[r_u]) {  // r_u is a root: hook it
+        parent[r_u] = parent[r_v];
+        return true;
+      }
+      const NodeID_ next = parent[r_u];
+      parent[r_u] = parent[r_v];  // splice
+      r_u = next;
+    } else {
+      if (r_v == parent[r_v]) {
+        parent[r_v] = parent[r_u];
+        return true;
+      }
+      const NodeID_ next = parent[r_v];
+      parent[r_v] = parent[r_u];  // splice
+      r_v = next;
+    }
+  }
+  return false;
+}
+
+/// Serial Rem CC over a CSR graph.
+template <typename NodeID_>
+ComponentLabels<NodeID_> rem_cc(const CSRGraph<NodeID_>& g) {
+  const std::int64_t n = g.num_nodes();
+  auto parent = identity_labels<NodeID_>(n);
+  for (std::int64_t u = 0; u < n; ++u)
+    for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
+      if (static_cast<NodeID_>(u) < v)
+        rem_unite(static_cast<NodeID_>(u), v, parent);
+  compress_all(parent);
+  return parent;
+}
+
+/// Lock-free Rem union: splices via CAS, retrying from the current node on
+/// contention (Patwary et al.'s shared-memory variant).
+template <typename NodeID_>
+void rem_unite_atomic(NodeID_ u, NodeID_ v, pvector<NodeID_>& parent) {
+  NodeID_ r_u = u;
+  NodeID_ r_v = v;
+  while (true) {
+    NodeID_ p_u = atomic_load(parent[r_u]);
+    NodeID_ p_v = atomic_load(parent[r_v]);
+    if (p_u == p_v) return;
+    // Ensure r_u holds the side with the larger parent.
+    if (p_u < p_v) {
+      std::swap(r_u, r_v);
+      std::swap(p_u, p_v);
+    }
+    if (r_u == p_u) {  // r_u is (currently) a root: try to hook it
+      if (compare_and_swap(parent[r_u], p_u, p_v)) return;
+      continue;  // lost the race; re-read parents
+    }
+    // Try to splice r_u's parent down to p_v, then advance.
+    compare_and_swap(parent[r_u], p_u, p_v);  // failure is harmless
+    r_u = p_u;
+  }
+}
+
+/// Parallel Rem CC (lock-free splicing).
+template <typename NodeID_>
+ComponentLabels<NodeID_> rem_cc_parallel(const CSRGraph<NodeID_>& g) {
+  const std::int64_t n = g.num_nodes();
+  auto parent = identity_labels<NodeID_>(n);
+#pragma omp parallel for schedule(dynamic, 4096)
+  for (std::int64_t u = 0; u < n; ++u)
+    for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
+      if (static_cast<NodeID_>(u) < v)
+        rem_unite_atomic(static_cast<NodeID_>(u), v, parent);
+  compress_all(parent);
+  return parent;
+}
+
+}  // namespace afforest

@@ -1,0 +1,161 @@
+// Shiloach–Vishkin (SV) baseline — the tree-hooking algorithm Afforest
+// extends (paper Fig 1, as implemented by the GAP Benchmark Suite).
+//
+// Each iteration performs a hook pass over ALL edges (only root-level hooks
+// succeed) followed by a shortcut (pointer-jumping) pass, repeating until
+// no hook fires.  Work is O(iterations × |E|) — the redundancy Afforest
+// eliminates.
+//
+// Two variants:
+//   shiloach_vishkin          — CSR traversal (vertex-centric), the GAP code
+//   shiloach_vishkin_edgelist — explicit edge array (Soman et al.'s GPU
+//                               formulation, ported to the CPU substrate;
+//                               see DESIGN.md §3)
+#pragma once
+
+#include <cstdint>
+
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "util/parallel.hpp"
+
+namespace afforest {
+
+/// CSR-based SV.  If `out_iterations` is non-null it receives the number of
+/// hook+shortcut iterations executed (reported in Table II).
+template <typename NodeID_>
+ComponentLabels<NodeID_> shiloach_vishkin(
+    const CSRGraph<NodeID_>& g, std::int64_t* out_iterations = nullptr) {
+  const std::int64_t n = g.num_nodes();
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+  bool change = true;
+  std::int64_t num_iter = 0;
+  while (change) {
+    change = false;
+    ++num_iter;
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t u = 0; u < n; ++u) {
+      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+        const NodeID_ comp_u = comp[u];
+        const NodeID_ comp_v = comp[v];
+        if (comp_u == comp_v) continue;
+        const NodeID_ high_comp = std::max(comp_u, comp_v);
+        const NodeID_ low_comp = std::min(comp_u, comp_v);
+        // Hooks only fire on roots; competing edges are resolved across
+        // iterations (benign race, as in the original PRAM formulation —
+        // a lost update only delays convergence by an iteration).
+        if (high_comp == atomic_load(comp[high_comp])) {
+          change = true;
+          atomic_store(comp[high_comp], low_comp);
+        }
+      }
+    }
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t v = 0; v < n; ++v) {
+      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+    }
+  }
+  if (out_iterations != nullptr) *out_iterations = num_iter;
+  return comp;
+}
+
+/// SV with the original 1982 stagnation step (paper §V-A: "an additional
+/// step was added at each iteration to avoid such scenarios", which modern
+/// implementations omit).  After the conditional hook, any root whose tree
+/// was NOT modified this iteration ("stagnant") hooks unconditionally onto
+/// any neighbor tree — this is what bounds the original algorithm's
+/// iteration count by O(log |V|) even on adversarial inputs.
+template <typename NodeID_>
+ComponentLabels<NodeID_> shiloach_vishkin_original(
+    const CSRGraph<NodeID_>& g, std::int64_t* out_iterations = nullptr) {
+  const std::int64_t n = g.num_nodes();
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+  pvector<std::uint8_t> changed(static_cast<std::size_t>(n), 0);
+  bool change = true;
+  std::int64_t num_iter = 0;
+  while (change) {
+    change = false;
+    ++num_iter;
+    changed.fill(0);
+    // Conditional hook (higher root onto lower), marking modified roots.
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t u = 0; u < n; ++u) {
+      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+        const NodeID_ comp_u = comp[u];
+        const NodeID_ comp_v = comp[v];
+        if (comp_u == comp_v) continue;
+        const NodeID_ high_comp = std::max(comp_u, comp_v);
+        const NodeID_ low_comp = std::min(comp_u, comp_v);
+        if (high_comp == atomic_load(comp[high_comp])) {
+          change = true;
+          atomic_store(comp[high_comp], low_comp);
+          atomic_store(changed[high_comp], std::uint8_t{1});
+          atomic_store(changed[low_comp], std::uint8_t{1});
+        }
+      }
+    }
+    // Stagnant-root hook: a root untouched above may hook onto ANY
+    // neighboring tree (even a higher-labeled one would break Invariant 1,
+    // so we keep the lower-only rule but drop the direction condition on
+    // which endpoint initiates — sufficient to merge stalled stars).
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t u = 0; u < n; ++u) {
+      const NodeID_ comp_u = comp[u];
+      if (atomic_load(changed[comp_u]) != 0) continue;
+      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+        const NodeID_ comp_v = comp[v];
+        if (comp_v < comp_u && comp_u == atomic_load(comp[comp_u])) {
+          change = true;
+          atomic_store(comp[comp_u], comp_v);
+          break;
+        }
+      }
+    }
+    // Shortcut.
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t v = 0; v < n; ++v) {
+      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+    }
+  }
+  if (out_iterations != nullptr) *out_iterations = num_iter;
+  return comp;
+}
+
+/// Edge-list SV: identical hooking rule, but iterates a flat edge array.
+/// Loads more data per pass (u is explicit per edge) yet every iteration is
+/// perfectly regular — the trade-off Soman et al. exploit on GPUs.
+template <typename NodeID_>
+ComponentLabels<NodeID_> shiloach_vishkin_edgelist(
+    const EdgeList<NodeID_>& edges, std::int64_t num_nodes,
+    std::int64_t* out_iterations = nullptr) {
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(num_nodes);
+  const std::int64_t ne = static_cast<std::int64_t>(edges.size());
+  bool change = true;
+  std::int64_t num_iter = 0;
+  while (change) {
+    change = false;
+    ++num_iter;
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < ne; ++i) {
+      const auto [u, v] = edges[i];
+      const NodeID_ comp_u = comp[u];
+      const NodeID_ comp_v = comp[v];
+      if (comp_u == comp_v) continue;
+      const NodeID_ high_comp = std::max(comp_u, comp_v);
+      const NodeID_ low_comp = std::min(comp_u, comp_v);
+      if (high_comp == atomic_load(comp[high_comp])) {
+        change = true;
+        atomic_store(comp[high_comp], low_comp);
+      }
+    }
+#pragma omp parallel for schedule(static)
+    for (std::int64_t v = 0; v < num_nodes; ++v) {
+      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
+    }
+  }
+  if (out_iterations != nullptr) *out_iterations = num_iter;
+  return comp;
+}
+
+}  // namespace afforest

@@ -1,0 +1,53 @@
+// Spanning-forest extraction (paper §IV-A).
+//
+// CC and spanning forests are dual: a tree-hooking CC algorithm yields a
+// spanning forest by recording every edge that contributed a tree merge,
+// and conversely processing only a spanning forest's edges produces a
+// correct CC labeling.  The convergence analysis (Fig 6) uses SF edges as
+// the "optimal subgraph" strategy — the theoretical best-case ordering any
+// sampling scheme can approach.
+//
+// This implementation runs serial union-find over the CSR edges, keeping
+// each merge edge.  The result has exactly |V| - C edges.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace afforest {
+
+/// Edges of a spanning forest of g (|V| - C of them, where C is the number
+/// of components).  Edges are emitted with u < v in vertex-scan order.
+template <typename NodeID_>
+EdgeList<NodeID_> spanning_forest(const CSRGraph<NodeID_>& g) {
+  UnionFind<NodeID_> uf(g.num_nodes());
+  EdgeList<NodeID_> forest;
+  for (std::int64_t u = 0; u < g.num_nodes(); ++u) {
+    for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+      if (static_cast<NodeID_>(u) < v &&
+          uf.unite(static_cast<NodeID_>(u), v)) {
+        forest.push_back({static_cast<NodeID_>(u), v});
+      }
+    }
+  }
+  return forest;
+}
+
+/// True iff `forest` is a spanning forest of g: acyclic (every edge merges
+/// two sets) and connectivity-preserving (same partition as g).
+template <typename NodeID_>
+bool is_spanning_forest(const CSRGraph<NodeID_>& g,
+                        const EdgeList<NodeID_>& forest) {
+  UnionFind<NodeID_> uf(g.num_nodes());
+  for (const auto& [u, v] : forest) {
+    if (!uf.unite(u, v)) return false;  // cycle edge
+  }
+  auto forest_labels = uf.labels();
+  return labels_equivalent(forest_labels, union_find_cc(g));
+}
+
+}  // namespace afforest

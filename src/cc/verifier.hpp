@@ -1,0 +1,56 @@
+// Connected-components verifier.
+//
+// Two layers of checking:
+//   labels_equivalent(a, b)  — are two label arrays the same partition?
+//                              (algorithms may choose different
+//                              representatives; this checks the bijection)
+//   verify_cc(g, comp)       — is `comp` a correct CC labeling of g?
+//                              Checks (1) every edge joins equal labels and
+//                              (2) equal labels imply connectivity, via the
+//                              serial union-find reference.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cc/common.hpp"
+#include "cc/union_find.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace afforest {
+
+/// True iff label arrays `a` and `b` induce the same partition of
+/// [0, a.size()).
+template <typename NodeID_>
+bool labels_equivalent(const ComponentLabels<NodeID_>& a,
+                       const ComponentLabels<NodeID_>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<NodeID_, NodeID_> a_to_b;
+  std::unordered_map<NodeID_, NodeID_> b_to_a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    const auto [ita, inserted_a] = a_to_b.emplace(a[v], b[v]);
+    if (!inserted_a && ita->second != b[v]) return false;
+    const auto [itb, inserted_b] = b_to_a.emplace(b[v], a[v]);
+    if (!inserted_b && itb->second != a[v]) return false;
+  }
+  return true;
+}
+
+/// Full correctness check of `comp` against graph `g`.
+template <typename NodeID_>
+bool verify_cc(const CSRGraph<NodeID_>& g,
+               const ComponentLabels<NodeID_>& comp) {
+  if (static_cast<std::int64_t>(comp.size()) != g.num_nodes()) return false;
+  // (1) endpoints of every edge share a label (labels not too fine).
+  const std::int64_t n = g.num_nodes();
+  bool edges_ok = true;
+#pragma omp parallel for reduction(&& : edges_ok) schedule(dynamic, 4096)
+  for (std::int64_t u = 0; u < n; ++u)
+    for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
+      edges_ok = edges_ok && (comp[u] == comp[v]);
+  if (!edges_ok) return false;
+  // (2) partition matches the reference (labels not too coarse).
+  return labels_equivalent(comp, union_find_cc(g));
+}
+
+}  // namespace afforest

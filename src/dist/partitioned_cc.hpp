@@ -1,0 +1,56 @@
+// Distributed-memory CC simulation (the paper's §VII future-work
+// direction: "generalize the algorithm to distributed memory
+// environments").
+//
+// Model: a 1D block partition over P simulated ranks, Bulk-Synchronous
+// Parallel schedule:
+//
+//   superstep 1 (local):   each rank runs Afforest's link/compress over
+//                          edges with BOTH endpoints in its block — no
+//                          communication, ranks simulated concurrently.
+//   superstep 2 (exchange): boundary edges (endpoints in different blocks)
+//                          are translated to (root_u, root_v) pairs — the
+//                          messages a real implementation would ship.
+//   superstep 3 (merge):   the quotient graph over local roots is solved
+//                          with link, and labels are re-compressed.
+//
+// The returned statistics expose the distributed-feasibility quantities:
+// internal vs boundary edge counts (communication volume) and the quotient
+// size (how small the exchanged problem is after local work — the subgraph
+// sampling insight carries over: local sampling collapses each block to a
+// handful of roots before any communication).
+#pragma once
+
+#include <cstdint>
+
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace afforest {
+
+struct PartitionedCCStats {
+  int num_parts = 0;
+  std::int64_t internal_edges = 0;   ///< processed with zero communication
+  std::int64_t boundary_edges = 0;   ///< messages in the exchange superstep
+  std::int64_t quotient_vertices = 0;  ///< distinct local roots touched
+  std::int64_t quotient_edges = 0;   ///< deduplicated root-pair messages
+
+  /// Fraction of edges requiring communication.
+  [[nodiscard]] double communication_fraction() const {
+    const auto total = internal_edges + boundary_edges;
+    return total == 0 ? 0.0
+                      : static_cast<double>(boundary_edges) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Which rank owns vertex v under the 1D block partition.
+int partition_of(std::int64_t v, std::int64_t num_nodes, int num_parts);
+
+/// BSP-partitioned CC.  Exact: labels always equal the single-machine
+/// result (component minima).  num_parts >= 1; num_parts == 1 degenerates
+/// to plain Afforest-style local processing.
+ComponentLabels<std::int32_t> partitioned_cc(
+    const Graph& g, int num_parts, PartitionedCCStats* stats = nullptr);
+
+}  // namespace afforest

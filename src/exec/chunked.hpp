@@ -1,0 +1,118 @@
+// Load-balanced edge iteration — the CPU substitute for the paper's GPU
+// execution substrate (§VI-A: the CUDA variant uses Groute for "intra
+// thread-block load-balancing", which matters in the final link phase
+// where degree skew is extreme).
+//
+// A vertex-parallel loop assigns whole neighborhoods to threads, so one
+// 10^5-degree hub serializes a thread while others idle.  Chunking splits
+// every neighborhood into fixed-size spans and schedules the spans — the
+// same work-regularization GPUs get from virtual warps.  This module
+// provides the chunk planner, a chunked for-each, and a chunk-scheduled
+// Afforest final phase (afforest_balanced) so the representation trade-off
+// the paper discusses (edge-list SV's regularity vs CSR's compactness) can
+// be measured on the CPU substrate too.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/afforest.hpp"
+#include "cc/common.hpp"
+#include "graph/csr_graph.hpp"
+#include "util/parallel.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+/// A span of one vertex's neighborhood: neighbors [begin, end).
+template <typename NodeID_>
+struct EdgeChunk {
+  NodeID_ vertex;
+  std::int64_t begin;
+  std::int64_t end;
+};
+
+/// Splits every neighborhood (starting at `start_offset` neighbors in)
+/// into chunks of at most chunk_size edges.
+template <typename NodeID_>
+pvector<EdgeChunk<NodeID_>> plan_chunks(const CSRGraph<NodeID_>& g,
+                                        std::int64_t chunk_size,
+                                        std::int64_t start_offset = 0) {
+  const std::int64_t n = g.num_nodes();
+  pvector<std::int64_t> counts(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t deg =
+        std::max<std::int64_t>(0, g.out_degree(static_cast<NodeID_>(v)) -
+                                      start_offset);
+    counts[v] = (deg + chunk_size - 1) / chunk_size;
+  }
+  const auto offsets = parallel_prefix_sum(counts);
+  pvector<EdgeChunk<NodeID_>> chunks(
+      static_cast<std::size_t>(offsets[n]));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t deg = g.out_degree(static_cast<NodeID_>(v));
+    std::int64_t pos = offsets[v];
+    for (std::int64_t b = start_offset; b < deg; b += chunk_size) {
+      chunks[pos++] = EdgeChunk<NodeID_>{
+          static_cast<NodeID_>(v), b, std::min(deg, b + chunk_size)};
+    }
+  }
+  return chunks;
+}
+
+/// Applies f(u, v) to every edge, scheduling chunks rather than vertices.
+template <typename NodeID_, typename EdgeFn>
+void for_each_edge_chunked(const CSRGraph<NodeID_>& g,
+                           std::int64_t chunk_size, EdgeFn f,
+                           std::int64_t start_offset = 0) {
+  const auto chunks = plan_chunks(g, chunk_size, start_offset);
+  const std::int64_t nc = static_cast<std::int64_t>(chunks.size());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = 0; i < nc; ++i) {
+    const auto& c = chunks[i];
+    for (std::int64_t k = c.begin; k < c.end; ++k)
+      f(c.vertex, g.neighbor(c.vertex, k));
+  }
+}
+
+/// Afforest whose final phase is chunk-scheduled: identical semantics to
+/// afforest_cc, different load-balancing.  Skipped vertices contribute no
+/// chunks (the skip test runs per chunk against the sampled component).
+template <typename NodeID_>
+ComponentLabels<NodeID_> afforest_balanced(const CSRGraph<NodeID_>& g,
+                                           AfforestOptions opts = {},
+                                           std::int64_t chunk_size = 64) {
+  const std::int64_t n = g.num_nodes();
+  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+
+  const std::int32_t rounds = std::max(std::int32_t{0}, opts.neighbor_rounds);
+  for (std::int32_t r = 0; r < rounds; ++r) {
+#pragma omp parallel for schedule(dynamic, 16384)
+    for (std::int64_t v = 0; v < n; ++v) {
+      if (r < g.out_degree(static_cast<NodeID_>(v)))
+        link(static_cast<NodeID_>(v), g.neighbor(static_cast<NodeID_>(v), r),
+             comp);
+    }
+    compress_all(comp);
+  }
+
+  NodeID_ c = 0;
+  if (opts.skip_largest && n > 0)
+    c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
+
+  const auto chunks = plan_chunks(g, chunk_size, rounds);
+  const std::int64_t nc = static_cast<std::int64_t>(chunks.size());
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::int64_t i = 0; i < nc; ++i) {
+    const auto& chunk = chunks[i];
+    if (opts.skip_largest && atomic_load(comp[chunk.vertex]) == c) continue;
+    for (std::int64_t k = chunk.begin; k < chunk.end; ++k)
+      link(chunk.vertex, g.neighbor(chunk.vertex, k), comp);
+  }
+
+  compress_all(comp);
+  return comp;
+}
+
+}  // namespace afforest

@@ -1,0 +1,167 @@
+// Compressed Sparse Row (CSR) graph — the representation every kernel in
+// this library operates on, mirroring the GAP Benchmark Suite layout the
+// paper's reference implementation uses (§VI-A).
+//
+// Storage: an (|V|+1)-entry offset array into a flat neighbor array.  For
+// undirected graphs each unordered edge {u,v} is stored twice (u's and v's
+// rows) — exactly the redundancy Afforest's large-component skipping
+// exploits (paper Theorem 3: if one direction is skipped, the reverse
+// direction still gets processed unless both endpoints are in the skipped
+// component).
+//
+// Neighborhoods are exposed as iterator ranges with an optional start
+// offset: `g.out_neigh(v, r)` yields neighbors from index r onward, which is
+// how the final link phase resumes after `neighbor_rounds` sampled edges
+// (paper Fig 5, line 12).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+template <typename NodeID_ = std::int32_t>
+class CSRGraph {
+ public:
+  using NodeID = NodeID_;
+  using OffsetT = std::int64_t;
+
+  /// Iterator range over one vertex's neighbors.
+  class Neighborhood {
+   public:
+    Neighborhood(const NodeID_* begin, const NodeID_* end)
+        : begin_(begin), end_(end) {}
+    [[nodiscard]] const NodeID_* begin() const { return begin_; }
+    [[nodiscard]] const NodeID_* end() const { return end_; }
+    [[nodiscard]] OffsetT size() const { return end_ - begin_; }
+    [[nodiscard]] bool empty() const { return begin_ == end_; }
+    NodeID_ operator[](OffsetT i) const { return begin_[i]; }
+
+   private:
+    const NodeID_* begin_;
+    const NodeID_* end_;
+  };
+
+  CSRGraph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays (offsets has num_nodes+1
+  /// entries).  `directed` records whether the neighbor array represents a
+  /// symmetrized undirected graph (false) or out-edges only (true).
+  CSRGraph(OffsetT num_nodes, pvector<OffsetT> offsets,
+           pvector<NodeID_> neighbors, bool directed = false)
+      : num_nodes_(num_nodes),
+        directed_(directed),
+        out_index_(std::move(offsets)),
+        out_neighbors_(std::move(neighbors)) {
+    assert(static_cast<OffsetT>(out_index_.size()) == num_nodes_ + 1);
+  }
+
+  /// Directed graph with both adjacency directions (in-edges enable
+  /// weakly-connected-components and reverse traversal).
+  CSRGraph(OffsetT num_nodes, pvector<OffsetT> out_offsets,
+           pvector<NodeID_> out_neighbors, pvector<OffsetT> in_offsets,
+           pvector<NodeID_> in_neighbors)
+      : num_nodes_(num_nodes),
+        directed_(true),
+        out_index_(std::move(out_offsets)),
+        out_neighbors_(std::move(out_neighbors)),
+        in_index_(std::move(in_offsets)),
+        in_neighbors_(std::move(in_neighbors)) {
+    assert(static_cast<OffsetT>(out_index_.size()) == num_nodes_ + 1);
+    assert(static_cast<OffsetT>(in_index_.size()) == num_nodes_ + 1);
+  }
+
+  CSRGraph(CSRGraph&&) noexcept = default;
+  CSRGraph& operator=(CSRGraph&&) noexcept = default;
+  CSRGraph(const CSRGraph&) = delete;
+  CSRGraph& operator=(const CSRGraph&) = delete;
+
+  [[nodiscard]] OffsetT num_nodes() const { return num_nodes_; }
+
+  /// Number of stored directed edges (for undirected graphs this counts
+  /// both directions of every unordered edge).
+  [[nodiscard]] OffsetT num_stored_edges() const {
+    return static_cast<OffsetT>(out_neighbors_.size());
+  }
+
+  /// Number of logical edges: unordered pairs for undirected graphs.
+  [[nodiscard]] OffsetT num_edges() const {
+    return directed_ ? num_stored_edges() : num_stored_edges() / 2;
+  }
+
+  [[nodiscard]] bool directed() const { return directed_; }
+
+  [[nodiscard]] OffsetT out_degree(NodeID_ v) const {
+    return out_index_[v + 1] - out_index_[v];
+  }
+
+  /// Neighbors of v starting from the `start_offset`-th neighbor.
+  [[nodiscard]] Neighborhood out_neigh(NodeID_ v,
+                                       OffsetT start_offset = 0) const {
+    const OffsetT begin = out_index_[v] + start_offset;
+    const OffsetT end = out_index_[v + 1];
+    assert(begin <= end);
+    return Neighborhood(out_neighbors_.data() + begin,
+                        out_neighbors_.data() + end);
+  }
+
+  /// The k-th neighbor of v (bounds-checked by assert).
+  [[nodiscard]] NodeID_ neighbor(NodeID_ v, OffsetT k) const {
+    assert(k < out_degree(v));
+    return out_neighbors_[out_index_[v] + k];
+  }
+
+  /// True when in-edge arrays are present (directed graphs built with
+  /// inverse adjacency).  Undirected graphs answer in_* queries from the
+  /// symmetric out-arrays.
+  [[nodiscard]] bool has_in_edges() const {
+    return !directed_ || !in_index_.empty();
+  }
+
+  [[nodiscard]] OffsetT in_degree(NodeID_ v) const {
+    if (!directed_) return out_degree(v);
+    assert(!in_index_.empty());
+    return in_index_[v + 1] - in_index_[v];
+  }
+
+  /// In-neighbors of v (== out-neighbors for undirected graphs).
+  [[nodiscard]] Neighborhood in_neigh(NodeID_ v,
+                                      OffsetT start_offset = 0) const {
+    if (!directed_) return out_neigh(v, start_offset);
+    assert(!in_index_.empty());
+    const OffsetT begin = in_index_[v] + start_offset;
+    const OffsetT end = in_index_[v + 1];
+    assert(begin <= end);
+    return Neighborhood(in_neighbors_.data() + begin,
+                        in_neighbors_.data() + end);
+  }
+
+  [[nodiscard]] const pvector<OffsetT>& offsets() const { return out_index_; }
+  [[nodiscard]] const pvector<NodeID_>& neighbors() const {
+    return out_neighbors_;
+  }
+
+  [[nodiscard]] double average_degree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(num_stored_edges()) /
+                     static_cast<double>(num_nodes_);
+  }
+
+ private:
+  OffsetT num_nodes_ = 0;
+  bool directed_ = false;
+  pvector<OffsetT> out_index_;
+  pvector<NodeID_> out_neighbors_;
+  // Present only for directed graphs built with inverse adjacency.
+  pvector<OffsetT> in_index_;
+  pvector<NodeID_> in_neighbors_;
+};
+
+/// The library-wide default instantiation (int32 vertex ids, as in GAPBS).
+using Graph = CSRGraph<std::int32_t>;
+
+}  // namespace afforest

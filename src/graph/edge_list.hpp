@@ -1,0 +1,29 @@
+// Edge-list representation: the exchange format between generators, file
+// I/O, and the CSR builder.
+#pragma once
+
+#include <cstdint>
+
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+/// A directed edge (u -> v).  For undirected graphs the builder symmetrizes,
+/// so generators only need to emit each unordered edge once.
+template <typename NodeID_>
+struct EdgePair {
+  NodeID_ u;
+  NodeID_ v;
+
+  friend bool operator==(const EdgePair& a, const EdgePair& b) {
+    return a.u == b.u && a.v == b.v;
+  }
+  friend bool operator<(const EdgePair& a, const EdgePair& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  }
+};
+
+template <typename NodeID_>
+using EdgeList = pvector<EdgePair<NodeID_>>;
+
+}  // namespace afforest

@@ -1,0 +1,53 @@
+// Adversarial constructions from the paper's worst-case analysis (§V-A).
+//
+// These inputs are deliberately pathological: the paper notes that link's
+// worst case is O(|V|) work for a single edge under an adversarial edge
+// order, and compress's first invocation can cost O(|V|^2) on linear-depth
+// trees.  The repository uses them to (a) verify correctness is unaffected
+// and (b) measure how far real costs sit from the bounds.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+/// Star graph whose hub is the HIGHEST index (n-1), with leaf edges listed
+/// in descending leaf order.  Processing sequentially, each leaf i hooks
+/// the hub's current root downward, so late edges walk progressively
+/// longer parent chains — the §V-A link worst case.
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> adversarial_star_edges(std::int64_t n) {
+  EdgeList<NodeID_> edges;
+  edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (std::int64_t leaf = n - 2; leaf >= 0; --leaf)
+    edges.push_back(
+        {static_cast<NodeID_>(n - 1), static_cast<NodeID_>(leaf)});
+  return edges;
+}
+
+/// Path graph with edges ordered from the high end: (n-2,n-1), (n-3,n-2)…
+/// Sequential linking builds deep trees between compress rounds.
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> adversarial_path_edges(std::int64_t n) {
+  EdgeList<NodeID_> edges;
+  edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (std::int64_t v = n - 1; v >= 1; --v)
+    edges.push_back({static_cast<NodeID_>(v - 1), static_cast<NodeID_>(v)});
+  return edges;
+}
+
+/// A parent array that is a single linear-depth chain: π(v) = v-1.
+/// Feeding this to compress exhibits the §V-A worst case directly
+/// (every vertex walks the full remaining chain on first compression).
+template <typename NodeID_>
+[[nodiscard]] pvector<NodeID_> linear_depth_forest(std::int64_t n) {
+  pvector<NodeID_> pi(static_cast<std::size_t>(n));
+  for (std::int64_t v = 0; v < n; ++v)
+    pi[v] = static_cast<NodeID_>(v == 0 ? 0 : v - 1);
+  return pi;
+}
+
+}  // namespace afforest

@@ -1,0 +1,59 @@
+// Component-fraction generator for the paper's Fig 8c experiment.
+//
+// Given an average component fraction f ∈ (0, 1], produces a uniformly
+// random graph with ⌊1/f⌋ components of ⌊|V|·f⌋ vertices each (plus one
+// component holding the remainder).  Each component is wired internally as
+// a connected urand graph with the requested average degree, so the total
+// work is held constant while the number/size of components varies — the
+// sweep that exposes BFS-CC's per-component serialization.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> generate_component_mix_edges(
+    std::int64_t num_nodes, double avg_degree, double component_fraction,
+    std::uint64_t seed) {
+  if (component_fraction <= 0.0 || component_fraction > 1.0)
+    throw std::invalid_argument("component_fraction must be in (0, 1]");
+  const auto comp_size = static_cast<std::int64_t>(
+      static_cast<double>(num_nodes) * component_fraction);
+  if (comp_size < 1)
+    throw std::invalid_argument("component_fraction yields empty components");
+
+  EdgeList<NodeID_> edges;
+  edges.reserve(static_cast<std::size_t>(
+      static_cast<double>(num_nodes) * avg_degree / 2.0 + num_nodes));
+  Xoshiro256 rng(seed);
+
+  std::int64_t start = 0;
+  while (start < num_nodes) {
+    const std::int64_t size = std::min(comp_size, num_nodes - start);
+    // Spanning path guarantees the block is one connected component.
+    for (std::int64_t i = 1; i < size; ++i)
+      edges.push_back({static_cast<NodeID_>(start + i - 1),
+                       static_cast<NodeID_>(start + i)});
+    // Random intra-block edges up to the requested average degree
+    // (avg_degree counts both directions; path edges contribute too).
+    const auto extra = static_cast<std::int64_t>(
+        std::max(0.0, static_cast<double>(size) * avg_degree / 2.0 -
+                          static_cast<double>(size - 1)));
+    for (std::int64_t i = 0; i < extra; ++i) {
+      const auto u = start + static_cast<std::int64_t>(rng.next_bounded(
+                                 static_cast<std::uint64_t>(size)));
+      const auto v = start + static_cast<std::int64_t>(rng.next_bounded(
+                                 static_cast<std::uint64_t>(size)));
+      edges.push_back({static_cast<NodeID_>(u), static_cast<NodeID_>(v)});
+    }
+    start += size;
+  }
+  return edges;
+}
+
+}  // namespace afforest

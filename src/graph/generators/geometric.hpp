@@ -1,0 +1,77 @@
+// Random geometric graph (RGG): vertices are uniform points in the unit
+// square; edges connect pairs within distance r.  The standard model for
+// wireless/sensor networks and a close cousin of road networks (planar-ish,
+// high diameter, degree concentrated around n·pi·r^2).  Grid-bucketed
+// construction keeps generation O(n) expected.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> generate_geometric_edges(
+    std::int64_t num_nodes, double radius, std::uint64_t seed) {
+  if (radius <= 0.0 || radius > 1.0)
+    throw std::invalid_argument("radius must be in (0, 1]");
+  Xoshiro256 rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(num_nodes));
+  std::vector<double> ys(static_cast<std::size_t>(num_nodes));
+  for (std::int64_t v = 0; v < num_nodes; ++v) {
+    xs[v] = rng.next_double();
+    ys[v] = rng.next_double();
+  }
+
+  // Bucket points into a radius-sized grid; only neighboring cells can
+  // hold points within range.
+  const auto cells = static_cast<std::int64_t>(1.0 / radius);
+  const std::int64_t side = std::max<std::int64_t>(1, cells);
+  std::vector<std::vector<NodeID_>> grid(
+      static_cast<std::size_t>(side * side));
+  auto cell_of = [&](double x, double y) {
+    auto cx = static_cast<std::int64_t>(x * static_cast<double>(side));
+    auto cy = static_cast<std::int64_t>(y * static_cast<double>(side));
+    if (cx == side) --cx;
+    if (cy == side) --cy;
+    return cy * side + cx;
+  };
+  for (std::int64_t v = 0; v < num_nodes; ++v)
+    grid[static_cast<std::size_t>(cell_of(xs[v], ys[v]))].push_back(
+        static_cast<NodeID_>(v));
+
+  EdgeList<NodeID_> edges;
+  const double r2 = radius * radius;
+  for (std::int64_t cy = 0; cy < side; ++cy) {
+    for (std::int64_t cx = 0; cx < side; ++cx) {
+      const auto& bucket = grid[static_cast<std::size_t>(cy * side + cx)];
+      for (std::int64_t dy = 0; dy <= 1; ++dy) {
+        for (std::int64_t dx = (dy == 0 ? 0 : -1); dx <= 1; ++dx) {
+          const std::int64_t ny = cy + dy;
+          const std::int64_t nx = cx + dx;
+          if (ny < 0 || ny >= side || nx < 0 || nx >= side) continue;
+          const auto& other = grid[static_cast<std::size_t>(ny * side + nx)];
+          const bool same_cell = dx == 0 && dy == 0;
+          for (std::size_t i = 0; i < bucket.size(); ++i) {
+            const std::size_t j_start = same_cell ? i + 1 : 0;
+            for (std::size_t j = j_start; j < other.size(); ++j) {
+              const NodeID_ a = bucket[i];
+              const NodeID_ b = other[j];
+              const double ddx = xs[a] - xs[b];
+              const double ddy = ys[a] - ys[b];
+              if (ddx * ddx + ddy * ddy <= r2) edges.push_back({a, b});
+            }
+          }
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace afforest

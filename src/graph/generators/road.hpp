@@ -1,0 +1,55 @@
+// Road-network model: stands in for the paper's "road" (USA road map) and
+// "osm-eur" (OpenStreetMap Europe) datasets.
+//
+// Real road networks are near-planar with average degree ≈ 2–3 and diameter
+// Θ(√|V|).  We model this with a width×height lattice where each
+// horizontal/vertical link exists with probability keep_prob (creating
+// dead ends and multiple medium-size components, as real road graphs have),
+// plus a sparse set of random "highway" shortcuts that slightly lower the
+// diameter without changing the degree profile.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+
+struct RoadParams {
+  double keep_prob = 0.95;       ///< probability each lattice link exists
+  double shortcut_per_node = 0.01;  ///< expected highways per vertex
+};
+
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> generate_road_edges(std::int64_t width,
+                                                    std::int64_t height,
+                                                    std::uint64_t seed,
+                                                    RoadParams p = {}) {
+  const std::int64_t n = width * height;
+  EdgeList<NodeID_> edges;
+  edges.reserve(static_cast<std::size_t>(2 * n));
+  Xoshiro256 rng(seed);
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      const std::int64_t v = y * width + x;
+      if (x + 1 < width && rng.next_double() < p.keep_prob)
+        edges.push_back({static_cast<NodeID_>(v), static_cast<NodeID_>(v + 1)});
+      if (y + 1 < height && rng.next_double() < p.keep_prob)
+        edges.push_back(
+            {static_cast<NodeID_>(v), static_cast<NodeID_>(v + width)});
+    }
+  }
+  const auto num_shortcuts =
+      static_cast<std::int64_t>(p.shortcut_per_node * static_cast<double>(n));
+  for (std::int64_t i = 0; i < num_shortcuts; ++i) {
+    const auto u = static_cast<NodeID_>(
+        rng.next_bounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<NodeID_>(
+        rng.next_bounded(static_cast<std::uint64_t>(n)));
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+}  // namespace afforest

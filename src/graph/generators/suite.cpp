@@ -1,0 +1,92 @@
+#include "graph/generators/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators/component_mix.hpp"
+#include "graph/generators/geometric.hpp"
+#include "graph/generators/kronecker.hpp"
+#include "graph/generators/regular.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/generators/smallworld.hpp"
+#include "graph/generators/uniform.hpp"
+#include "graph/generators/webgraph.hpp"
+
+namespace afforest {
+
+const std::vector<SuiteEntry>& graph_suite_entries() {
+  static const std::vector<SuiteEntry> entries = {
+      {"road", "USA road map stand-in: lattice, avg degree ~2, high diameter"},
+      {"osm-eur",
+       "OSM Europe stand-in: sparser lattice, many medium components"},
+      {"twitter",
+       "Twitter follower graph stand-in: Kronecker social network"},
+      {"web", "sk-2005 web host graph stand-in: locally-connected copying "
+              "model"},
+      {"urand", "uniform random graph (GAP spec), single giant component"},
+      {"kron", "Kronecker graph, GAP parameters A=.57 B=.19 C=.19"},
+  };
+  return entries;
+}
+
+bool is_suite_graph(const std::string& name) {
+  for (const auto& e : graph_suite_entries())
+    if (e.name == name) return true;
+  return false;
+}
+
+Graph make_suite_graph(const std::string& name, int scale,
+                       std::uint64_t seed) {
+  using NodeID = Graph::NodeID;
+  const std::int64_t n = std::int64_t{1} << scale;
+  if (name == "road") {
+    const auto side = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)));
+    return build_undirected<NodeID>(
+        generate_road_edges<NodeID>(side, side, seed, {.keep_prob = 0.97,
+                                                       .shortcut_per_node = 0.005}));
+  }
+  if (name == "osm-eur") {
+    const auto side = static_cast<std::int64_t>(std::sqrt(static_cast<double>(n)));
+    return build_undirected<NodeID>(
+        generate_road_edges<NodeID>(side, side, seed, {.keep_prob = 0.60,
+                                                       .shortcut_per_node = 0.0}));
+  }
+  if (name == "twitter") {
+    return build_undirected<NodeID>(
+        generate_kronecker_edges<NodeID>(scale, 24, seed,
+                                         {.a = 0.50, .b = 0.22, .c = 0.22}),
+        n);
+  }
+  if (name == "web") {
+    return build_undirected<NodeID>(
+        generate_web_edges<NodeID>(n, seed), n);
+  }
+  if (name == "urand") {
+    return build_undirected<NodeID>(
+        generate_uniform_edges<NodeID>(n, 8 * n, seed), n);
+  }
+  if (name == "kron") {
+    return build_undirected<NodeID>(
+        generate_kronecker_edges<NodeID>(scale, 16, seed), n);
+  }
+  // Extended families (not part of the paper's Table III).
+  if (name == "smallworld") {
+    return build_undirected<NodeID>(
+        generate_small_world_edges<NodeID>(n, 4, 0.1, seed), n);
+  }
+  if (name == "rgg") {
+    // Radius slightly above the connectivity threshold.
+    const double r = 1.5 * std::sqrt(std::log(static_cast<double>(n)) /
+                                     (3.14159265 * static_cast<double>(n)));
+    return build_undirected<NodeID>(
+        generate_geometric_edges<NodeID>(n, r, seed), n);
+  }
+  if (name == "regular") {
+    return build_undirected<NodeID>(
+        generate_regular_edges<NodeID>(n, 8, seed), n);
+  }
+  throw std::invalid_argument("unknown suite graph: " + name);
+}
+
+}  // namespace afforest

@@ -1,0 +1,43 @@
+// Named graph suite mirroring the paper's Table III datasets, scaled to
+// laptop memory.  Every family is deterministic given (name, scale, seed),
+// so Table II / Fig 6–8 reproductions run on identical inputs.
+//
+// Substitutions (documented in DESIGN.md §3): the real-world datasets are
+// replaced by synthetic models of the same topology class —
+//   road     → lattice road model             (avg deg ≈ 2, diameter Θ(√V))
+//   osm-eur  → larger, sparser lattice model  (avg deg ≈ 2, many components)
+//   twitter  → Kronecker social network       (power-law, one giant comp.)
+//   web      → copying-model hyperlink graph  (local + power-law)
+//   urand    → uniform random                 (single giant component)
+//   kron     → Kronecker, GAP parameters      (power-law + isolated nodes)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace afforest {
+
+struct SuiteEntry {
+  std::string name;         ///< paper's dataset name
+  std::string description;  ///< what it models / what it replaces
+};
+
+/// Names of all suite families, in the paper's Table III order.
+const std::vector<SuiteEntry>& graph_suite_entries();
+
+/// Builds the named suite graph.  `scale` is log2 of the vertex count
+/// (families adjust edge counts to keep their characteristic average
+/// degree).  Besides the Table III families, the extended names
+/// "smallworld" (Watts–Strogatz), "rgg" (random geometric), and "regular"
+/// (random 8-regular) are accepted for tooling.  Throws
+/// std::invalid_argument for unknown names.
+Graph make_suite_graph(const std::string& name, int scale,
+                       std::uint64_t seed = 42);
+
+/// True if `name` is a valid suite family (Table III set only).
+bool is_suite_graph(const std::string& name);
+
+}  // namespace afforest

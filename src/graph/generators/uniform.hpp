@@ -1,0 +1,36 @@
+// Uniform random graph generator ("urand" in the paper, GAP-style):
+// m edges drawn uniformly at random over n vertices (Erdős–Rényi G(n,m)
+// flavor).  Generation is parallel and deterministic: each thread draws
+// from an independently split RNG stream keyed by block index, so the edge
+// list does not depend on the thread schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> generate_uniform_edges(
+    std::int64_t num_nodes, std::int64_t num_edges, std::uint64_t seed) {
+  EdgeList<NodeID_> edges(static_cast<std::size_t>(num_edges));
+  const Xoshiro256 root(seed);
+  constexpr std::int64_t kBlock = 1 << 14;
+  const std::int64_t num_blocks = (num_edges + kBlock - 1) / kBlock;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    Xoshiro256 rng = root.split(static_cast<std::uint64_t>(b));
+    const std::int64_t end = std::min(num_edges, (b + 1) * kBlock);
+    for (std::int64_t i = b * kBlock; i < end; ++i) {
+      edges[i].u = static_cast<NodeID_>(
+          rng.next_bounded(static_cast<std::uint64_t>(num_nodes)));
+      edges[i].v = static_cast<NodeID_>(
+          rng.next_bounded(static_cast<std::uint64_t>(num_nodes)));
+    }
+  }
+  return edges;
+}
+
+}  // namespace afforest

@@ -1,0 +1,193 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace afforest {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'F', 'F', 'S', 'G', '0', '0', '1'};
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw std::runtime_error(path + ": " + why);
+}
+
+}  // namespace
+
+EdgeList<std::int32_t> read_edge_list(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  EdgeList<std::int32_t> edges;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::int64_t u, v;
+    if (!(ls >> u >> v))
+      fail(path, "parse error at line " + std::to_string(lineno));
+    if (u < 0 || v < 0)
+      fail(path, "negative vertex id at line " + std::to_string(lineno));
+    edges.push_back({static_cast<std::int32_t>(u),
+                     static_cast<std::int32_t>(v)});
+  }
+  return edges;
+}
+
+void write_edge_list(const std::string& path,
+                     const EdgeList<std::int32_t>& edges) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  for (const auto& [u, v] : edges) out << u << ' ' << v << '\n';
+  if (!out) fail(path, "write error");
+}
+
+MatrixMarketData read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::string header;
+  if (!std::getline(in, header)) fail(path, "empty file");
+  std::istringstream hs(header);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail(path, "missing %%MatrixMarket banner");
+  if (object != "matrix" || format != "coordinate")
+    fail(path, "only 'matrix coordinate' files are supported");
+  const bool has_value = field == "real" || field == "integer";
+  if (!has_value && field != "pattern")
+    fail(path, "unsupported field type: " + field);
+  if (symmetry != "symmetric" && symmetry != "general")
+    fail(path, "unsupported symmetry: " + symmetry);
+
+  std::string line;
+  std::size_t lineno = 1;
+  // Skip comment lines to the size line.
+  std::int64_t rows = 0, cols = 0, entries = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    if (!(ls >> rows >> cols >> entries))
+      fail(path, "malformed size line at line " + std::to_string(lineno));
+    break;
+  }
+  if (rows <= 0 || cols <= 0) fail(path, "missing or invalid size line");
+
+  MatrixMarketData data;
+  data.num_nodes = std::max(rows, cols);
+  data.edges.reserve(static_cast<std::size_t>(entries));
+  std::int64_t seen = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::int64_t r, c;
+    if (!(ls >> r >> c))
+      fail(path, "malformed entry at line " + std::to_string(lineno));
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      fail(path, "index out of range at line " + std::to_string(lineno));
+    data.edges.push_back({static_cast<std::int32_t>(r - 1),
+                          static_cast<std::int32_t>(c - 1)});
+    ++seen;
+  }
+  if (seen != entries)
+    fail(path, "entry count mismatch: header says " +
+                   std::to_string(entries) + ", found " +
+                   std::to_string(seen));
+  return data;
+}
+
+void write_serialized_graph(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::int64_t n = g.num_nodes();
+  const std::int64_t m = g.num_stored_edges();
+  const std::int64_t directed = g.directed() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  out.write(reinterpret_cast<const char*>(&directed), sizeof(directed));
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(std::int64_t)));
+  out.write(reinterpret_cast<const char*>(g.neighbors().data()),
+            static_cast<std::streamsize>(m * sizeof(std::int32_t)));
+  if (!out) fail(path, "write error");
+}
+
+Graph read_serialized_graph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    fail(path, "bad magic (not an .sg file)");
+  std::int64_t n = 0, m = 0, directed = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  in.read(reinterpret_cast<char*>(&m), sizeof(m));
+  in.read(reinterpret_cast<char*>(&directed), sizeof(directed));
+  if (!in || n < 0 || m < 0) fail(path, "corrupt header");
+  pvector<std::int64_t> offsets(static_cast<std::size_t>(n) + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((n + 1) * sizeof(std::int64_t)));
+  pvector<std::int32_t> neighbors(static_cast<std::size_t>(m));
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(m * sizeof(std::int32_t)));
+  if (!in) fail(path, "truncated file");
+  if (offsets[0] != 0 || offsets[n] != m) fail(path, "malformed offsets");
+  for (std::int64_t v = 0; v < n; ++v)
+    if (offsets[v] > offsets[v + 1]) fail(path, "non-monotone offsets");
+  return Graph(n, std::move(offsets), std::move(neighbors), directed != 0);
+}
+
+namespace {
+constexpr char kLabelMagic[8] = {'A', 'F', 'F', 'C', 'L', '0', '0', '1'};
+}  // namespace
+
+void write_labels(const std::string& path,
+                  const pvector<std::int32_t>& labels) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kLabelMagic, sizeof(kLabelMagic));
+  const std::int64_t n = static_cast<std::int64_t>(labels.size());
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(labels.data()),
+            static_cast<std::streamsize>(n * sizeof(std::int32_t)));
+  if (!out) fail(path, "write error");
+}
+
+pvector<std::int32_t> read_labels(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  char magic[sizeof(kLabelMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kLabelMagic, sizeof(kLabelMagic)) != 0)
+    fail(path, "bad magic (not a .cl file)");
+  std::int64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!in || n < 0) fail(path, "corrupt header");
+  pvector<std::int32_t> labels(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(n * sizeof(std::int32_t)));
+  if (!in) fail(path, "truncated file");
+  return labels;
+}
+
+Graph load_graph(const std::string& path) {
+  const auto dot = path.rfind('.');
+  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
+  if (ext == ".el") return build_undirected(read_edge_list(path));
+  if (ext == ".mtx") {
+    auto data = read_matrix_market(path);
+    return build_undirected(data.edges, data.num_nodes);
+  }
+  if (ext == ".sg") return read_serialized_graph(path);
+  fail(path, "unsupported extension (expected .el, .mtx, or .sg)");
+}
+
+}  // namespace afforest

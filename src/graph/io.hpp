@@ -1,0 +1,62 @@
+// Graph file I/O.
+//
+// Three formats:
+//  - ".el"  — whitespace-separated text edge list ("u v" per line, '#' or
+//             '%' comment lines allowed), the lingua franca of graph
+//             datasets (SNAP, GAP).
+//  - ".mtx" — MatrixMarket coordinate format (SuiteSparse collection);
+//             1-indexed, `pattern`/`real`/`integer` fields accepted (values
+//             ignored), `symmetric` and `general` symmetries supported.
+//  - ".sg"  — this library's binary serialized CSR: magic, header, offset
+//             array, neighbor array.  Loading is O(|E|) with no rebuild.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+
+namespace afforest {
+
+/// Reads a text edge list.  Throws std::runtime_error on parse errors or
+/// unreadable files.
+EdgeList<std::int32_t> read_edge_list(const std::string& path);
+
+/// Writes a text edge list.
+void write_edge_list(const std::string& path,
+                     const EdgeList<std::int32_t>& edges);
+
+/// Result of parsing a MatrixMarket file: edges are converted to
+/// 0-indexing; num_nodes is max(rows, cols) from the size line.
+struct MatrixMarketData {
+  EdgeList<std::int32_t> edges;
+  std::int64_t num_nodes = 0;
+};
+
+/// Reads a MatrixMarket coordinate file.  Throws std::runtime_error on
+/// malformed headers, unsupported variants (complex field, array format),
+/// or out-of-range indices.
+MatrixMarketData read_matrix_market(const std::string& path);
+
+/// Serializes a CSR graph to the binary .sg format.
+void write_serialized_graph(const std::string& path, const Graph& g);
+
+/// Loads a binary .sg graph.  Throws std::runtime_error on bad magic,
+/// truncation, or malformed offsets.
+Graph read_serialized_graph(const std::string& path);
+
+/// Dispatches on extension: ".el" and ".mtx" are read + built
+/// (undirected), ".sg" is loaded directly.
+Graph load_graph(const std::string& path);
+
+/// Persists component labels as a binary .cl file (magic + count +
+/// int32 labels), so expensive CC runs can be checkpointed and reused.
+void write_labels(const std::string& path,
+                  const pvector<std::int32_t>& labels);
+
+/// Loads a .cl label file.  Throws std::runtime_error on bad magic or
+/// truncation.
+pvector<std::int32_t> read_labels(const std::string& path);
+
+}  // namespace afforest

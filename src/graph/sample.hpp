@@ -1,0 +1,50 @@
+// Subgraph sampling utilities (paper §IV).
+//
+// uniform_edge_sample   — keep each unordered edge independently with
+//                         probability p (§IV-B's random subgraph G'_p)
+// neighbor_sample       — the first k neighbors of every vertex (§IV-C's
+//                         vertex-neighbor sampling, as an explicit edge set)
+//
+// These produce EdgeLists so the sampled subgraph can be inspected, built,
+// or fed to any CC algorithm; the Afforest driver itself applies neighbor
+// sampling implicitly via CSR offsets without materializing edges.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+
+/// Each unordered edge {u,v} (u<v) of g is kept with probability p.
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> uniform_edge_sample(const CSRGraph<NodeID_>& g,
+                                                    double p,
+                                                    std::uint64_t seed) {
+  EdgeList<NodeID_> out;
+  Xoshiro256 rng(seed);
+  for (std::int64_t u = 0; u < g.num_nodes(); ++u)
+    for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
+      if (static_cast<NodeID_>(u) < v && rng.next_double() < p)
+        out.push_back({static_cast<NodeID_>(u), v});
+  return out;
+}
+
+/// The (v, k-th neighbor of v) edges for k < rounds — the exact subgraph
+/// Afforest's sampling phase processes.
+template <typename NodeID_>
+[[nodiscard]] EdgeList<NodeID_> neighbor_sample(const CSRGraph<NodeID_>& g,
+                                                std::int32_t rounds) {
+  EdgeList<NodeID_> out;
+  for (std::int64_t v = 0; v < g.num_nodes(); ++v) {
+    const auto deg = g.out_degree(static_cast<NodeID_>(v));
+    for (std::int64_t k = 0; k < std::min<std::int64_t>(rounds, deg); ++k)
+      out.push_back({static_cast<NodeID_>(v),
+                     g.neighbor(static_cast<NodeID_>(v), k)});
+  }
+  return out;
+}
+
+}  // namespace afforest

@@ -1,0 +1,85 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/parallel.hpp"
+
+namespace afforest {
+
+DegreeStats compute_degree_stats(const Graph& g) {
+  DegreeStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.average_degree = g.average_degree();
+  std::int64_t max_deg = 0, isolated = 0, deg_one = 0;
+  const std::int64_t n = g.num_nodes();
+#pragma omp parallel for reduction(max : max_deg) \
+    reduction(+ : isolated, deg_one) schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t d = g.out_degree(static_cast<std::int32_t>(v));
+    max_deg = std::max(max_deg, d);
+    if (d == 0) ++isolated;
+    if (d == 1) ++deg_one;
+  }
+  s.max_degree = max_deg;
+  s.num_isolated = isolated;
+  s.num_degree_one = deg_one;
+  return s;
+}
+
+std::vector<std::int64_t> degree_histogram_log2(const Graph& g) {
+  std::vector<std::int64_t> hist(64, 0);
+  const std::int64_t n = g.num_nodes();
+  for (std::int64_t v = 0; v < n; ++v) {
+    const std::int64_t d = g.out_degree(static_cast<std::int32_t>(v));
+    int bucket = 0;
+    while ((std::int64_t{1} << (bucket + 1)) <= d) ++bucket;
+    ++hist[static_cast<std::size_t>(bucket)];
+  }
+  while (hist.size() > 1 && hist.back() == 0) hist.pop_back();
+  return hist;
+}
+
+namespace {
+
+/// Serial BFS returning (farthest vertex, its distance).
+std::pair<std::int32_t, std::int64_t> bfs_farthest(const Graph& g,
+                                                   std::int32_t source) {
+  pvector<std::int64_t> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<std::int32_t> q;
+  dist[source] = 0;
+  q.push(source);
+  std::int32_t far = source;
+  while (!q.empty()) {
+    const std::int32_t u = q.front();
+    q.pop();
+    for (std::int32_t w : g.out_neigh(u)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[u] + 1;
+        if (dist[w] > dist[far]) far = w;
+        q.push(w);
+      }
+    }
+  }
+  return {far, dist[far]};
+}
+
+}  // namespace
+
+std::int64_t approximate_diameter(const Graph& g, std::int32_t source) {
+  if (g.num_nodes() == 0) return 0;
+  const auto [far, _] = bfs_farthest(g, source);
+  return bfs_farthest(g, far).second;
+}
+
+std::string format_degree_stats(const DegreeStats& s) {
+  std::ostringstream os;
+  os << "V=" << s.num_nodes << " E=" << s.num_edges
+     << " avg_deg=" << s.average_degree << " max_deg=" << s.max_degree
+     << " isolated=" << s.num_isolated << " deg1=" << s.num_degree_one;
+  return os.str();
+}
+
+}  // namespace afforest

@@ -1,0 +1,37 @@
+// Structural graph statistics (degree-based).  Component statistics live in
+// cc/component_stats.hpp since they require a CC computation; the Table III
+// benchmark combines both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace afforest {
+
+struct DegreeStats {
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;  ///< unordered edges for undirected graphs
+  double average_degree = 0;   ///< stored (directed) degree average
+  std::int64_t max_degree = 0;
+  std::int64_t num_isolated = 0;  ///< degree-0 vertices
+  std::int64_t num_degree_one = 0;
+};
+
+DegreeStats compute_degree_stats(const Graph& g);
+
+/// Histogram of degrees in log2 buckets: bucket i counts vertices with
+/// degree in [2^i, 2^{i+1}); bucket 0 additionally holds degree 0 and 1
+/// split out by DegreeStats.  Used by generator shape tests.
+std::vector<std::int64_t> degree_histogram_log2(const Graph& g);
+
+/// Approximates the graph's (pseudo-)diameter by double-sweep BFS from
+/// `source`: BFS to the farthest vertex, then BFS again from there.  Lower
+/// bound on the true diameter; good enough for classifying topology.
+std::int64_t approximate_diameter(const Graph& g, std::int32_t source = 0);
+
+std::string format_degree_stats(const DegreeStats& s);
+
+}  // namespace afforest

@@ -1,0 +1,76 @@
+// Thread-safe fixed-size bitmap, used by the direction-optimizing BFS
+// (bottom-up frontier representation) and by graph builders for dedup marks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/parallel.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+
+  explicit Bitmap(std::size_t num_bits)
+      : num_bits_(num_bits), words_(word_count(num_bits)) {
+    reset();
+  }
+
+  /// Clears all bits (parallel).
+  void reset() { words_.fill(0); }
+
+  /// Sets all bits (parallel); trailing padding bits are also set, callers
+  /// must not read past size().
+  void set_all() { words_.fill(~std::uint64_t{0}); }
+
+  /// Non-atomic set; safe only when each bit is owned by one thread.
+  void set_bit(std::size_t pos) { words_[word_of(pos)] |= mask_of(pos); }
+
+  /// Atomic set; safe under concurrent writers.
+  void set_bit_atomic(std::size_t pos) {
+    std::atomic_ref<std::uint64_t>(words_[word_of(pos)])
+        .fetch_or(mask_of(pos), std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] bool get_bit(std::size_t pos) const {
+    return (atomic_load(words_[word_of(pos)]) & mask_of(pos)) != 0;
+  }
+
+  /// Number of set bits within [0, size()).
+  [[nodiscard]] std::int64_t count() const {
+    std::int64_t total = 0;
+    const std::int64_t nwords = static_cast<std::int64_t>(words_.size());
+#pragma omp parallel for reduction(+ : total) schedule(static)
+    for (std::int64_t w = 0; w < nwords; ++w) {
+      std::uint64_t word = words_[w];
+      if (static_cast<std::size_t>(w) == words_.size() - 1) {
+        const std::size_t tail = num_bits_ % 64;
+        if (tail != 0) word &= (std::uint64_t{1} << tail) - 1;
+      }
+      total += __builtin_popcountll(word);
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t size() const { return num_bits_; }
+
+  void swap(Bitmap& other) noexcept {
+    std::swap(num_bits_, other.num_bits_);
+    words_.swap(other.words_);
+  }
+
+ private:
+  static std::size_t word_count(std::size_t bits) { return (bits + 63) / 64; }
+  static std::size_t word_of(std::size_t pos) { return pos >> 6; }
+  static std::uint64_t mask_of(std::size_t pos) {
+    return std::uint64_t{1} << (pos & 63);
+  }
+
+  std::size_t num_bits_ = 0;
+  pvector<std::uint64_t> words_;
+};
+
+}  // namespace afforest

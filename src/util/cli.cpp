@@ -1,0 +1,82 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace afforest {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag => boolean
+    }
+  }
+}
+
+void CommandLine::describe(const std::string& name, const std::string& help) {
+  descriptions_[name] = help;
+}
+
+std::optional<std::string> CommandLine::lookup(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CommandLine::get_string(const std::string& name,
+                                    const std::string& default_value) const {
+  return lookup(name).value_or(default_value);
+}
+
+std::int64_t CommandLine::get_int(const std::string& name,
+                                  std::int64_t default_value) const {
+  const auto v = lookup(name);
+  if (!v) return default_value;
+  return std::stoll(*v);
+}
+
+double CommandLine::get_double(const std::string& name,
+                               double default_value) const {
+  const auto v = lookup(name);
+  if (!v) return default_value;
+  return std::stod(*v);
+}
+
+bool CommandLine::get_bool(const std::string& name, bool default_value) const {
+  const auto v = lookup(name);
+  if (!v) return default_value;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+void CommandLine::print_help(const std::string& program_description) const {
+  std::cout << program_ << ": " << program_description << "\n\nFlags:\n";
+  for (const auto& [name, help] : descriptions_)
+    std::cout << "  --" << name << "  " << help << '\n';
+}
+
+std::vector<std::string> CommandLine::unknown_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name) && !descriptions_.count(name))
+      out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace afforest

@@ -1,0 +1,51 @@
+// Minimal command-line flag parser shared by benchmark binaries and
+// examples.  Flags take the form  --name value  or  --name=value ;
+// unknown flags raise an error so typos do not silently fall back to
+// defaults mid-experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace afforest {
+
+class CommandLine {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  CommandLine(int argc, const char* const* argv);
+
+  /// Declares a flag with help text so --help output is complete.  Must be
+  /// called before the corresponding get_*.
+  void describe(const std::string& name, const std::string& help);
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& default_value) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t default_value) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double default_value) const;
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool default_value) const;
+
+  /// True when --help was passed; callers should print_help() and exit.
+  [[nodiscard]] bool help_requested() const { return help_; }
+  void print_help(const std::string& program_description) const;
+
+  /// Flags that were present on the command line but never queried or
+  /// described; used by tests to assert full coverage.
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> descriptions_;
+  mutable std::map<std::string, bool> queried_;
+  std::string program_;
+  bool help_ = false;
+};
+
+}  // namespace afforest

@@ -1,0 +1,134 @@
+// Parallel primitives built on OpenMP: parallel prefix sum, reductions, and
+// atomic helpers used by the CC kernels.
+//
+// The atomic helpers operate on plain arrays via std::atomic_ref (C++20),
+// which lets kernels keep dense pvector<NodeID> storage while performing
+// lock-free CAS updates — exactly the access pattern Afforest's `link`
+// requires (paper Fig 3, line 6).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+/// Atomically performs `if (*loc == expected) *loc = desired` and reports
+/// success.  On failure `expected` is left unmodified (unlike the std API,
+/// which writes back the observed value) so callers can retry with fresh
+/// reads, matching the paper's link loop.
+template <typename T>
+bool compare_and_swap(T& loc, T expected, T desired) {
+  return std::atomic_ref<T>(loc).compare_exchange_strong(
+      expected, desired, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+/// Atomic load with acquire ordering.
+template <typename T>
+T atomic_load(const T& loc) {
+  return std::atomic_ref<const T>(loc).load(std::memory_order_acquire);
+}
+
+/// Atomic store with release ordering.
+template <typename T>
+void atomic_store(T& loc, T val) {
+  std::atomic_ref<T>(loc).store(val, std::memory_order_release);
+}
+
+/// Atomically sets *loc = min(*loc, val); returns true if the value shrank.
+/// Used by min-label propagation.
+template <typename T>
+bool atomic_fetch_min(T& loc, T val) {
+  std::atomic_ref<T> ref(loc);
+  T cur = ref.load(std::memory_order_acquire);
+  while (val < cur) {
+    if (ref.compare_exchange_weak(cur, val, std::memory_order_acq_rel,
+                                  std::memory_order_acquire))
+      return true;
+  }
+  return false;
+}
+
+/// Atomic post-increment; returns the previous value.
+template <typename T>
+T fetch_and_add(T& loc, T delta) {
+  return std::atomic_ref<T>(loc).fetch_add(delta, std::memory_order_acq_rel);
+}
+
+/// Exclusive parallel prefix sum over `degrees`, returning an array one
+/// element longer whose last entry is the total.  This is the core of the
+/// edge-list → CSR conversion.
+template <typename InT, typename OutT = InT>
+pvector<OutT> parallel_prefix_sum(const pvector<InT>& degrees) {
+  const std::int64_t n = static_cast<std::int64_t>(degrees.size());
+  const int max_blocks = 128;
+  const std::int64_t block_size = (n + max_blocks - 1) / max_blocks;
+  const std::int64_t num_blocks =
+      block_size == 0 ? 0 : (n + block_size - 1) / block_size;
+
+  pvector<OutT> block_sums(static_cast<std::size_t>(num_blocks));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    OutT sum = 0;
+    const std::int64_t end = std::min(n, (b + 1) * block_size);
+    for (std::int64_t i = b * block_size; i < end; ++i)
+      sum += static_cast<OutT>(degrees[i]);
+    block_sums[b] = sum;
+  }
+
+  pvector<OutT> block_offsets(static_cast<std::size_t>(num_blocks));
+  OutT running = 0;
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    block_offsets[b] = running;
+    running += block_sums[b];
+  }
+
+  pvector<OutT> prefix(static_cast<std::size_t>(n) + 1);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    OutT acc = block_offsets[b];
+    const std::int64_t end = std::min(n, (b + 1) * block_size);
+    for (std::int64_t i = b * block_size; i < end; ++i) {
+      prefix[i] = acc;
+      acc += static_cast<OutT>(degrees[i]);
+    }
+  }
+  prefix[n] = running;
+  return prefix;
+}
+
+/// Parallel sum reduction over a pvector.
+template <typename T, typename AccT = std::int64_t>
+AccT parallel_sum(const pvector<T>& v) {
+  AccT total = 0;
+  const std::int64_t n = static_cast<std::int64_t>(v.size());
+#pragma omp parallel for reduction(+ : total) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) total += static_cast<AccT>(v[i]);
+  return total;
+}
+
+/// Parallel max reduction; returns `lowest` for an empty vector.
+template <typename T>
+T parallel_max(const pvector<T>& v,
+               T lowest = std::numeric_limits<T>::lowest()) {
+  T best = lowest;
+  const std::int64_t n = static_cast<std::int64_t>(v.size());
+#pragma omp parallel for reduction(max : best) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) best = std::max(best, v[i]);
+  return best;
+}
+
+/// Parallel count of elements satisfying a predicate.
+template <typename T, typename Pred>
+std::int64_t parallel_count_if(const pvector<T>& v, Pred pred) {
+  std::int64_t count = 0;
+  const std::int64_t n = static_cast<std::int64_t>(v.size());
+#pragma omp parallel for reduction(+ : count) schedule(static)
+  for (std::int64_t i = 0; i < n; ++i)
+    if (pred(v[i])) ++count;
+  return count;
+}
+
+}  // namespace afforest

@@ -1,0 +1,28 @@
+#include "util/platform.hpp"
+
+#include <omp.h>
+
+#include <sstream>
+#include <thread>
+
+namespace afforest {
+
+int num_threads() { return omp_get_max_threads(); }
+
+void set_num_threads(int n) { omp_set_num_threads(n < 1 ? 1 : n); }
+
+int thread_id() { return omp_get_thread_num(); }
+
+int hardware_threads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::string platform_summary() {
+  std::ostringstream os;
+  os << "hardware_threads=" << hardware_threads()
+     << " omp_max_threads=" << num_threads();
+  return os.str();
+}
+
+}  // namespace afforest

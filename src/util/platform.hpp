@@ -1,0 +1,33 @@
+// Platform utilities: thread count control, cache-line constants, and
+// miscellaneous queries used across the library.
+//
+// The library is OpenMP-based; every parallel region respects
+// omp_get_max_threads(), which callers can lower via set_num_threads() (used
+// by the strong-scaling benchmark, Fig 8b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace afforest {
+
+/// Size (bytes) assumed for a cache line when padding shared counters.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Number of threads OpenMP parallel regions will use.
+int num_threads();
+
+/// Caps the number of threads used by subsequent parallel regions.
+/// Values < 1 are clamped to 1.
+void set_num_threads(int n);
+
+/// Index of the calling thread inside a parallel region (0 outside of one).
+int thread_id();
+
+/// Number of hardware threads reported by the OS.
+int hardware_threads();
+
+/// Human-readable one-line description of the host (cores, OpenMP threads).
+std::string platform_summary();
+
+}  // namespace afforest

@@ -1,0 +1,150 @@
+// pvector: a vector whose default construction/resize leaves elements
+// uninitialized and whose fill operations run in parallel.
+//
+// Rationale (inherited from GAPBS): graph kernels allocate arrays of |V| or
+// |E| elements that are immediately overwritten by a parallel loop.
+// std::vector would serially zero-initialize them first, which dominates
+// setup time for large graphs and, on NUMA machines, first-touches every
+// page from one thread.  pvector leaves memory uninitialized so the first
+// touch happens inside the user's parallel loop.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace afforest {
+
+template <typename T>
+class pvector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "pvector only supports trivially copyable element types");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = std::size_t;
+
+  pvector() = default;
+
+  /// Allocates n elements, leaving them uninitialized.
+  explicit pvector(size_type n) { allocate(n); }
+
+  /// Allocates n elements and fills them (in parallel) with init_val.
+  pvector(size_type n, T init_val) : pvector(n) { fill(init_val); }
+
+  pvector(std::initializer_list<T> init) : pvector(init.size()) {
+    std::copy(init.begin(), init.end(), begin());
+  }
+
+  pvector(pvector&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+
+  pvector& operator=(pvector&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  // Copies are expensive for graph-sized arrays; require explicit clone().
+  pvector(const pvector&) = delete;
+  pvector& operator=(const pvector&) = delete;
+
+  ~pvector() { release(); }
+
+  /// Deep copy; parallel element copy.
+  [[nodiscard]] pvector clone() const {
+    pvector out(size_);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(size_); ++i)
+      out.data_[i] = data_[i];
+    return out;
+  }
+
+  /// Parallel fill of every element.
+  void fill(T val) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(size_); ++i)
+      data_[i] = val;
+  }
+
+  /// Resize without preserving contents beyond min(old, new) elements.
+  void resize(size_type n) {
+    if (n <= capacity_) {
+      size_ = n;
+      return;
+    }
+    pvector bigger(n);
+    std::copy(begin(), end(), bigger.begin());
+    *this = std::move(bigger);
+  }
+
+  void reserve(size_type n) {
+    if (n <= capacity_) return;
+    size_type old_size = size_;
+    resize(n);
+    size_ = old_size;
+  }
+
+  void push_back(T val) {
+    if (size_ == capacity_) reserve(capacity_ == 0 ? 16 : capacity_ * 2);
+    data_[size_++] = val;
+  }
+
+  void clear() { size_ = 0; }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_type size() const { return size_; }
+  [[nodiscard]] size_type capacity() const { return capacity_; }
+
+  T& operator[](size_type i) { return data_[i]; }
+  const T& operator[](size_type i) const { return data_[i]; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& front() { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void swap(pvector& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+  }
+
+ private:
+  void allocate(size_type n) {
+    data_ = static_cast<T*>(::operator new[](n * sizeof(T)));
+    size_ = capacity_ = n;
+  }
+
+  void release() {
+    ::operator delete[](data_);
+    data_ = nullptr;
+    size_ = capacity_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_type size_ = 0;
+  size_type capacity_ = 0;
+};
+
+}  // namespace afforest

@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in this repository is seeded, so runs are reproducible
+// bit-for-bit.  SplitMix64 seeds Xoshiro256**; both are tiny, fast, and
+// well-distributed — adequate for graph generation and for Afforest's
+// `most_frequent_element` sampling (paper Fig 5, line 10).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace afforest {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full RNG state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the repository's workhorse RNG.  Satisfies
+/// UniformRandomBitGenerator so it composes with <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_bounded(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Jump-equivalent stream split: derives an independent generator for a
+  /// worker indexed by `stream`, so parallel generation stays deterministic
+  /// regardless of thread scheduling.
+  [[nodiscard]] Xoshiro256 split(std::uint64_t stream) const {
+    SplitMix64 sm(state_[0] ^ (stream * 0xA24BAED4963EE407ULL));
+    Xoshiro256 out(sm.next());
+    return out;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace afforest

@@ -1,0 +1,91 @@
+// SlidingQueue: a double-buffered work queue for level-synchronous BFS
+// (GAPBS-style).  Producers append through per-thread QueueBuffers to avoid
+// contention on the shared tail; slide_window() promotes the newly appended
+// region to become the next frontier.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/parallel.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+
+template <typename T>
+class QueueBuffer;
+
+template <typename T>
+class SlidingQueue {
+  friend class QueueBuffer<T>;
+
+ public:
+  explicit SlidingQueue(std::size_t shared_size) : shared_(shared_size) {
+    reset();
+  }
+
+  /// Single-producer append (used for seeding the queue before the loop).
+  void push_back(T val) { shared_[shared_in_++] = val; }
+
+  [[nodiscard]] bool empty() const { return shared_out_start_ == shared_out_end_; }
+
+  /// Number of elements in the current window (the active frontier).
+  [[nodiscard]] std::size_t size() const {
+    return shared_out_end_ - shared_out_start_;
+  }
+
+  /// Promotes everything appended since the last slide to be the new window.
+  void slide_window() {
+    shared_out_start_ = shared_out_end_;
+    shared_out_end_ = shared_in_;
+  }
+
+  void reset() {
+    shared_out_start_ = 0;
+    shared_out_end_ = 0;
+    shared_in_ = 0;
+  }
+
+  const T* begin() const { return shared_.data() + shared_out_start_; }
+  const T* end() const { return shared_.data() + shared_out_end_; }
+
+ private:
+  pvector<T> shared_;
+  std::size_t shared_in_ = 0;
+  std::size_t shared_out_start_ = 0;
+  std::size_t shared_out_end_ = 0;
+};
+
+/// Per-thread staging buffer; flushes into the shared queue with one
+/// fetch_add per kBufferSize elements.
+template <typename T>
+class QueueBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
+  explicit QueueBuffer(SlidingQueue<T>& master,
+                       std::size_t capacity = kDefaultCapacity)
+      : master_(master), local_(capacity), capacity_(capacity) {}
+
+  void push_back(T val) {
+    if (in_ == capacity_) flush();
+    local_[in_++] = val;
+  }
+
+  void flush() {
+    if (in_ == 0) return;
+    const std::size_t copy_start =
+        fetch_and_add(master_.shared_in_, in_);
+    for (std::size_t i = 0; i < in_; ++i)
+      master_.shared_[copy_start + i] = local_[i];
+    in_ = 0;
+  }
+
+ private:
+  SlidingQueue<T>& master_;
+  pvector<T> local_;
+  std::size_t capacity_;
+  std::size_t in_ = 0;
+};
+
+}  // namespace afforest

@@ -1,0 +1,55 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace afforest {
+
+double median(std::vector<double> samples) { return percentile(std::move(samples), 50.0); }
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = (p / 100.0) * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+double geometric_mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double s : samples) log_sum += std::log(s);
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+double mean(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev(const std::vector<double>& samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double sq = 0.0;
+  for (double s : samples) sq += (s - m) * (s - m);
+  return std::sqrt(sq / static_cast<double>(samples.size() - 1));
+}
+
+TrialSummary summarize_trials(const std::vector<double>& seconds) {
+  TrialSummary out;
+  if (seconds.empty()) return out;
+  out.median_s = median(seconds);
+  out.p25_s = percentile(seconds, 25.0);
+  out.p75_s = percentile(seconds, 75.0);
+  out.min_s = *std::min_element(seconds.begin(), seconds.end());
+  out.max_s = *std::max_element(seconds.begin(), seconds.end());
+  out.trials = seconds.size();
+  return out;
+}
+
+}  // namespace afforest

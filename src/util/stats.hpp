@@ -1,0 +1,38 @@
+// Small statistics helpers used by the benchmark harness: medians,
+// percentiles, and geometric means — matching the paper's reporting
+// methodology (median over 16 trials, 25th/75th percentile error bars).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace afforest {
+
+/// Median of a sample (copies and sorts; average of middle two when even).
+double median(std::vector<double> samples);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+/// Geometric mean; all samples must be > 0.  Returns 0 for empty input.
+double geometric_mean(const std::vector<double>& samples);
+
+/// Arithmetic mean; returns 0 for empty input.
+double mean(const std::vector<double>& samples);
+
+/// Sample standard deviation (n-1 denominator); 0 if fewer than 2 samples.
+double stddev(const std::vector<double>& samples);
+
+/// Summary of repeated trial timings, as the paper reports them.
+struct TrialSummary {
+  double median_s = 0;
+  double p25_s = 0;
+  double p75_s = 0;
+  double min_s = 0;
+  double max_s = 0;
+  std::size_t trials = 0;
+};
+
+TrialSummary summarize_trials(const std::vector<double>& seconds);
+
+}  // namespace afforest

@@ -1,0 +1,40 @@
+// Plain-text table printer used by the benchmark binaries to emit the
+// paper's tables and figure series in a uniform, diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace afforest {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for cell building).
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (header row + data rows).  Cells containing commas,
+  /// quotes, or newlines are quoted per RFC 4180.
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace afforest

@@ -1,0 +1,44 @@
+// Wall-clock timer used by the benchmark harness and examples.
+#pragma once
+
+#include <chrono>
+
+namespace afforest {
+
+/// Simple start/stop wall-clock timer (monotonic clock).
+class Timer {
+ public:
+  void start() { start_ = Clock::now(); }
+  void stop() { stop_ = Clock::now(); }
+
+  /// Elapsed time between the last start()/stop() pair, in seconds.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(stop_ - start_).count();
+  }
+
+  [[nodiscard]] double millisecs() const { return seconds() * 1e3; }
+  [[nodiscard]] double microsecs() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  Clock::time_point stop_{};
+};
+
+/// RAII helper: times a scope and adds the elapsed seconds to a sink.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) : sink_(sink) { timer_.start(); }
+  ~ScopedTimer() {
+    timer_.stop();
+    sink_ += timer_.seconds();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer timer_;
+  double& sink_;
+};
+
+}  // namespace afforest

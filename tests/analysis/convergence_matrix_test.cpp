@@ -1,0 +1,70 @@
+// Strategy × family convergence matrix: the Fig 6 invariants must hold on
+// every suite topology, not just the web graph the figure plots.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "analysis/convergence.hpp"
+#include "cc/union_find.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+class ConvergenceMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<PartitionStrategy, std::string>> {};
+
+TEST_P(ConvergenceMatrix, InvariantsHoldOnEveryTopology) {
+  const auto& [strategy, family] = GetParam();
+  const Graph g = make_suite_graph(family, 9);
+  const auto pts = measure_convergence(g, {.strategy = strategy});
+  ASSERT_FALSE(pts.empty());
+  double prev_linkage = -1;
+  double prev_pct = -1;
+  for (const auto& p : pts) {
+    ASSERT_GE(p.linkage, prev_linkage - 1e-12);  // monotone
+    ASSERT_GT(p.pct_edges_processed, prev_pct);  // strictly advancing
+    ASSERT_GE(p.coverage, 0.0);
+    ASSERT_LE(p.coverage, 1.0 + 1e-12);
+    prev_linkage = p.linkage;
+    prev_pct = p.pct_edges_processed;
+  }
+  ASSERT_DOUBLE_EQ(pts.back().linkage, 1.0);
+  ASSERT_DOUBLE_EQ(pts.back().coverage, 1.0);
+}
+
+TEST_P(ConvergenceMatrix, CoverageNeverExceedsLinkagePlusSlack) {
+  // Coverage counts only c_max's best tree; with a single giant component
+  // both measures track closely, and coverage can never be positive while
+  // linkage is zero once any c_max edge links.
+  const auto& [strategy, family] = GetParam();
+  const Graph g = make_suite_graph(family, 9);
+  const auto pts = measure_convergence(g, {.strategy = strategy});
+  for (const auto& p : pts) {
+    if (p.linkage == 0.0) {
+      ASSERT_LE(p.coverage, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyByFamily, ConvergenceMatrix,
+    ::testing::Combine(
+        ::testing::Values(PartitionStrategy::kRowPartition,
+                          PartitionStrategy::kRandomEdges,
+                          PartitionStrategy::kNeighborRounds,
+                          PartitionStrategy::kOptimalSF),
+        ::testing::Values("road", "osm-eur", "twitter", "web", "urand",
+                          "kron")),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param)) + "_" +
+                         std::get<1>(info.param);
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace afforest

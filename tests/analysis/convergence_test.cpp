@@ -1,0 +1,117 @@
+#include "analysis/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+class StrategyTest : public ::testing::TestWithParam<PartitionStrategy> {};
+
+TEST_P(StrategyTest, MeasuresAreBoundedAndConverge) {
+  const Graph g = make_suite_graph("web", 10);
+  ConvergenceOptions opts;
+  opts.strategy = GetParam();
+  const auto pts = measure_convergence(g, opts);
+  ASSERT_FALSE(pts.empty());
+  for (const auto& p : pts) {
+    EXPECT_GE(p.linkage, 0.0);
+    EXPECT_LE(p.linkage, 1.0 + 1e-12);
+    EXPECT_GE(p.coverage, 0.0);
+    EXPECT_LE(p.coverage, 1.0 + 1e-12);
+    EXPECT_GE(p.pct_edges_processed, 0.0);
+    EXPECT_LE(p.pct_edges_processed, 100.0 + 1e-9);
+  }
+  // Theorem 1: after all edges, converged.
+  EXPECT_DOUBLE_EQ(pts.back().linkage, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().coverage, 1.0);
+  EXPECT_NEAR(pts.back().pct_edges_processed, 100.0, 1e-9);
+}
+
+TEST_P(StrategyTest, LinkageIsMonotonicallyNonDecreasing) {
+  const Graph g = make_suite_graph("kron", 9);
+  ConvergenceOptions opts;
+  opts.strategy = GetParam();
+  const auto pts = measure_convergence(g, opts);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GE(pts[i].linkage, pts[i - 1].linkage - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values(PartitionStrategy::kRowPartition,
+                                           PartitionStrategy::kRandomEdges,
+                                           PartitionStrategy::kNeighborRounds,
+                                           PartitionStrategy::kOptimalSF),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(Convergence, EmptyGraphYieldsNoPoints) {
+  const Graph g = build_undirected(EdgeList<std::int32_t>{}, 0);
+  EXPECT_TRUE(measure_convergence(g, {}).empty());
+}
+
+TEST(Convergence, NeighborSamplingBeatsRowSamplingEarly) {
+  // The paper's central Fig 6 claim: at comparable processed-edge budgets,
+  // neighbor sampling achieves (much) higher linkage than row partitioning.
+  const Graph g = make_suite_graph("web", 11);
+  ConvergenceOptions row{.strategy = PartitionStrategy::kRowPartition};
+  ConvergenceOptions nbr{.strategy = PartitionStrategy::kNeighborRounds};
+  const auto row_pts = measure_convergence(g, row);
+  const auto nbr_pts = measure_convergence(g, nbr);
+  // Compare at ~the end of two neighbor rounds.
+  const auto& after_two = nbr_pts[std::min<std::size_t>(1, nbr_pts.size() - 1)];
+  double row_at_same_budget = 0;
+  for (const auto& p : row_pts)
+    if (p.pct_edges_processed <= after_two.pct_edges_processed + 1e-9)
+      row_at_same_budget = std::max(row_at_same_budget, p.linkage);
+  EXPECT_GT(after_two.linkage, row_at_same_budget);
+  EXPECT_GT(after_two.linkage, 0.8);  // "~83% linkage after two rounds"
+}
+
+TEST(Convergence, OptimalSFConvergesInFirstBatch) {
+  const Graph g = make_suite_graph("twitter", 9);
+  ConvergenceOptions opts{.strategy = PartitionStrategy::kOptimalSF};
+  const auto pts = measure_convergence(g, opts);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_DOUBLE_EQ(pts.front().linkage, 1.0);
+  EXPECT_DOUBLE_EQ(pts.front().coverage, 1.0);
+}
+
+TEST(Convergence, StrategyNamesRoundTrip) {
+  EXPECT_EQ(to_string(PartitionStrategy::kRowPartition), "row");
+  EXPECT_EQ(to_string(PartitionStrategy::kRandomEdges), "random");
+  EXPECT_EQ(to_string(PartitionStrategy::kNeighborRounds), "neighbor");
+  EXPECT_EQ(to_string(PartitionStrategy::kOptimalSF), "optimal-sf");
+}
+
+TEST(Convergence, BatchCountControlsResolution) {
+  const Graph g = make_suite_graph("urand", 9);
+  ConvergenceOptions coarse{.strategy = PartitionStrategy::kRandomEdges,
+                            .num_batches = 4};
+  ConvergenceOptions fine{.strategy = PartitionStrategy::kRandomEdges,
+                          .num_batches = 32};
+  EXPECT_EQ(measure_convergence(g, coarse).size(), 4u);
+  EXPECT_EQ(measure_convergence(g, fine).size(), 32u);
+}
+
+TEST(Convergence, DeterministicForSeed) {
+  const Graph g = make_suite_graph("kron", 9);
+  ConvergenceOptions opts{.strategy = PartitionStrategy::kRandomEdges,
+                          .shuffle_seed = 5};
+  const auto a = measure_convergence(g, opts);
+  const auto b = measure_convergence(g, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].linkage, b[i].linkage);
+    EXPECT_DOUBLE_EQ(a[i].coverage, b[i].coverage);
+  }
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,189 @@
+// Correctness tests for the full Afforest driver across configurations and
+// topologies, plus its documented label convention and edge cases.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cc/afforest.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(Afforest, EmptyGraph) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 0);
+  const auto comp = afforest_cc(g);
+  EXPECT_EQ(comp.size(), 0u);
+}
+
+TEST(Afforest, SingleVertex) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 1);
+  const auto comp = afforest_cc(g);
+  ASSERT_EQ(comp.size(), 1u);
+  EXPECT_EQ(comp[0], 0);
+}
+
+TEST(Afforest, AllIsolatedVertices) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 50);
+  const auto comp = afforest_cc(g);
+  for (std::size_t v = 0; v < comp.size(); ++v)
+    EXPECT_EQ(comp[v], static_cast<NodeID>(v));
+  EXPECT_EQ(count_components(comp), 50);
+}
+
+TEST(Afforest, SingleEdge) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}}, 2);
+  const auto comp = afforest_cc(g);
+  EXPECT_EQ(comp[0], comp[1]);
+}
+
+TEST(Afforest, PathGraph) {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < 100; ++i)
+    edges.push_back({static_cast<NodeID>(i - 1), i});
+  const Graph g = build_undirected(edges, 100);
+  const auto comp = afforest_cc(g);
+  EXPECT_TRUE(verify_cc(g, comp));
+  EXPECT_EQ(count_components(comp), 1);
+}
+
+TEST(Afforest, TwoComponents) {
+  EdgeList<NodeID> edges{{0, 1}, {1, 2}, {3, 4}};
+  const Graph g = build_undirected(edges, 5);
+  const auto comp = afforest_cc(g);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Afforest, LabelsAreMinimumVertexIdOfComponent) {
+  EdgeList<NodeID> edges{{5, 9}, {9, 7}, {2, 4}};
+  const Graph g = build_undirected(edges, 10);
+  const auto comp = afforest_cc(g);
+  EXPECT_EQ(comp[5], 5);
+  EXPECT_EQ(comp[9], 5);
+  EXPECT_EQ(comp[7], 5);
+  EXPECT_EQ(comp[2], 2);
+  EXPECT_EQ(comp[4], 2);
+  EXPECT_EQ(comp[0], 0);
+}
+
+TEST(Afforest, StarGraphWhereRootHasHighestId) {
+  // The adversarial-ish shape from §V-A: hub has the highest index.
+  EdgeList<NodeID> edges;
+  for (NodeID i = 0; i < 63; ++i) edges.push_back({i, 63});
+  const Graph g = build_undirected(edges, 64);
+  const auto comp = afforest_cc(g);
+  EXPECT_TRUE(verify_cc(g, comp));
+  EXPECT_EQ(count_components(comp), 1);
+}
+
+// Sweep neighbor_rounds x skip_largest over every suite family.
+class AfforestConfigTest
+    : public ::testing::TestWithParam<std::tuple<int, bool, std::string>> {};
+
+TEST_P(AfforestConfigTest, MatchesReferenceOnSuiteGraph) {
+  const auto [rounds, skip, family] = GetParam();
+  const Graph g = make_suite_graph(family, 10);
+  AfforestOptions opts;
+  opts.neighbor_rounds = rounds;
+  opts.skip_largest = skip;
+  const auto comp = afforest_cc(g, opts);
+  EXPECT_TRUE(labels_equivalent(comp, union_find_cc(g)))
+      << "rounds=" << rounds << " skip=" << skip << " family=" << family;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RoundsSkipFamily, AfforestConfigTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 8),
+                       ::testing::Bool(),
+                       ::testing::Values("road", "osm-eur", "twitter", "web",
+                                         "urand", "kron")),
+    [](const auto& info) {
+      std::string name = "r" + std::to_string(std::get<0>(info.param)) +
+                         (std::get<1>(info.param) ? "_skip_" : "_noskip_") +
+                         std::get<2>(info.param);
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+TEST(Afforest, NegativeNeighborRoundsClampedToZero) {
+  const Graph g = make_suite_graph("urand", 8);
+  AfforestOptions opts;
+  opts.neighbor_rounds = -3;
+  EXPECT_TRUE(verify_cc(g, afforest_cc(g, opts)));
+}
+
+TEST(Afforest, TinySampleCountStillCorrect) {
+  // Even a bad skip guess must not break correctness (Theorem 3 holds for
+  // ANY intermediate component).
+  const Graph g = make_suite_graph("kron", 10);
+  AfforestOptions opts;
+  opts.sample_count = 1;
+  EXPECT_TRUE(labels_equivalent(afforest_cc(g, opts), union_find_cc(g)));
+}
+
+TEST(Afforest, NeighborRoundsBeyondMaxDegree) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}, {1, 2}}, 3);
+  AfforestOptions opts;
+  opts.neighbor_rounds = 100;  // exceeds every degree
+  EXPECT_TRUE(verify_cc(g, afforest_cc(g, opts)));
+}
+
+TEST(Afforest, DeterministicLabelsAcrossRuns) {
+  // Labels are min-ids, so repeated runs agree exactly even with threads.
+  const Graph g = make_suite_graph("twitter", 11);
+  const auto a = afforest_cc(g);
+  const auto b = afforest_cc(g);
+  for (std::size_t v = 0; v < a.size(); ++v) ASSERT_EQ(a[v], b[v]);
+}
+
+TEST(AfforestNoSkip, MatchesSkippingVariant) {
+  const Graph g = make_suite_graph("web", 11);
+  EXPECT_TRUE(labels_equivalent(afforest_cc(g), afforest_no_skip(g)));
+}
+
+class UniformSamplingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(UniformSamplingTest, MatchesReferenceAcrossSamplingRates) {
+  // §IV-B ablation variant: correctness must hold for any sampling
+  // probability, including p=0 (no sampling) and p=1 (sample everything).
+  const double p = GetParam();
+  for (const auto* family : {"web", "urand", "kron"}) {
+    const Graph g = make_suite_graph(family, 10);
+    EXPECT_TRUE(labels_equivalent(afforest_uniform_sampling(g, p),
+                                  union_find_cc(g)))
+        << family << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, UniformSamplingTest,
+                         ::testing::Values(0.0, 0.05, 0.25, 0.5, 1.0));
+
+TEST(AfforestUniformSampling, DeterministicForSeed) {
+  const Graph g = make_suite_graph("kron", 10);
+  const auto a = afforest_uniform_sampling(g, 0.1);
+  const auto b = afforest_uniform_sampling(g, 0.1);
+  for (std::size_t v = 0; v < a.size(); ++v) ASSERT_EQ(a[v], b[v]);
+}
+
+TEST(Afforest, DenseCliqueCorrect) {
+  EdgeList<NodeID> edges;
+  const NodeID k = 40;
+  for (NodeID i = 0; i < k; ++i)
+    for (NodeID j = static_cast<NodeID>(i + 1); j < k; ++j)
+      edges.push_back({i, j});
+  const Graph g = build_undirected(edges, k);
+  const auto comp = afforest_cc(g);
+  EXPECT_EQ(count_components(comp), 1);
+  EXPECT_TRUE(verify_cc(g, comp));
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,67 @@
+#include "cc/afforest_timed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+TEST(AfforestTimed, LabelsMatchReference) {
+  const Graph g = make_suite_graph("web", 10);
+  AfforestPhaseTimes times;
+  const auto labels = afforest_timed(g, times);
+  EXPECT_TRUE(labels_equivalent(labels, union_find_cc(g)));
+}
+
+TEST(AfforestTimed, AllPhasesNonNegativeAndTotalConsistent) {
+  const Graph g = make_suite_graph("kron", 10);
+  AfforestPhaseTimes times;
+  afforest_timed(g, times);
+  EXPECT_GE(times.init_s, 0.0);
+  EXPECT_GE(times.sampling_s, 0.0);
+  EXPECT_GE(times.compress_s, 0.0);
+  EXPECT_GE(times.find_component_s, 0.0);
+  EXPECT_GE(times.final_link_s, 0.0);
+  EXPECT_NEAR(times.total_s(),
+              times.init_s + times.sampling_s + times.compress_s +
+                  times.find_component_s + times.final_link_s,
+              1e-12);
+  EXPECT_GT(times.total_s(), 0.0);
+}
+
+TEST(AfforestTimed, NoSkipHasNoFindPhase) {
+  const Graph g = make_suite_graph("urand", 9);
+  AfforestOptions opts;
+  opts.skip_largest = false;
+  AfforestPhaseTimes times;
+  const auto labels = afforest_timed(g, times, opts);
+  EXPECT_DOUBLE_EQ(times.find_component_s, 0.0);
+  EXPECT_TRUE(labels_equivalent(labels, union_find_cc(g)));
+}
+
+TEST(AfforestTimed, ZeroRoundsSkipsSamplingPhase) {
+  const Graph g = make_suite_graph("road", 9);
+  AfforestOptions opts;
+  opts.neighbor_rounds = 0;
+  AfforestPhaseTimes times;
+  const auto labels = afforest_timed(g, times, opts);
+  EXPECT_DOUBLE_EQ(times.sampling_s, 0.0);
+  EXPECT_TRUE(labels_equivalent(labels, union_find_cc(g)));
+}
+
+TEST(AfforestTimed, DirectedGraphSupported) {
+  const auto g =
+      build_directed(EdgeList<std::int32_t>{{0, 1}, {2, 1}, {3, 4}}, 5);
+  AfforestPhaseTimes times;
+  const auto labels = afforest_timed(g, times);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+}  // namespace
+}  // namespace afforest

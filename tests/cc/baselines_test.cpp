@@ -1,0 +1,217 @@
+// Correctness tests for all baseline algorithms (SV CSR/edge-list, LP both
+// variants, BFS-CC, DOBFS-CC) against the union-find reference.
+#include <gtest/gtest.h>
+
+#include "cc/bfs_cc.hpp"
+#include "cc/dobfs_cc.hpp"
+#include "cc/label_propagation.hpp"
+#include "cc/shiloach_vishkin.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+Graph two_triangles() {
+  return build_undirected(
+      EdgeList<NodeID>{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}, 6);
+}
+
+// ----------------------------------------------------------------- SV CSR
+
+TEST(ShiloachVishkin, TwoTriangles) {
+  const Graph g = two_triangles();
+  const auto comp = shiloach_vishkin(g);
+  EXPECT_TRUE(verify_cc(g, comp));
+  EXPECT_EQ(count_components(comp), 2);
+}
+
+TEST(ShiloachVishkin, ReportsIterationCount) {
+  const Graph g = make_suite_graph("road", 10);
+  std::int64_t iters = 0;
+  const auto comp = shiloach_vishkin(g, &iters);
+  EXPECT_GE(iters, 1);
+  EXPECT_TRUE(labels_equivalent(comp, union_find_cc(g)));
+}
+
+TEST(ShiloachVishkin, EmptyAndSingleton) {
+  const Graph empty = build_undirected(EdgeList<NodeID>{}, 0);
+  EXPECT_EQ(shiloach_vishkin(empty).size(), 0u);
+  const Graph one = build_undirected(EdgeList<NodeID>{}, 1);
+  EXPECT_EQ(shiloach_vishkin(one)[0], 0);
+}
+
+TEST(ShiloachVishkin, PathGraphNeedsMultipleIterations) {
+  // A long path forces label information to travel; SV must still finish.
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < 512; ++i)
+    edges.push_back({static_cast<NodeID>(i - 1), i});
+  const Graph g = build_undirected(edges, 512);
+  std::int64_t iters = 0;
+  const auto comp = shiloach_vishkin(g, &iters);
+  EXPECT_EQ(count_components(comp), 1);
+  EXPECT_GE(iters, 2);
+}
+
+// ------------------------------------------------------------ original SV
+
+TEST(ShiloachVishkinOriginal, MatchesModernFormulation) {
+  for (const auto* name : {"road", "twitter", "web", "urand", "kron"}) {
+    const Graph g = make_suite_graph(name, 10);
+    ASSERT_TRUE(
+        labels_equivalent(shiloach_vishkin_original(g), shiloach_vishkin(g)))
+        << name;
+  }
+}
+
+TEST(ShiloachVishkinOriginal, StagnationStepBoundsAdversarialIterations) {
+  // The adversarial star stalls the conditional hook; the stagnant-root
+  // hook must keep the iteration count modest.
+  EdgeList<NodeID> edges;
+  for (NodeID i = 0; i < 255; ++i) edges.push_back({i, 255});
+  const Graph g = build_undirected(edges, 256);
+  std::int64_t iters = 0;
+  const auto comp = shiloach_vishkin_original(g, &iters);
+  EXPECT_EQ(count_components(comp), 1);
+  EXPECT_LE(iters, 10);
+}
+
+TEST(ShiloachVishkinOriginal, EmptyGraph) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 0);
+  EXPECT_EQ(shiloach_vishkin_original(g).size(), 0u);
+}
+
+// ----------------------------------------------------------- SV edge list
+
+TEST(ShiloachVishkinEdgeList, MatchesCSRVariant) {
+  const Graph g = make_suite_graph("kron", 10);
+  EdgeList<NodeID> edges;
+  for (std::int64_t u = 0; u < g.num_nodes(); ++u)
+    for (NodeID v : g.out_neigh(static_cast<NodeID>(u)))
+      if (static_cast<NodeID>(u) < v)
+        edges.push_back({static_cast<NodeID>(u), v});
+  const auto from_list = shiloach_vishkin_edgelist(edges, g.num_nodes());
+  EXPECT_TRUE(labels_equivalent(from_list, shiloach_vishkin(g)));
+}
+
+TEST(ShiloachVishkinEdgeList, EmptyEdgeList) {
+  EdgeList<NodeID> edges;
+  const auto comp = shiloach_vishkin_edgelist(edges, 10);
+  EXPECT_EQ(count_components(comp), 10);
+}
+
+// -------------------------------------------------------------------- LP
+
+TEST(LabelPropagation, TwoTriangles) {
+  const Graph g = two_triangles();
+  EXPECT_TRUE(verify_cc(g, label_propagation(g)));
+}
+
+TEST(LabelPropagation, IterationCountTracksDiameter) {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < 256; ++i)
+    edges.push_back({static_cast<NodeID>(i - 1), i});
+  const Graph g = build_undirected(edges, 256);
+  std::int64_t iters = 0;
+  const auto comp = label_propagation(g, &iters);
+  EXPECT_EQ(count_components(comp), 1);
+  // Min label must flow along the path; needs many rounds.
+  EXPECT_GE(iters, 8);
+}
+
+TEST(LabelPropagationFrontier, MatchesTopologyDriven) {
+  const Graph g = make_suite_graph("web", 10);
+  EXPECT_TRUE(labels_equivalent(label_propagation_frontier(g),
+                                label_propagation(g)));
+}
+
+TEST(LabelPropagationFrontier, EmptyGraph) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 0);
+  EXPECT_EQ(label_propagation_frontier(g).size(), 0u);
+}
+
+TEST(LabelPropagationFrontier, LongPathCorrect) {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < 1000; ++i)
+    edges.push_back({static_cast<NodeID>(i - 1), i});
+  const Graph g = build_undirected(edges, 1000);
+  const auto comp = label_propagation_frontier(g);
+  EXPECT_EQ(count_components(comp), 1);
+  EXPECT_TRUE(verify_cc(g, comp));
+}
+
+// ------------------------------------------------------------------- BFS
+
+TEST(BFSCC, TwoTriangles) {
+  const Graph g = two_triangles();
+  std::int64_t num_components = 0;
+  const auto comp = bfs_cc(g, &num_components);
+  EXPECT_TRUE(verify_cc(g, comp));
+  EXPECT_EQ(num_components, 2);
+}
+
+TEST(BFSCC, LabelsAreDiscoveryRoots) {
+  EdgeList<NodeID> edges{{1, 2}, {4, 5}};
+  const Graph g = build_undirected(edges, 6);
+  const auto comp = bfs_cc(g);
+  EXPECT_EQ(comp[0], 0);
+  EXPECT_EQ(comp[1], 1);
+  EXPECT_EQ(comp[2], 1);
+  EXPECT_EQ(comp[4], 4);
+  EXPECT_EQ(comp[5], 4);
+}
+
+TEST(BFSCC, ManySingletonComponents) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 1000);
+  std::int64_t num_components = 0;
+  bfs_cc(g, &num_components);
+  EXPECT_EQ(num_components, 1000);
+}
+
+// ----------------------------------------------------------------- DOBFS
+
+TEST(DOBFSCC, TwoTriangles) {
+  const Graph g = two_triangles();
+  std::int64_t num_components = 0;
+  const auto comp = dobfs_cc(g, {}, &num_components);
+  EXPECT_TRUE(verify_cc(g, comp));
+  EXPECT_EQ(num_components, 2);
+}
+
+TEST(DOBFSCC, BottomUpTriggersOnDenseGraph) {
+  // A dense single-component graph forces the bottom-up path (alpha
+  // heuristic); results must stay correct.
+  const Graph g = make_suite_graph("urand", 11);
+  DOBFSOptions opts;
+  opts.alpha = 1;  // switch to bottom-up almost immediately
+  EXPECT_TRUE(labels_equivalent(dobfs_cc(g, opts), union_find_cc(g)));
+}
+
+TEST(DOBFSCC, TopDownOnlyPath) {
+  const Graph g = make_suite_graph("road", 10);
+  DOBFSOptions opts;
+  opts.alpha = 1 << 30;  // never switch
+  EXPECT_TRUE(labels_equivalent(dobfs_cc(g, opts), union_find_cc(g)));
+}
+
+TEST(DOBFSCC, ExtremeBetaValues) {
+  const Graph g = make_suite_graph("web", 10);
+  for (std::int64_t beta : {1LL, 2LL, 1000000LL}) {
+    DOBFSOptions opts;
+    opts.beta = beta;
+    ASSERT_TRUE(labels_equivalent(dobfs_cc(g, opts), union_find_cc(g)))
+        << "beta=" << beta;
+  }
+}
+
+TEST(DOBFSCC, EmptyGraph) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 0);
+  EXPECT_EQ(dobfs_cc(g).size(), 0u);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,60 @@
+#include "cc/component_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(ComponentSizes, SortedDescending) {
+  pvector<NodeID> comp{0, 0, 0, 3, 3, 5};
+  const auto sizes = component_sizes(comp);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 3);
+  EXPECT_EQ(sizes[1], 2);
+  EXPECT_EQ(sizes[2], 1);
+}
+
+TEST(ComponentSizes, EmptyLabels) {
+  pvector<NodeID> comp;
+  EXPECT_TRUE(component_sizes(comp).empty());
+}
+
+TEST(SummarizeComponents, AllFields) {
+  pvector<NodeID> comp{0, 0, 0, 0, 4, 5};
+  const auto s = summarize_components(comp);
+  EXPECT_EQ(s.num_components, 3);
+  EXPECT_EQ(s.largest_size, 4);
+  EXPECT_NEAR(s.largest_fraction, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(s.num_singletons, 2);
+}
+
+TEST(SummarizeComponents, EmptyInput) {
+  pvector<NodeID> comp;
+  const auto s = summarize_components(comp);
+  EXPECT_EQ(s.num_components, 0);
+  EXPECT_EQ(s.largest_size, 0);
+  EXPECT_DOUBLE_EQ(s.largest_fraction, 0.0);
+}
+
+TEST(SummarizeComponents, SingleGiantComponent) {
+  pvector<NodeID> comp(1000, 7);
+  const auto s = summarize_components(comp);
+  EXPECT_EQ(s.num_components, 1);
+  EXPECT_DOUBLE_EQ(s.largest_fraction, 1.0);
+  EXPECT_EQ(s.num_singletons, 0);
+}
+
+TEST(LargestComponentLabel, FindsMode) {
+  pvector<NodeID> comp{5, 5, 5, 2, 2, 9};
+  EXPECT_EQ(largest_component_label(comp), 5);
+}
+
+TEST(LargestComponentLabel, TieBreaksToLowerLabel) {
+  pvector<NodeID> comp{4, 4, 1, 1};
+  EXPECT_EQ(largest_component_label(comp), 1);
+}
+
+}  // namespace
+}  // namespace afforest

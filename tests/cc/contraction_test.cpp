@@ -1,0 +1,59 @@
+#include "cc/contraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/generators/adversarial.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(Contraction, MatchesReferenceOnSuite) {
+  for (const auto* name : {"road", "osm-eur", "twitter", "web", "urand",
+                           "kron"}) {
+    const Graph g = make_suite_graph(name, 10);
+    EXPECT_TRUE(labels_equivalent(contraction_cc(g), union_find_cc(g)))
+        << name;
+  }
+}
+
+TEST(Contraction, PathCollapsesInOneRound) {
+  // Min-hooking + full compression flattens a path immediately.
+  const Graph g =
+      build_undirected(adversarial_path_edges<NodeID>(256), 256);
+  std::int64_t rounds = 0;
+  const auto comp = contraction_cc(g, &rounds);
+  EXPECT_EQ(count_components(comp), 1);
+  EXPECT_EQ(rounds, 1);
+}
+
+TEST(Contraction, RoundCountIsLogarithmicOnSuite) {
+  const Graph g = make_suite_graph("kron", 12);
+  std::int64_t rounds = 0;
+  contraction_cc(g, &rounds);
+  EXPECT_LE(rounds, 12);  // << log2-ish, never linear
+  EXPECT_GE(rounds, 1);
+}
+
+TEST(Contraction, EmptyAndEdgeless) {
+  const Graph empty = build_undirected(EdgeList<NodeID>{}, 0);
+  std::int64_t rounds = -1;
+  EXPECT_EQ(contraction_cc(empty, &rounds).size(), 0u);
+  EXPECT_EQ(rounds, 0);
+  const Graph isolated = build_undirected(EdgeList<NodeID>{}, 9);
+  EXPECT_EQ(count_components(contraction_cc(isolated)), 9);
+}
+
+TEST(Contraction, LabelsAreComponentMinima) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{5, 9}, {9, 7}}, 10);
+  const auto comp = contraction_cc(g);
+  EXPECT_EQ(comp[9], 5);
+  EXPECT_EQ(comp[7], 5);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,107 @@
+// Degenerate-input matrix: every registered algorithm × every pathological
+// graph shape.  Guards the full registry against edge cases that
+// individual suites only spot-check.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "cc/registry.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+struct Shape {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph empty_graph() { return build_undirected(EdgeList<NodeID>{}, 0); }
+Graph single_vertex() { return build_undirected(EdgeList<NodeID>{}, 1); }
+Graph singleton_cloud() { return build_undirected(EdgeList<NodeID>{}, 64); }
+Graph self_loops_only() {
+  return build_undirected(EdgeList<NodeID>{{0, 0}, {1, 1}, {2, 2}}, 3);
+}
+Graph parallel_edges() {
+  return build_undirected(
+      EdgeList<NodeID>{{0, 1}, {0, 1}, {1, 0}, {0, 1}}, 2);
+}
+Graph star_high_hub() {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 0; i < 31; ++i) edges.push_back({i, 31});
+  return build_undirected(edges, 32);
+}
+Graph long_path() {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < 128; ++i)
+    edges.push_back({static_cast<NodeID>(i - 1), i});
+  return build_undirected(edges, 128);
+}
+Graph clique() {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 0; i < 16; ++i)
+    for (NodeID j = static_cast<NodeID>(i + 1); j < 16; ++j)
+      edges.push_back({i, j});
+  return build_undirected(edges, 16);
+}
+Graph two_cliques_plus_isolated() {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 0; i < 8; ++i)
+    for (NodeID j = static_cast<NodeID>(i + 1); j < 8; ++j) {
+      edges.push_back({i, j});
+      edges.push_back({static_cast<NodeID>(i + 8),
+                       static_cast<NodeID>(j + 8)});
+    }
+  return build_undirected(edges, 20);  // vertices 16..19 isolated
+}
+
+const Shape kShapes[] = {
+    {"empty", empty_graph},
+    {"single_vertex", single_vertex},
+    {"singleton_cloud", singleton_cloud},
+    {"self_loops_only", self_loops_only},
+    {"parallel_edges", parallel_edges},
+    {"star_high_hub", star_high_hub},
+    {"long_path", long_path},
+    {"clique", clique},
+    {"two_cliques_plus_isolated", two_cliques_plus_isolated},
+};
+
+class DegenerateMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(DegenerateMatrix, AlgorithmHandlesShape) {
+  const auto& [algo_name, shape_idx] = GetParam();
+  const Shape& shape = kShapes[shape_idx];
+  const Graph g = shape.make();
+  const auto labels = cc_algorithm(algo_name).run(g);
+  ASSERT_EQ(static_cast<std::int64_t>(labels.size()), g.num_nodes());
+  EXPECT_TRUE(labels_equivalent(labels, union_find_cc(g)))
+      << algo_name << " on " << shape.name;
+}
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& a : cc_algorithms()) names.push_back(a.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAllShapes, DegenerateMatrix,
+    ::testing::Combine(::testing::ValuesIn(algorithm_names()),
+                       ::testing::Range(0, static_cast<int>(std::size(kShapes)))),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         kShapes[std::get<1>(info.param)].name;
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace afforest

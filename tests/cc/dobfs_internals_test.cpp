@@ -1,0 +1,95 @@
+// White-box tests of the direction-optimizing BFS machinery: top-down and
+// bottom-up steps, and the frontier representation conversions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cc/dobfs_cc.hpp"
+#include "graph/builder.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+constexpr NodeID kUnvisited = -1;
+
+Graph path5() {
+  return build_undirected(EdgeList<NodeID>{{0, 1}, {1, 2}, {2, 3}, {3, 4}},
+                          5);
+}
+
+TEST(DOBFSInternals, TopDownStepExpandsFrontierOneHop) {
+  const Graph g = path5();
+  pvector<NodeID> comp(5, kUnvisited);
+  SlidingQueue<NodeID> queue(5);
+  comp[0] = 0;
+  queue.push_back(0);
+  queue.slide_window();
+  const auto scout = detail::td_step(g, NodeID{0}, kUnvisited, comp, queue);
+  ASSERT_EQ(queue.size(), 1u);       // vertex 1 discovered
+  EXPECT_EQ(*queue.begin(), 1);
+  EXPECT_EQ(comp[1], 0);
+  EXPECT_EQ(comp[2], kUnvisited);
+  EXPECT_EQ(scout, g.out_degree(1));  // scout counts new vertices' degrees
+}
+
+TEST(DOBFSInternals, BottomUpStepWakesNeighborsOfFrontier) {
+  const Graph g = path5();
+  pvector<NodeID> comp(5, kUnvisited);
+  comp[2] = 2;  // frontier = {2}
+  Bitmap front(5), next(5);
+  front.set_bit(2);
+  const auto awake = detail::bu_step(g, NodeID{2}, kUnvisited, comp, front,
+                                     next);
+  EXPECT_EQ(awake, 2);  // vertices 1 and 3
+  EXPECT_EQ(comp[1], 2);
+  EXPECT_EQ(comp[3], 2);
+  EXPECT_TRUE(next.get_bit(1));
+  EXPECT_TRUE(next.get_bit(3));
+  EXPECT_FALSE(next.get_bit(0));
+}
+
+TEST(DOBFSInternals, BottomUpStopsAtFirstParent) {
+  // A vertex adjacent to two frontier members is woken exactly once.
+  const Graph g =
+      build_undirected(EdgeList<NodeID>{{0, 2}, {1, 2}}, 3);
+  pvector<NodeID> comp(3, kUnvisited);
+  comp[0] = 0;
+  comp[1] = 0;
+  Bitmap front(3), next(3);
+  front.set_bit(0);
+  front.set_bit(1);
+  EXPECT_EQ(detail::bu_step(g, NodeID{0}, kUnvisited, comp, front, next), 1);
+  EXPECT_EQ(comp[2], 0);
+}
+
+TEST(DOBFSInternals, QueueBitmapRoundTrip) {
+  const Graph g = path5();
+  SlidingQueue<NodeID> queue(5);
+  queue.push_back(1);
+  queue.push_back(4);
+  queue.slide_window();
+  Bitmap bm(5);
+  detail::queue_to_bitmap(queue, bm);
+  EXPECT_TRUE(bm.get_bit(1));
+  EXPECT_TRUE(bm.get_bit(4));
+  EXPECT_EQ(bm.count(), 2);
+
+  SlidingQueue<NodeID> back(5);
+  detail::bitmap_to_queue(g, bm, back);
+  std::vector<NodeID> got(back.begin(), back.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<NodeID>{1, 4}));
+}
+
+TEST(DOBFSInternals, EmptyBitmapYieldsEmptyQueue) {
+  const Graph g = path5();
+  Bitmap bm(5);
+  SlidingQueue<NodeID> queue(5);
+  detail::bitmap_to_queue(g, bm, queue);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace afforest

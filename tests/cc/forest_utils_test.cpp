@@ -1,0 +1,84 @@
+#include "cc/forest_utils.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/afforest.hpp"
+#include "graph/generators/adversarial.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(ForestUtils, InvariantHoldsOnIdentity) {
+  const auto pi = identity_labels<NodeID>(10);
+  EXPECT_TRUE(satisfies_parent_invariant(pi));
+}
+
+TEST(ForestUtils, InvariantRejectsUpwardPointer) {
+  pvector<NodeID> pi{0, 2, 2};  // pi[1] = 2 > 1
+  EXPECT_FALSE(satisfies_parent_invariant(pi));
+}
+
+TEST(ForestUtils, InvariantRejectsNegative) {
+  pvector<NodeID> pi{0, -1};
+  EXPECT_FALSE(satisfies_parent_invariant(pi));
+}
+
+TEST(ForestUtils, DepthOfChainVertices) {
+  const auto pi = linear_depth_forest<NodeID>(5);
+  EXPECT_EQ(depth_of(pi, NodeID{0}), 0);
+  EXPECT_EQ(depth_of(pi, NodeID{4}), 4);
+}
+
+TEST(ForestUtils, DepthHistogramOfChain) {
+  const auto pi = linear_depth_forest<NodeID>(4);
+  const auto hist = depth_histogram(pi);
+  ASSERT_EQ(hist.size(), 4u);
+  for (auto c : hist) EXPECT_EQ(c, 1);
+}
+
+TEST(ForestUtils, CountTrees) {
+  pvector<NodeID> pi{0, 0, 2, 2, 4};
+  EXPECT_EQ(count_trees(pi), 3);
+}
+
+TEST(ForestUtils, TreeSizesByRoot) {
+  pvector<NodeID> pi{0, 0, 1, 3};  // chain 2->1->0 plus root 3
+  const auto sizes = tree_sizes(pi);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes.at(0), 3);
+  EXPECT_EQ(sizes.at(3), 1);
+}
+
+TEST(ForestUtils, IsDepthOneDetection) {
+  pvector<NodeID> shallow{0, 0, 0};
+  EXPECT_TRUE(is_depth_one(shallow));
+  pvector<NodeID> deep{0, 0, 1};
+  EXPECT_FALSE(is_depth_one(deep));
+}
+
+TEST(ForestUtils, CompressAllEstablishesDepthOne) {
+  auto pi = linear_depth_forest<NodeID>(1 << 10);
+  EXPECT_FALSE(is_depth_one(pi));
+  compress_all(pi);
+  EXPECT_TRUE(is_depth_one(pi));
+  EXPECT_TRUE(satisfies_parent_invariant(pi));
+  EXPECT_EQ(count_trees(pi), 1);
+}
+
+TEST(ForestUtils, AfforestIntermediateForestsSatisfyInvariant) {
+  // Run link over random edges and check the invariant at every step —
+  // the library-level guarantee all proofs rest on.
+  auto pi = identity_labels<NodeID>(128);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 400; ++i) {
+    link(static_cast<NodeID>(rng.next_bounded(128)),
+         static_cast<NodeID>(rng.next_bounded(128)), pi);
+    ASSERT_TRUE(satisfies_parent_invariant(pi)) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,88 @@
+// Online connectivity on top of the Afforest primitives.
+#include <gtest/gtest.h>
+
+#include "cc/incremental.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/uniform.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(IncrementalCC, StartsFullyDisconnected) {
+  IncrementalCC<NodeID> cc(5);
+  EXPECT_EQ(cc.component_count(), 5);
+  EXPECT_FALSE(cc.connected(0, 1));
+  EXPECT_TRUE(cc.connected(2, 2));
+}
+
+TEST(IncrementalCC, EdgeInsertionConnects) {
+  IncrementalCC<NodeID> cc(4);
+  cc.add_edge(0, 2);
+  EXPECT_TRUE(cc.connected(0, 2));
+  EXPECT_FALSE(cc.connected(0, 1));
+  EXPECT_EQ(cc.component_count(), 3);
+}
+
+TEST(IncrementalCC, TransitiveConnectivity) {
+  IncrementalCC<NodeID> cc(6);
+  cc.add_edge(0, 1);
+  cc.add_edge(2, 3);
+  EXPECT_FALSE(cc.connected(1, 2));
+  cc.add_edge(1, 2);
+  EXPECT_TRUE(cc.connected(0, 3));
+  EXPECT_EQ(cc.component_count(), 3);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(IncrementalCC, QueriesInterleaveWithInsertions) {
+  IncrementalCC<NodeID> cc(100);
+  for (NodeID v = 1; v < 100; ++v) {
+    cc.add_edge(static_cast<NodeID>(v - 1), v);
+    ASSERT_TRUE(cc.connected(0, v));
+    if (v + 1 < 100) {
+      ASSERT_FALSE(cc.connected(0, static_cast<NodeID>(v + 1)));
+    }
+  }
+  EXPECT_EQ(cc.component_count(), 1);
+}
+
+TEST(IncrementalCC, CompactPreservesPartition) {
+  IncrementalCC<NodeID> cc(10);
+  cc.add_edge(0, 5);
+  cc.add_edge(5, 9);
+  cc.compact();
+  EXPECT_TRUE(cc.connected(0, 9));
+  EXPECT_EQ(cc.find(9), 0);  // min-id root after compaction
+}
+
+TEST(IncrementalCC, LabelsSnapshotMatchesBatchReference) {
+  const std::int64_t n = 1000;
+  const auto edges = generate_uniform_edges<NodeID>(n, 2500, 21);
+  IncrementalCC<NodeID> cc(n);
+  for (const auto& [u, v] : edges) cc.add_edge(u, v);
+  const auto snapshot = cc.labels();
+  const auto reference = union_find_cc(edges, n);
+  EXPECT_TRUE(labels_equivalent(snapshot, reference));
+}
+
+TEST(IncrementalCC, ParallelInsertionsAreSafe) {
+  const std::int64_t n = 1 << 12;
+  const auto edges = generate_uniform_edges<NodeID>(n, 4 * n, 33);
+  IncrementalCC<NodeID> cc(n);
+  const std::int64_t m = static_cast<std::int64_t>(edges.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) cc.add_edge(edges[i].u, edges[i].v);
+  EXPECT_TRUE(labels_equivalent(cc.labels(), union_find_cc(edges, n)));
+}
+
+TEST(IncrementalCC, SelfLoopIsNoOp) {
+  IncrementalCC<NodeID> cc(3);
+  cc.add_edge(1, 1);
+  EXPECT_EQ(cc.component_count(), 3);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,66 @@
+#include "cc/multistep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/component_mix.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(Multistep, MatchesReferenceOnSuite) {
+  for (const auto* name : {"road", "osm-eur", "twitter", "web", "urand",
+                           "kron"}) {
+    const Graph g = make_suite_graph(name, 10);
+    EXPECT_TRUE(labels_equivalent(multistep_cc(g), union_find_cc(g))) << name;
+  }
+}
+
+TEST(Multistep, EmptyGraph) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 0);
+  EXPECT_EQ(multistep_cc(g).size(), 0u);
+}
+
+TEST(Multistep, AllIsolatedVertices) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 20);
+  const auto comp = multistep_cc(g);
+  EXPECT_EQ(count_components(comp), 20);
+  EXPECT_TRUE(verify_cc(g, comp));
+}
+
+TEST(Multistep, NoGiantComponentStillCorrect) {
+  // Many equal small components: the pivot heuristic "misses"; step 2
+  // must finish everything.
+  const Graph g = build_undirected(
+      generate_component_mix_edges<NodeID>(1 << 11, 4.0, 1.0 / 128.0, 3),
+      1 << 11);
+  EXPECT_TRUE(labels_equivalent(multistep_cc(g), union_find_cc(g)));
+}
+
+TEST(Multistep, GiantPlusSingletons) {
+  // A star (giant) plus isolated vertices — the favorable case.
+  EdgeList<NodeID> edges;
+  for (NodeID i = 0; i < 50; ++i) edges.push_back({i, 50});
+  const Graph g = build_undirected(edges, 60);
+  const auto comp = multistep_cc(g);
+  EXPECT_EQ(count_components(comp), 10);  // star + 9 isolated (51..59)
+  EXPECT_TRUE(verify_cc(g, comp));
+}
+
+TEST(Multistep, PathGraphWorstCaseForLP) {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < 300; ++i)
+    edges.push_back({static_cast<NodeID>(i - 1), i});
+  const Graph g = build_undirected(edges, 300);
+  // Whole graph is one component: BFS from the max-degree vertex labels
+  // everything; LP has nothing to do.
+  EXPECT_EQ(count_components(multistep_cc(g)), 1);
+}
+
+}  // namespace
+}  // namespace afforest

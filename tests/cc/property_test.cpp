@@ -1,0 +1,154 @@
+// Property-based sweeps: every registered algorithm must agree with the
+// serial union-find reference on randomized graphs across families, sizes,
+// densities, and seeds.  These are the repository's fuzz layer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "cc/component_stats.hpp"
+#include "cc/registry.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/component_mix.hpp"
+#include "graph/generators/suite.hpp"
+#include "graph/generators/uniform.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+// ---------------------------------------------- all algorithms × families
+
+class AlgoFamilyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(AlgoFamilyTest, MatchesReference) {
+  const auto& [algo, family] = GetParam();
+  const Graph g = make_suite_graph(family, 10);
+  const auto labels = cc_algorithm(algo).run(g);
+  EXPECT_TRUE(labels_equivalent(labels, union_find_cc(g)));
+}
+
+std::vector<std::string> all_algorithm_names() {
+  std::vector<std::string> names;
+  for (const auto& a : cc_algorithms()) names.push_back(a.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgoFamilyTest,
+    ::testing::Combine(::testing::ValuesIn(all_algorithm_names()),
+                       ::testing::Values("road", "osm-eur", "twitter", "web",
+                                         "urand", "kron")),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (auto& ch : name)
+        if (ch == '-') ch = '_';
+      return name;
+    });
+
+// ------------------------------------------------ random density × seeds
+
+class RandomGraphFuzz
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomGraphFuzz, AllAlgorithmsAgree) {
+  const auto [edge_factor, seed] = GetParam();
+  const std::int64_t n = 512;
+  const Graph g = build_undirected(
+      generate_uniform_edges<NodeID>(n, n * edge_factor,
+                                     static_cast<std::uint64_t>(seed)),
+      n);
+  const auto truth = union_find_cc(g);
+  for (const auto& a : cc_algorithms())
+    ASSERT_TRUE(labels_equivalent(a.run(g), truth))
+        << a.name << " ef=" << edge_factor << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(DensitySeedGrid, RandomGraphFuzz,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 4, 16),
+                                            ::testing::Range(0, 8)));
+
+// --------------------------------------------- component-count stress
+
+class ComponentFractionFuzz : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComponentFractionFuzz, AllAlgorithmsAgree) {
+  const double f = GetParam();
+  const Graph g = build_undirected(
+      generate_component_mix_edges<NodeID>(1 << 11, 6.0, f, 3), 1 << 11);
+  const auto truth = union_find_cc(g);
+  for (const auto& a : cc_algorithms())
+    ASSERT_TRUE(labels_equivalent(a.run(g), truth)) << a.name << " f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ComponentFractionFuzz,
+                         ::testing::Values(0.001, 0.01, 0.1, 0.5, 1.0));
+
+// --------------------------------------------------- structural properties
+
+TEST(Properties, AfforestLabelsAreCanonicalMinIds) {
+  // For any graph, afforest label(v) <= v and label(label(v)) == label(v).
+  for (int seed = 0; seed < 5; ++seed) {
+    const Graph g = build_undirected(
+        generate_uniform_edges<NodeID>(256, 512,
+                                       static_cast<std::uint64_t>(seed)),
+        256);
+    const auto comp = cc_algorithm("afforest").run(g);
+    for (std::size_t v = 0; v < comp.size(); ++v) {
+      ASSERT_LE(comp[v], static_cast<NodeID>(v));
+      ASSERT_EQ(comp[comp[v]], comp[v]);
+    }
+  }
+}
+
+TEST(Properties, ComponentCountInvariantAcrossAlgorithms) {
+  const Graph g = make_suite_graph("kron", 10);
+  const auto expected = count_components(union_find_cc(g));
+  for (const auto& a : cc_algorithms())
+    EXPECT_EQ(count_components(a.run(g)), expected) << a.name;
+}
+
+TEST(Properties, AddingEdgeNeverIncreasesComponentCount) {
+  Xoshiro256 rng(123);
+  EdgeList<NodeID> edges;
+  std::int64_t prev_components = 128;
+  for (int i = 0; i < 200; ++i) {
+    edges.push_back(
+        {static_cast<NodeID>(rng.next_bounded(128)),
+         static_cast<NodeID>(rng.next_bounded(128))});
+    EdgeList<NodeID> copy;
+    for (const auto& e : edges) copy.push_back(e);
+    const Graph g = build_undirected(copy, 128);
+    const auto c = count_components(cc_algorithm("afforest").run(g));
+    ASSERT_LE(c, prev_components);
+    prev_components = c;
+  }
+}
+
+TEST(Properties, PermutedVertexIdsPreservePartitionSizes) {
+  // Relabeling vertices must not change the component size multiset.
+  const std::int64_t n = 256;
+  const auto edges = generate_uniform_edges<NodeID>(n, 300, 9);
+  EdgeList<NodeID> permuted;
+  // A fixed affine permutation of Z_n (257 is coprime to 256... use 255?
+  // gcd(255,256)=1), v -> (255*v + 13) mod 256.
+  auto perm = [n](NodeID v) {
+    return static_cast<NodeID>((255 * static_cast<std::int64_t>(v) + 13) % n);
+  };
+  for (const auto& [u, v] : edges) permuted.push_back({perm(u), perm(v)});
+  const Graph g1 = build_undirected(edges, n);
+  const Graph g2 = build_undirected(permuted, n);
+  auto sizes1 = component_sizes(cc_algorithm("afforest").run(g1));
+  auto sizes2 = component_sizes(cc_algorithm("afforest").run(g2));
+  EXPECT_EQ(sizes1, sizes2);
+}
+
+}  // namespace
+}  // namespace afforest

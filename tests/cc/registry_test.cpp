@@ -1,0 +1,53 @@
+#include "cc/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+TEST(Registry, ContainsExpectedAlgorithms) {
+  for (const auto& name : {"afforest", "afforest-noskip", "sv", "sv-edgelist",
+                           "lp", "lp-frontier", "bfs", "dobfs", "serial-uf"})
+    EXPECT_TRUE(is_cc_algorithm(name)) << name;
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& a : cc_algorithms()) names.insert(a.name);
+  EXPECT_EQ(names.size(), cc_algorithms().size());
+}
+
+TEST(Registry, DescriptionsNonEmpty) {
+  for (const auto& a : cc_algorithms()) EXPECT_FALSE(a.description.empty());
+}
+
+TEST(Registry, LookupReturnsMatchingEntry) {
+  EXPECT_EQ(cc_algorithm("sv").name, "sv");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(cc_algorithm("quantum-cc"), std::invalid_argument);
+  EXPECT_FALSE(is_cc_algorithm("quantum-cc"));
+}
+
+TEST(Registry, EveryAlgorithmRunsCorrectly) {
+  const Graph g = make_suite_graph("twitter", 10);
+  const auto truth = union_find_cc(g);
+  for (const auto& a : cc_algorithms())
+    EXPECT_TRUE(labels_equivalent(a.run(g), truth)) << a.name;
+}
+
+TEST(Registry, AfforestListedFirst) {
+  // The paper's headline algorithm leads every report.
+  EXPECT_EQ(cc_algorithms().front().name, "afforest");
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,71 @@
+#include "cc/spanning_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/component_stats.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(SpanningForest, SizeIsVMinusC) {
+  // Two triangles + isolated vertex: V=7, C=3 → 4 forest edges.
+  const Graph g = build_undirected(
+      EdgeList<NodeID>{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}}, 7);
+  const auto forest = spanning_forest(g);
+  EXPECT_EQ(forest.size(), 4u);
+}
+
+TEST(SpanningForest, EmptyGraphHasEmptyForest) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 5);
+  EXPECT_TRUE(spanning_forest(g).empty());
+}
+
+TEST(SpanningForest, TreeInputReturnsAllEdges) {
+  EdgeList<NodeID> edges{{0, 1}, {1, 2}, {2, 3}};
+  const Graph g = build_undirected(edges, 4);
+  EXPECT_EQ(spanning_forest(g).size(), 3u);
+}
+
+TEST(SpanningForest, ValidatesWithChecker) {
+  const Graph g = make_suite_graph("web", 10);
+  const auto forest = spanning_forest(g);
+  EXPECT_TRUE(is_spanning_forest(g, forest));
+  const auto truth = union_find_cc(g);
+  const auto c = count_components(truth);
+  EXPECT_EQ(static_cast<std::int64_t>(forest.size()), g.num_nodes() - c);
+}
+
+TEST(SpanningForest, SuiteFamiliesAllValid) {
+  for (const auto& name : {"road", "osm-eur", "twitter", "urand", "kron"}) {
+    const Graph g = make_suite_graph(name, 9);
+    EXPECT_TRUE(is_spanning_forest(g, spanning_forest(g))) << name;
+  }
+}
+
+TEST(IsSpanningForest, RejectsCycleEdge) {
+  const Graph g =
+      build_undirected(EdgeList<NodeID>{{0, 1}, {1, 2}, {2, 0}}, 3);
+  EdgeList<NodeID> with_cycle{{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(is_spanning_forest(g, with_cycle));
+}
+
+TEST(IsSpanningForest, RejectsIncompleteForest) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}, {1, 2}}, 3);
+  EdgeList<NodeID> partial{{0, 1}};  // misses vertex 2's connection
+  EXPECT_FALSE(is_spanning_forest(g, partial));
+}
+
+TEST(SpanningForest, CCFromForestMatchesCCFromGraph) {
+  // The §IV-A duality: processing only SF edges yields correct CC labels.
+  const Graph g = make_suite_graph("kron", 10);
+  const auto forest = spanning_forest(g);
+  const auto from_forest = union_find_cc(forest, g.num_nodes());
+  EXPECT_TRUE(labels_equivalent(from_forest, union_find_cc(g)));
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,88 @@
+#include "cc/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind<NodeID> uf(5);
+  for (NodeID v = 0; v < 5; ++v) EXPECT_EQ(uf.find(v), v);
+}
+
+TEST(UnionFind, UniteMergesAndReportsChange) {
+  UnionFind<NodeID> uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already together
+  EXPECT_EQ(uf.find(0), uf.find(1));
+}
+
+TEST(UnionFind, LowerIdBecomesRoot) {
+  UnionFind<NodeID> uf(10);
+  uf.unite(7, 3);
+  EXPECT_EQ(uf.find(7), 3);
+  uf.unite(3, 1);
+  EXPECT_EQ(uf.find(7), 1);
+}
+
+TEST(UnionFind, TransitiveMerges) {
+  UnionFind<NodeID> uf(6);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.unite(1, 2);
+  EXPECT_EQ(uf.find(0), uf.find(3));
+  EXPECT_NE(uf.find(0), uf.find(4));
+}
+
+TEST(UnionFind, PathCompressionFlattens) {
+  UnionFind<NodeID> uf(5);
+  uf.unite(4, 3);
+  uf.unite(3, 2);
+  uf.unite(2, 1);
+  uf.unite(1, 0);
+  // After find, 4 should point (near-)directly to 0; all roots equal 0.
+  EXPECT_EQ(uf.find(4), 0);
+}
+
+TEST(UnionFind, LabelsAreMinimumIds) {
+  UnionFind<NodeID> uf(6);
+  uf.unite(5, 4);
+  uf.unite(4, 2);
+  const auto labels = uf.labels();
+  EXPECT_EQ(labels[5], 2);
+  EXPECT_EQ(labels[4], 2);
+  EXPECT_EQ(labels[2], 2);
+  EXPECT_EQ(labels[0], 0);
+}
+
+TEST(UnionFindCC, OverCSRGraph) {
+  const Graph g =
+      build_undirected(EdgeList<NodeID>{{0, 1}, {1, 2}, {4, 5}}, 6);
+  const auto comp = union_find_cc(g);
+  EXPECT_EQ(comp[0], 0);
+  EXPECT_EQ(comp[2], 0);
+  EXPECT_EQ(comp[3], 3);
+  EXPECT_EQ(comp[4], 4);
+  EXPECT_EQ(comp[5], 4);
+}
+
+TEST(UnionFindCC, OverEdgeList) {
+  EdgeList<NodeID> edges{{0, 2}, {2, 4}};
+  const auto comp = union_find_cc(edges, 5);
+  EXPECT_EQ(comp[0], 0);
+  EXPECT_EQ(comp[4], 0);
+  EXPECT_EQ(comp[1], 1);
+  EXPECT_EQ(comp[3], 3);
+}
+
+TEST(UnionFindCC, ZeroNodes) {
+  EdgeList<NodeID> edges;
+  EXPECT_EQ(union_find_cc(edges, 0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace afforest

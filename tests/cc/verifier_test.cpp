@@ -1,0 +1,88 @@
+#include "cc/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/afforest.hpp"
+#include "graph/builder.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(LabelsEquivalent, IdenticalArrays) {
+  pvector<NodeID> a{0, 0, 2};
+  pvector<NodeID> b{0, 0, 2};
+  EXPECT_TRUE(labels_equivalent(a, b));
+}
+
+TEST(LabelsEquivalent, DifferentRepresentativesSamePartition) {
+  pvector<NodeID> a{0, 0, 2, 2};
+  pvector<NodeID> b{9, 9, 5, 5};
+  EXPECT_TRUE(labels_equivalent(a, b));
+}
+
+TEST(LabelsEquivalent, FinerPartitionRejected) {
+  pvector<NodeID> a{0, 0, 0};
+  pvector<NodeID> b{0, 0, 2};
+  EXPECT_FALSE(labels_equivalent(a, b));
+  EXPECT_FALSE(labels_equivalent(b, a));  // and coarser, symmetrically
+}
+
+TEST(LabelsEquivalent, CrossedPartitionsRejected) {
+  pvector<NodeID> a{0, 0, 1, 1};
+  pvector<NodeID> b{0, 1, 0, 1};
+  EXPECT_FALSE(labels_equivalent(a, b));
+}
+
+TEST(LabelsEquivalent, SizeMismatchRejected) {
+  pvector<NodeID> a{0, 0};
+  pvector<NodeID> b{0};
+  EXPECT_FALSE(labels_equivalent(a, b));
+}
+
+TEST(LabelsEquivalent, EmptyArraysAreEquivalent) {
+  pvector<NodeID> a, b;
+  EXPECT_TRUE(labels_equivalent(a, b));
+}
+
+TEST(VerifyCC, AcceptsCorrectLabeling) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}, {2, 3}}, 4);
+  pvector<NodeID> comp{0, 0, 2, 2};
+  EXPECT_TRUE(verify_cc(g, comp));
+}
+
+TEST(VerifyCC, AcceptsAlternativeRepresentatives) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}, {2, 3}}, 4);
+  pvector<NodeID> comp{1, 1, 3, 3};
+  EXPECT_TRUE(verify_cc(g, comp));
+}
+
+TEST(VerifyCC, RejectsTooFineLabeling) {
+  // Edge endpoints differ → labels too fine.
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}}, 2);
+  pvector<NodeID> comp{0, 1};
+  EXPECT_FALSE(verify_cc(g, comp));
+}
+
+TEST(VerifyCC, RejectsTooCoarseLabeling) {
+  // Two disconnected vertices given the same label.
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 2);
+  pvector<NodeID> comp{0, 0};
+  EXPECT_FALSE(verify_cc(g, comp));
+}
+
+TEST(VerifyCC, RejectsWrongSizeArray) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}}, 2);
+  pvector<NodeID> comp{0};
+  EXPECT_FALSE(verify_cc(g, comp));
+}
+
+TEST(VerifyCC, AcceptsAfforestOutput) {
+  const Graph g = build_undirected(
+      EdgeList<NodeID>{{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}, {7, 5}}, 8);
+  EXPECT_TRUE(verify_cc(g, afforest_cc(g)));
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,109 @@
+#include "exec/chunked.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+Graph hub_graph(NodeID leaves) {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 0; i < leaves; ++i)
+    edges.push_back({i, leaves});  // hub is the last vertex
+  return build_undirected(edges, leaves + 1);
+}
+
+TEST(PlanChunks, SplitsLargeNeighborhoods) {
+  const Graph g = hub_graph(100);  // hub degree 100
+  const auto chunks = plan_chunks(g, 32);
+  // Hub contributes ceil(100/32)=4 chunks; each leaf 1 chunk.
+  EXPECT_EQ(chunks.size(), 104u);
+  std::int64_t hub_chunks = 0, hub_edges = 0;
+  for (const auto& c : chunks) {
+    EXPECT_LE(c.end - c.begin, 32);
+    if (c.vertex == 100) {
+      ++hub_chunks;
+      hub_edges += c.end - c.begin;
+    }
+  }
+  EXPECT_EQ(hub_chunks, 4);
+  EXPECT_EQ(hub_edges, 100);
+}
+
+TEST(PlanChunks, StartOffsetSkipsPrefix) {
+  const Graph g = hub_graph(10);
+  const auto chunks = plan_chunks(g, 100, 2);
+  // Leaves have degree 1 < offset 2, so only the hub (degree 10) remains.
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].vertex, 10);
+  EXPECT_EQ(chunks[0].begin, 2);
+  EXPECT_EQ(chunks[0].end, 10);
+}
+
+TEST(PlanChunks, EmptyGraph) {
+  const Graph g = build_undirected(EdgeList<NodeID>{}, 0);
+  EXPECT_TRUE(plan_chunks(g, 16).empty());
+}
+
+TEST(ForEachEdgeChunked, VisitsEveryStoredEdgeOnce) {
+  const Graph g = make_suite_graph("kron", 9);
+  std::int64_t visited = 0;
+  for_each_edge_chunked(g, 16, [&](NodeID, NodeID) {
+    fetch_and_add(visited, std::int64_t{1});
+  });
+  EXPECT_EQ(visited, g.num_stored_edges());
+}
+
+TEST(ForEachEdgeChunked, OffsetVisitsSuffixOnly) {
+  const Graph g = make_suite_graph("urand", 8);
+  std::int64_t visited = 0;
+  for_each_edge_chunked(
+      g, 16, [&](NodeID, NodeID) { fetch_and_add(visited, std::int64_t{1}); },
+      2);
+  std::int64_t expected = 0;
+  for (std::int64_t v = 0; v < g.num_nodes(); ++v)
+    expected += std::max<std::int64_t>(
+        0, g.out_degree(static_cast<NodeID>(v)) - 2);
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(AfforestBalanced, MatchesReferenceAcrossSuite) {
+  for (const auto* name : {"road", "twitter", "web", "urand", "kron"}) {
+    const Graph g = make_suite_graph(name, 10);
+    EXPECT_TRUE(labels_equivalent(afforest_balanced(g), union_find_cc(g)))
+        << name;
+  }
+}
+
+TEST(AfforestBalanced, ChunkSizeSweepStaysCorrect) {
+  const Graph g = make_suite_graph("twitter", 9);
+  const auto truth = union_find_cc(g);
+  for (std::int64_t chunk : {1, 7, 64, 4096}) {
+    AfforestOptions opts;
+    ASSERT_TRUE(labels_equivalent(afforest_balanced(g, opts, chunk), truth))
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(AfforestBalanced, NoSkipVariant) {
+  const Graph g = make_suite_graph("kron", 9);
+  AfforestOptions opts;
+  opts.skip_largest = false;
+  EXPECT_TRUE(labels_equivalent(afforest_balanced(g, opts), union_find_cc(g)));
+}
+
+TEST(AfforestBalanced, ExtremeHubGraph) {
+  const Graph g = hub_graph(5000);
+  const auto comp = afforest_balanced(g, {}, 64);
+  EXPECT_EQ(count_components(comp), 1);
+  EXPECT_TRUE(verify_cc(g, comp));
+}
+
+}  // namespace
+}  // namespace afforest

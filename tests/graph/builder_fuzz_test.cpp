@@ -1,0 +1,103 @@
+// Randomized builder validation: for arbitrary messy edge lists (self
+// loops, duplicates, skewed degrees, isolated ranges) the CSR builder must
+// agree with a naive set-based reference and satisfy structural
+// invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+/// Naive reference: adjacency as sorted sets, symmetrized, no self loops.
+std::map<NodeID, std::set<NodeID>> reference_adjacency(
+    const EdgeList<NodeID>& edges) {
+  std::map<NodeID, std::set<NodeID>> adj;
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    adj[u].insert(v);
+    adj[v].insert(u);
+  }
+  return adj;
+}
+
+EdgeList<NodeID> random_messy_edges(std::int64_t n, std::int64_t m,
+                                    std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  EdgeList<NodeID> edges;
+  edges.reserve(static_cast<std::size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const auto u = static_cast<NodeID>(rng.next_bounded(n));
+    // Skew: 30% of edges touch vertex 0, 10% are self loops, 20% repeat
+    // the previous edge.
+    const double r = rng.next_double();
+    if (r < 0.2 && !edges.empty()) {
+      edges.push_back(edges.back());
+    } else if (r < 0.3) {
+      edges.push_back({u, u});
+    } else if (r < 0.6) {
+      edges.push_back({0, u});
+    } else {
+      edges.push_back({u, static_cast<NodeID>(rng.next_bounded(n))});
+    }
+  }
+  return edges;
+}
+
+class BuilderFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuilderFuzz, MatchesNaiveReference) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const std::int64_t n = 200;
+  const auto edges = random_messy_edges(n, 600, seed);
+  const Graph g = build_undirected(edges, n);
+  const auto ref = reference_adjacency(edges);
+
+  std::int64_t ref_stored = 0;
+  for (const auto& [_, nbrs] : ref)
+    ref_stored += static_cast<std::int64_t>(nbrs.size());
+  ASSERT_EQ(g.num_stored_edges(), ref_stored);
+
+  for (std::int64_t v = 0; v < n; ++v) {
+    const auto it = ref.find(static_cast<NodeID>(v));
+    const std::int64_t ref_deg =
+        it == ref.end() ? 0 : static_cast<std::int64_t>(it->second.size());
+    ASSERT_EQ(g.out_degree(static_cast<NodeID>(v)), ref_deg) << "v=" << v;
+    if (it == ref.end()) continue;
+    std::vector<NodeID> got(g.out_neigh(static_cast<NodeID>(v)).begin(),
+                            g.out_neigh(static_cast<NodeID>(v)).end());
+    std::vector<NodeID> want(it->second.begin(), it->second.end());
+    ASSERT_EQ(got, want) << "row " << v;
+  }
+}
+
+TEST_P(BuilderFuzz, StructuralInvariantsHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+  const std::int64_t n = 300;
+  const Graph g = build_undirected(random_messy_edges(n, 900, seed), n);
+
+  const auto& off = g.offsets();
+  ASSERT_EQ(off[0], 0);
+  ASSERT_EQ(off[n], g.num_stored_edges());
+  for (std::int64_t v = 0; v < n; ++v) {
+    ASSERT_LE(off[v], off[v + 1]);
+    NodeID prev = -1;
+    for (NodeID w : g.out_neigh(static_cast<NodeID>(v))) {
+      ASSERT_GT(w, prev) << "row not strictly sorted (dup?) at " << v;
+      ASSERT_NE(w, static_cast<NodeID>(v)) << "self loop survived at " << v;
+      prev = w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,150 @@
+// Watts–Strogatz small-world and random geometric generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "cc/component_stats.hpp"
+#include "cc/union_find.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/geometric.hpp"
+#include "graph/generators/smallworld.hpp"
+#include "graph/generators/suite.hpp"
+#include "graph/stats.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+// ------------------------------------------------------------ small world
+
+TEST(SmallWorld, InvalidParametersThrow) {
+  EXPECT_THROW(generate_small_world_edges<NodeID>(10, 0, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_small_world_edges<NodeID>(10, 10, 0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_small_world_edges<NodeID>(10, 2, -0.1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_small_world_edges<NodeID>(10, 2, 1.1, 1),
+               std::invalid_argument);
+}
+
+TEST(SmallWorld, BetaZeroIsRingLattice) {
+  const auto edges = generate_small_world_edges<NodeID>(12, 2, 0.0, 1);
+  EXPECT_EQ(edges.size(), 24u);
+  const Graph g = build_undirected(edges, 12);
+  for (NodeID v = 0; v < 12; ++v) EXPECT_EQ(g.out_degree(v), 4);
+  // Ring is connected with diameter ~ n/(2k).
+  EXPECT_EQ(count_components(union_find_cc(g)), 1);
+  EXPECT_EQ(approximate_diameter(g), 3);
+}
+
+TEST(SmallWorld, RewiringShrinksDiameter) {
+  const std::int64_t n = 2048;
+  const Graph ring = build_undirected(
+      generate_small_world_edges<NodeID>(n, 3, 0.0, 2), n);
+  const Graph rewired = build_undirected(
+      generate_small_world_edges<NodeID>(n, 3, 0.2, 2), n);
+  EXPECT_LT(approximate_diameter(rewired), approximate_diameter(ring) / 4);
+}
+
+TEST(SmallWorld, Deterministic) {
+  const auto a = generate_small_world_edges<NodeID>(100, 3, 0.3, 7);
+  const auto b = generate_small_world_edges<NodeID>(100, 3, 0.3, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_TRUE(a[i] == b[i]);
+}
+
+TEST(SmallWorld, NoSelfLoopsEmitted) {
+  for (const auto& [u, v] :
+       generate_small_world_edges<NodeID>(64, 2, 1.0, 9))
+    ASSERT_NE(u, v);
+}
+
+// -------------------------------------------------------------- geometric
+
+TEST(Geometric, InvalidRadiusThrows) {
+  EXPECT_THROW(generate_geometric_edges<NodeID>(10, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_geometric_edges<NodeID>(10, 1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(Geometric, Deterministic) {
+  const auto a = generate_geometric_edges<NodeID>(500, 0.05, 3);
+  const auto b = generate_geometric_edges<NodeID>(500, 0.05, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_TRUE(a[i] == b[i]);
+}
+
+TEST(Geometric, ExpectedDegreeTracksRadius) {
+  // E[deg] ≈ n·pi·r^2 in the unit square (minus boundary effects).
+  const std::int64_t n = 4000;
+  const double r = 0.03;
+  const Graph g =
+      build_undirected(generate_geometric_edges<NodeID>(n, r, 5), n);
+  const double expected = static_cast<double>(n) * 3.14159265 * r * r;
+  EXPECT_NEAR(compute_degree_stats(g).average_degree, expected,
+              expected * 0.3);
+}
+
+TEST(Geometric, MatchesBruteForceOnSmallInput) {
+  // The grid-bucket construction must find exactly the pairs within r.
+  const std::int64_t n = 120;
+  const double r = 0.2;
+  const auto edges = generate_geometric_edges<NodeID>(n, r, 8);
+  // Count via O(n^2) reference using the same point stream.
+  Xoshiro256 rng(8);
+  std::vector<double> xs(n), ys(n);
+  for (std::int64_t v = 0; v < n; ++v) {
+    xs[v] = rng.next_double();
+    ys[v] = rng.next_double();
+  }
+  std::int64_t expected = 0;
+  for (std::int64_t a = 0; a < n; ++a)
+    for (std::int64_t b = a + 1; b < n; ++b) {
+      const double dx = xs[a] - xs[b], dy = ys[a] - ys[b];
+      if (dx * dx + dy * dy <= r * r) ++expected;
+    }
+  EXPECT_EQ(static_cast<std::int64_t>(edges.size()), expected);
+}
+
+TEST(Geometric, SupercriticalRadiusConnects) {
+  // r well above the connectivity threshold sqrt(ln n / (pi n)).
+  const std::int64_t n = 2000;
+  const double r = 3.0 * std::sqrt(std::log(static_cast<double>(n)) /
+                                   (3.14159265 * static_cast<double>(n)));
+  const Graph g =
+      build_undirected(generate_geometric_edges<NodeID>(n, r, 4), n);
+  EXPECT_GT(summarize_components(union_find_cc(g)).largest_fraction, 0.99);
+}
+
+TEST(Geometric, SubcriticalRadiusFragments) {
+  const std::int64_t n = 2000;
+  const Graph g =
+      build_undirected(generate_geometric_edges<NodeID>(n, 0.005, 4), n);
+  EXPECT_GT(summarize_components(union_find_cc(g)).num_components, 100);
+}
+
+// ------------------------------------------------- extended suite names
+
+TEST(ExtendedSuite, NamedFamiliesBuildAndAreConnectedEnough) {
+  for (const auto* name : {"smallworld", "rgg", "regular"}) {
+    const Graph g = make_suite_graph(name, 10);
+    EXPECT_GT(g.num_edges(), 0) << name;
+    EXPECT_GT(summarize_components(union_find_cc(g)).largest_fraction, 0.5)
+        << name;
+  }
+}
+
+TEST(ExtendedSuite, NotListedInTableIII) {
+  EXPECT_FALSE(is_suite_graph("smallworld"));
+  EXPECT_FALSE(is_suite_graph("rgg"));
+  EXPECT_FALSE(is_suite_graph("regular"));
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cc/component_stats.hpp"
+#include "cc/union_find.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/component_mix.hpp"
+#include "graph/generators/kronecker.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/generators/suite.hpp"
+#include "graph/generators/uniform.hpp"
+#include "graph/generators/webgraph.hpp"
+#include "graph/stats.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+// ---------------------------------------------------------------- uniform
+
+TEST(UniformGenerator, ProducesRequestedEdgeCount) {
+  const auto edges = generate_uniform_edges<NodeID>(1000, 5000, 1);
+  EXPECT_EQ(edges.size(), 5000u);
+}
+
+TEST(UniformGenerator, VerticesInRange) {
+  const auto edges = generate_uniform_edges<NodeID>(100, 2000, 2);
+  for (const auto& [u, v] : edges) {
+    ASSERT_GE(u, 0);
+    ASSERT_LT(u, 100);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+  }
+}
+
+TEST(UniformGenerator, DeterministicForSeed) {
+  const auto a = generate_uniform_edges<NodeID>(100, 500, 7);
+  const auto b = generate_uniform_edges<NodeID>(100, 500, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_TRUE(a[i] == b[i]);
+}
+
+TEST(UniformGenerator, DifferentSeedsDiffer) {
+  const auto a = generate_uniform_edges<NodeID>(1000, 500, 1);
+  const auto b = generate_uniform_edges<NodeID>(1000, 500, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!(a[i] == b[i])) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(UniformGenerator, DenseGraphIsOneGiantComponent) {
+  // avg degree 16 >> ln(n): connected w.h.p.
+  const Graph g =
+      build_undirected(generate_uniform_edges<NodeID>(1 << 10, 8 << 10, 3),
+                       1 << 10);
+  const auto s = summarize_components(union_find_cc(g));
+  EXPECT_GT(s.largest_fraction, 0.99);
+}
+
+// --------------------------------------------------------------- kronecker
+
+TEST(KroneckerGenerator, EdgeAndVertexCounts) {
+  const auto edges = generate_kronecker_edges<NodeID>(10, 16, 1);
+  EXPECT_EQ(edges.size(), static_cast<std::size_t>(16 << 10));
+  for (const auto& [u, v] : edges) {
+    ASSERT_GE(u, 0);
+    ASSERT_LT(u, 1 << 10);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1 << 10);
+  }
+}
+
+TEST(KroneckerGenerator, Deterministic) {
+  const auto a = generate_kronecker_edges<NodeID>(8, 8, 5);
+  const auto b = generate_kronecker_edges<NodeID>(8, 8, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_TRUE(a[i] == b[i]);
+}
+
+TEST(KroneckerGenerator, DegreeDistributionIsSkewed) {
+  const Graph g = build_undirected(
+      generate_kronecker_edges<NodeID>(12, 16, 1), 1 << 12);
+  const auto s = compute_degree_stats(g);
+  // Power-law-like: max degree far above average, and isolated vertices
+  // exist (both are signature Kronecker properties).
+  EXPECT_GT(static_cast<double>(s.max_degree), 10 * s.average_degree);
+  EXPECT_GT(s.num_isolated, 0);
+}
+
+// -------------------------------------------------------------------- road
+
+TEST(RoadGenerator, FullLatticeEdgeCount) {
+  // width*height lattice with keep_prob=1: (w-1)*h + w*(h-1) edges.
+  const auto edges = generate_road_edges<NodeID>(10, 10, 1, {1.0, 0.0});
+  EXPECT_EQ(edges.size(), 180u);
+}
+
+TEST(RoadGenerator, LowAverageDegree) {
+  const Graph g =
+      build_undirected(generate_road_edges<NodeID>(50, 50, 2), 2500);
+  EXPECT_LT(compute_degree_stats(g).average_degree, 5.0);
+}
+
+TEST(RoadGenerator, Deterministic) {
+  const auto a = generate_road_edges<NodeID>(20, 20, 9);
+  const auto b = generate_road_edges<NodeID>(20, 20, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_TRUE(a[i] == b[i]);
+}
+
+TEST(RoadGenerator, SubcriticalLatticeFragments) {
+  // keep_prob well below the 2D bond-percolation threshold (0.5) must
+  // produce many components.
+  const Graph g = build_undirected(
+      generate_road_edges<NodeID>(64, 64, 3, {0.4, 0.0}), 64 * 64);
+  EXPECT_GT(summarize_components(union_find_cc(g)).num_components, 100);
+}
+
+// --------------------------------------------------------------------- web
+
+TEST(WebGenerator, Deterministic) {
+  const auto a = generate_web_edges<NodeID>(2000, 11);
+  const auto b = generate_web_edges<NodeID>(2000, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_TRUE(a[i] == b[i]);
+}
+
+TEST(WebGenerator, TargetsPrecedeSources) {
+  // The copying model only links to earlier pages.
+  const auto edges = generate_web_edges<NodeID>(500, 1);
+  for (const auto& [u, v] : edges) ASSERT_LT(v, u);
+}
+
+TEST(WebGenerator, SkewAndGiantComponent) {
+  const Graph g =
+      build_undirected(generate_web_edges<NodeID>(1 << 12, 1), 1 << 12);
+  const auto deg = compute_degree_stats(g);
+  EXPECT_GT(static_cast<double>(deg.max_degree), 5 * deg.average_degree);
+  const auto s = summarize_components(union_find_cc(g));
+  EXPECT_GT(s.largest_fraction, 0.9);
+}
+
+// ----------------------------------------------------------- component mix
+
+TEST(ComponentMix, FractionOneIsSingleComponent) {
+  const Graph g = build_undirected(
+      generate_component_mix_edges<NodeID>(1 << 10, 8.0, 1.0, 1), 1 << 10);
+  EXPECT_EQ(summarize_components(union_find_cc(g)).num_components, 1);
+}
+
+TEST(ComponentMix, SmallFractionYieldsManyEqualComponents) {
+  const double f = 1.0 / 64.0;
+  const Graph g = build_undirected(
+      generate_component_mix_edges<NodeID>(1 << 12, 8.0, f, 1), 1 << 12);
+  const auto s = summarize_components(union_find_cc(g));
+  EXPECT_EQ(s.num_components, 64);
+  EXPECT_EQ(s.largest_size, (1 << 12) / 64);
+}
+
+TEST(ComponentMix, AverageDegreeApproximatelyRequested) {
+  const Graph g = build_undirected(
+      generate_component_mix_edges<NodeID>(1 << 12, 8.0, 0.25, 1), 1 << 12);
+  // Duplicates removed by builder shave a little off.
+  EXPECT_NEAR(compute_degree_stats(g).average_degree, 8.0, 1.0);
+}
+
+TEST(ComponentMix, InvalidFractionThrows) {
+  EXPECT_THROW(generate_component_mix_edges<NodeID>(100, 4.0, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_component_mix_edges<NodeID>(100, 4.0, 1.5, 1),
+               std::invalid_argument);
+  EXPECT_THROW(generate_component_mix_edges<NodeID>(100, 4.0, 0.001, 1),
+               std::invalid_argument);
+}
+
+TEST(ComponentMix, RemainderFormsExtraComponent) {
+  // 100 vertices, f=0.3: components of 30/30/30 plus a 10-vertex remainder.
+  const Graph g = build_undirected(
+      generate_component_mix_edges<NodeID>(100, 4.0, 0.3, 2), 100);
+  const auto sizes = component_sizes(union_find_cc(g));
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0], 30);
+  EXPECT_EQ(sizes[3], 10);
+}
+
+// ------------------------------------------------------------------- suite
+
+TEST(Suite, AllFamiliesBuildAndAreNonTrivial) {
+  for (const auto& e : graph_suite_entries()) {
+    const Graph g = make_suite_graph(e.name, 10);
+    EXPECT_GT(g.num_nodes(), 0) << e.name;
+    EXPECT_GT(g.num_edges(), 0) << e.name;
+    EXPECT_FALSE(g.directed()) << e.name;
+  }
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_suite_graph("not-a-graph", 10), std::invalid_argument);
+}
+
+TEST(Suite, IsSuiteGraphMatchesEntries) {
+  EXPECT_TRUE(is_suite_graph("web"));
+  EXPECT_TRUE(is_suite_graph("kron"));
+  EXPECT_FALSE(is_suite_graph("webb"));
+}
+
+TEST(Suite, DeterministicAcrossCalls) {
+  const Graph a = make_suite_graph("twitter", 10, 5);
+  const Graph b = make_suite_graph("twitter", 10, 5);
+  ASSERT_EQ(a.num_stored_edges(), b.num_stored_edges());
+  for (std::int64_t v = 0; v < a.num_nodes(); ++v)
+    ASSERT_EQ(a.out_degree(static_cast<NodeID>(v)),
+              b.out_degree(static_cast<NodeID>(v)));
+}
+
+TEST(Suite, TopologyClassesMatchPaper) {
+  // road/osm-eur: sparse; urand: single giant component; osm-eur: many
+  // components (paper Table III).
+  const Graph road = make_suite_graph("road", 12);
+  EXPECT_LT(compute_degree_stats(road).average_degree, 5.0);
+
+  const Graph urand = make_suite_graph("urand", 12);
+  EXPECT_GT(summarize_components(union_find_cc(urand)).largest_fraction,
+            0.99);
+
+  const Graph osm = make_suite_graph("osm-eur", 12);
+  EXPECT_GT(summarize_components(union_find_cc(osm)).num_components, 50);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,118 @@
+// MatrixMarket reader tests.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cc/union_find.hpp"
+#include "graph/io.hpp"
+
+namespace afforest {
+namespace {
+
+class MtxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_mtx_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write_file(const std::string& name,
+                         const std::string& contents) {
+    const auto p = (dir_ / name).string();
+    std::ofstream out(p);
+    out << contents;
+    return p;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(MtxTest, PatternSymmetricParses) {
+  const auto p = write_file("a.mtx",
+                            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+                            "% a comment\n"
+                            "4 4 3\n"
+                            "2 1\n"
+                            "3 2\n"
+                            "4 4\n");
+  const auto data = read_matrix_market(p);
+  EXPECT_EQ(data.num_nodes, 4);
+  ASSERT_EQ(data.edges.size(), 3u);
+  EXPECT_EQ(data.edges[0].u, 1);  // converted to 0-indexed
+  EXPECT_EQ(data.edges[0].v, 0);
+}
+
+TEST_F(MtxTest, RealGeneralValuesIgnored) {
+  const auto p = write_file("b.mtx",
+                            "%%MatrixMarket matrix coordinate real general\n"
+                            "3 3 2\n"
+                            "1 2 0.5\n"
+                            "3 1 -2.25\n");
+  const auto data = read_matrix_market(p);
+  EXPECT_EQ(data.edges.size(), 2u);
+  EXPECT_EQ(data.edges[1].u, 2);
+  EXPECT_EQ(data.edges[1].v, 0);
+}
+
+TEST_F(MtxTest, RectangularUsesMaxDimension) {
+  const auto p = write_file("r.mtx",
+                            "%%MatrixMarket matrix coordinate pattern general\n"
+                            "2 5 1\n"
+                            "1 5\n");
+  EXPECT_EQ(read_matrix_market(p).num_nodes, 5);
+}
+
+TEST_F(MtxTest, MissingBannerThrows) {
+  const auto p = write_file("bad.mtx", "not a banner\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(p), std::runtime_error);
+}
+
+TEST_F(MtxTest, UnsupportedVariantsThrow) {
+  const auto arr = write_file(
+      "arr.mtx", "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+  EXPECT_THROW(read_matrix_market(arr), std::runtime_error);
+  const auto cx = write_file(
+      "cx.mtx",
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 0 0\n");
+  EXPECT_THROW(read_matrix_market(cx), std::runtime_error);
+  const auto skew = write_file(
+      "skew.mtx",
+      "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n2 1\n");
+  EXPECT_THROW(read_matrix_market(skew), std::runtime_error);
+}
+
+TEST_F(MtxTest, IndexOutOfRangeThrows) {
+  const auto p = write_file("oob.mtx",
+                            "%%MatrixMarket matrix coordinate pattern general\n"
+                            "2 2 1\n"
+                            "3 1\n");
+  EXPECT_THROW(read_matrix_market(p), std::runtime_error);
+}
+
+TEST_F(MtxTest, EntryCountMismatchThrows) {
+  const auto p = write_file("short.mtx",
+                            "%%MatrixMarket matrix coordinate pattern general\n"
+                            "3 3 5\n"
+                            "1 2\n");
+  EXPECT_THROW(read_matrix_market(p), std::runtime_error);
+}
+
+TEST_F(MtxTest, LoadGraphBuildsUndirectedComponents) {
+  const auto p = write_file("g.mtx",
+                            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+                            "5 5 2\n"
+                            "2 1\n"
+                            "4 3\n");
+  const Graph g = load_graph(p);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(count_components(union_find_cc(g)), 3);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,106 @@
+#include "graph/permute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cc/component_stats.hpp"
+#include "cc/registry.hpp"
+#include "cc/verifier.hpp"
+#include "cc/union_find.hpp"
+#include "graph/generators/suite.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(Permutation, RandomIsBijection) {
+  const auto perm = random_permutation<NodeID>(1000, 3);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(Permutation, RandomIsDeterministicPerSeed) {
+  const auto a = random_permutation<NodeID>(100, 5);
+  const auto b = random_permutation<NodeID>(100, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(Permutation, DegreeDescendingPutsHubsFirst) {
+  const Graph g = make_suite_graph("kron", 9);
+  const auto perm = degree_descending_permutation(g);
+  ASSERT_TRUE(is_permutation(perm));
+  // The vertex mapped to new id 0 must have the maximum degree.
+  NodeID hub = 0;
+  for (std::int64_t v = 0; v < g.num_nodes(); ++v)
+    if (perm[v] == 0) hub = static_cast<NodeID>(v);
+  for (std::int64_t v = 0; v < g.num_nodes(); ++v)
+    ASSERT_LE(g.out_degree(static_cast<NodeID>(v)), g.out_degree(hub));
+}
+
+TEST(Permutation, AscendingIsReverseOfDescending) {
+  const Graph g = make_suite_graph("web", 8);
+  const auto desc = degree_descending_permutation(g);
+  const auto asc = degree_ascending_permutation(g);
+  ASSERT_TRUE(is_permutation(asc));
+  const auto n = static_cast<NodeID>(g.num_nodes());
+  for (std::size_t v = 0; v < desc.size(); ++v)
+    ASSERT_EQ(asc[v], static_cast<NodeID>(n - 1 - desc[v]));
+}
+
+TEST(Permutation, IsPermutationRejectsDuplicatesAndOutOfRange) {
+  Permutation<NodeID> dup{0, 0, 2};
+  EXPECT_FALSE(is_permutation(dup));
+  Permutation<NodeID> oob{0, 3, 1};
+  EXPECT_FALSE(is_permutation(oob));
+  Permutation<NodeID> neg{0, -1, 1};
+  EXPECT_FALSE(is_permutation(neg));
+}
+
+TEST(Relabel, PreservesComponentSizeMultiset) {
+  const Graph g = make_suite_graph("osm-eur", 10);
+  const auto perm = random_permutation<NodeID>(g.num_nodes(), 9);
+  const Graph h = relabel(g, perm);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(component_sizes(union_find_cc(g)),
+            component_sizes(union_find_cc(h)));
+}
+
+TEST(Relabel, EdgesMapThroughPermutation) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}, {1, 2}}, 3);
+  Permutation<NodeID> perm{2, 0, 1};  // 0->2, 1->0, 2->1
+  const Graph h = relabel(g, perm);
+  // Edge {0,1} -> {2,0}; edge {1,2} -> {0,1}.
+  const auto n0 = h.out_neigh(0);
+  EXPECT_EQ(n0.size(), 2);  // 0 connects to 1 and 2
+  EXPECT_EQ(h.out_degree(1), 1);
+  EXPECT_EQ(h.out_degree(2), 1);
+}
+
+TEST(Relabel, WrongSizePermutationThrows) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}}, 2);
+  Permutation<NodeID> perm{0};
+  EXPECT_THROW(relabel(g, perm), std::invalid_argument);
+}
+
+TEST(Relabel, DirectedGraphKeepsArcDirections) {
+  const auto g = build_directed(EdgeList<NodeID>{{0, 1}}, 2);
+  Permutation<NodeID> perm{1, 0};
+  const auto h = relabel(g, perm);
+  EXPECT_TRUE(h.directed());
+  EXPECT_EQ(h.out_degree(1), 1);  // arc now 1->0
+  EXPECT_EQ(h.out_degree(0), 0);
+  EXPECT_EQ(h.in_degree(0), 1);
+}
+
+TEST(Relabel, AllAlgorithmsAgreeOnRelabeledGraph) {
+  const Graph g = make_suite_graph("twitter", 9);
+  const Graph h = relabel(g, random_permutation<NodeID>(g.num_nodes(), 13));
+  const auto truth = union_find_cc(h);
+  for (const auto& a : cc_algorithms())
+    ASSERT_TRUE(labels_equivalent(a.run(h), truth)) << a.name;
+}
+
+}  // namespace
+}  // namespace afforest

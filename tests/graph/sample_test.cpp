@@ -1,0 +1,125 @@
+// Subgraph sampling utilities and the d-regular generator (§IV-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cc/component_stats.hpp"
+#include "cc/union_find.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/regular.hpp"
+#include "graph/sample.hpp"
+#include "graph/stats.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(RegularGenerator, OddStubCountThrows) {
+  EXPECT_THROW(generate_regular_edges<NodeID>(3, 3, 1),
+               std::invalid_argument);
+}
+
+TEST(RegularGenerator, ProducesHalfNDEdges) {
+  const auto edges = generate_regular_edges<NodeID>(100, 4, 1);
+  EXPECT_EQ(edges.size(), 200u);
+}
+
+TEST(RegularGenerator, DegreesAreNearlyRegular) {
+  // Configuration model: every vertex has exactly d stubs, so the stored
+  // degree never exceeds d, and self-loop/duplicate cleanup shaves only a
+  // vanishing fraction off the average.
+  const std::int64_t n = 1 << 12, d = 6;
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(n, d, 7), n);
+  const auto s = compute_degree_stats(g);
+  EXPECT_LE(s.max_degree, d);
+  EXPECT_GT(s.average_degree, static_cast<double>(d) - 0.5);
+}
+
+TEST(RegularGenerator, Deterministic) {
+  const auto a = generate_regular_edges<NodeID>(64, 4, 9);
+  const auto b = generate_regular_edges<NodeID>(64, 4, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_TRUE(a[i] == b[i]);
+}
+
+TEST(RegularGenerator, SupercriticalGraphIsConnected) {
+  // d >= 3 random regular graphs are connected w.h.p.
+  const std::int64_t n = 1 << 11;
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(n, 4, 3), n);
+  EXPECT_GT(summarize_components(union_find_cc(g)).largest_fraction, 0.99);
+}
+
+TEST(UniformEdgeSample, ProbabilityZeroAndOne) {
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(256, 4, 1), 256);
+  EXPECT_TRUE(uniform_edge_sample(g, 0.0, 1).empty());
+  EXPECT_EQ(static_cast<std::int64_t>(uniform_edge_sample(g, 1.0, 1).size()),
+            g.num_edges());
+}
+
+TEST(UniformEdgeSample, ExpectationMatchesP) {
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(1 << 12, 8, 2),
+                       1 << 12);
+  const double p = 0.25;
+  const auto sample = uniform_edge_sample(g, p, 11);
+  const double expected = p * static_cast<double>(g.num_edges());
+  EXPECT_NEAR(static_cast<double>(sample.size()), expected,
+              4 * std::sqrt(expected));  // ~4 sigma
+}
+
+TEST(UniformEdgeSample, SampledEdgesExistInGraph) {
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(128, 4, 5), 128);
+  for (const auto& [u, v] : uniform_edge_sample(g, 0.5, 3)) {
+    const auto nbrs = g.out_neigh(u);
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), v));
+    EXPECT_LT(u, v);
+  }
+}
+
+TEST(Claim1, SamplingAboveThresholdKeepsGiantComponent) {
+  // §IV-B / Frieze et al.: p = (1+eps)/d on a d-regular graph leaves a
+  // Theta(n) component; expected sampled edges are O(n).
+  const std::int64_t n = 1 << 13, d = 16;
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(n, d, 4), n);
+  const double p = 2.0 / static_cast<double>(d);  // eps = 1
+  const auto sampled = uniform_edge_sample(g, p, 9);
+  EXPECT_LT(static_cast<double>(sampled.size()), 1.5 * static_cast<double>(n));
+  const Graph gs = build_undirected(sampled, n);
+  const auto s = summarize_components(union_find_cc(gs));
+  EXPECT_GT(s.largest_fraction, 0.5);  // Theta(n) giant component
+}
+
+TEST(NeighborSample, CountsMatchDegreeTruncation) {
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(512, 6, 8), 512);
+  const auto sample = neighbor_sample(g, 2);
+  std::int64_t expected = 0;
+  for (std::int64_t v = 0; v < g.num_nodes(); ++v)
+    expected += std::min<std::int64_t>(2, g.out_degree(static_cast<NodeID>(v)));
+  EXPECT_EQ(static_cast<std::int64_t>(sample.size()), expected);
+}
+
+TEST(NeighborSample, ZeroRoundsIsEmpty) {
+  const Graph g =
+      build_undirected(generate_regular_edges<NodeID>(64, 4, 8), 64);
+  EXPECT_TRUE(neighbor_sample(g, 0).empty());
+}
+
+TEST(NeighborSample, CoversFirstNeighbors) {
+  const Graph g = build_undirected(EdgeList<NodeID>{{0, 1}, {0, 2}, {0, 3}}, 4);
+  const auto sample = neighbor_sample(g, 1);
+  // Each vertex contributes its first (lowest) neighbor.
+  ASSERT_EQ(sample.size(), 4u);
+  EXPECT_EQ(sample[0].v, 1);  // vertex 0's first neighbor
+  EXPECT_EQ(sample[1].v, 0);  // vertex 1's
+}
+
+}  // namespace
+}  // namespace afforest

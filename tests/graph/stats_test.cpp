@@ -1,0 +1,91 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators/road.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+Graph path_graph(NodeID n) {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < n; ++i) edges.push_back({static_cast<NodeID>(i - 1), i});
+  return build_undirected(edges, n);
+}
+
+TEST(DegreeStats, PathGraph) {
+  const Graph g = path_graph(10);
+  const auto s = compute_degree_stats(g);
+  EXPECT_EQ(s.num_nodes, 10);
+  EXPECT_EQ(s.num_edges, 9);
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_EQ(s.num_isolated, 0);
+  EXPECT_EQ(s.num_degree_one, 2);  // the two endpoints
+  EXPECT_NEAR(s.average_degree, 18.0 / 10.0, 1e-12);
+}
+
+TEST(DegreeStats, IsolatedVerticesCounted) {
+  EdgeList<NodeID> edges{{0, 1}};
+  const Graph g = build_undirected(edges, 5);
+  const auto s = compute_degree_stats(g);
+  EXPECT_EQ(s.num_isolated, 3);
+  EXPECT_EQ(s.num_degree_one, 2);
+}
+
+TEST(DegreeHistogram, BucketsAreLog2) {
+  // Star with 8 leaves: center degree 8 (bucket 3), leaves degree 1
+  // (bucket 0).
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i <= 8; ++i) edges.push_back({0, i});
+  const Graph g = build_undirected(edges);
+  const auto hist = degree_histogram_log2(g);
+  ASSERT_GE(hist.size(), 4u);
+  EXPECT_EQ(hist[0], 8);  // leaves
+  EXPECT_EQ(hist[3], 1);  // center
+}
+
+TEST(DegreeHistogram, TrailingZerosTrimmed) {
+  const Graph g = path_graph(4);
+  const auto hist = degree_histogram_log2(g);
+  EXPECT_GE(hist.size(), 1u);
+  EXPECT_NE(hist.back(), 0);
+}
+
+TEST(ApproximateDiameter, PathGraphIsExact) {
+  const Graph g = path_graph(50);
+  // Double-sweep from any vertex finds the exact diameter on a path.
+  EXPECT_EQ(approximate_diameter(g, 25), 49);
+}
+
+TEST(ApproximateDiameter, StarIsTwo) {
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i <= 6; ++i) edges.push_back({0, i});
+  const Graph g = build_undirected(edges);
+  EXPECT_EQ(approximate_diameter(g, 0), 2);
+}
+
+TEST(ApproximateDiameter, EmptyGraphIsZero) {
+  EdgeList<NodeID> edges;
+  const Graph g = build_undirected(edges, 0);
+  EXPECT_EQ(approximate_diameter(g), 0);
+}
+
+TEST(ApproximateDiameter, RoadModelHasHighDiameter) {
+  // A 64x64 lattice should have diameter ~ at least its side length.
+  const Graph g =
+      build_undirected(generate_road_edges<NodeID>(64, 64, 1, {1.0, 0.0}));
+  EXPECT_GE(approximate_diameter(g, 0), 64);
+}
+
+TEST(FormatDegreeStats, ContainsKeyFields) {
+  const Graph g = path_graph(3);
+  const auto str = format_degree_stats(compute_degree_stats(g));
+  EXPECT_NE(str.find("V=3"), std::string::npos);
+  EXPECT_NE(str.find("E=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,64 @@
+// In-process tests of the standalone-app driver protocol (apps/driver.hpp).
+#include "apps/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace afforest {
+namespace {
+
+int run(const std::string& algo, std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  static char prog[] = "app";
+  argv.push_back(prog);
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return apps::run_cc_app(static_cast<int>(argv.size()), argv.data(), algo);
+}
+
+TEST(AppsDriver, GeneratedGraphRunsAndVerifies) {
+  EXPECT_EQ(run("afforest", {"--generate", "kron", "--scale", "10",
+                             "--trials", "2", "--verify"}),
+            0);
+}
+
+TEST(AppsDriver, EveryRegisteredAlgorithmRuns) {
+  for (const auto& a : cc_algorithms())
+    EXPECT_EQ(run(a.name, {"--generate", "urand", "--scale", "9", "--trials",
+                           "1", "--verify"}),
+              0)
+        << a.name;
+}
+
+TEST(AppsDriver, HelpReturnsZeroWithoutRunning) {
+  EXPECT_EQ(run("sv", {"--help"}), 0);
+}
+
+TEST(AppsDriver, MissingFileIsReportedAsError) {
+  EXPECT_EQ(run("afforest", {"--graph", "/nonexistent/g.el"}), 2);
+}
+
+TEST(AppsDriver, UnknownFamilyIsReportedAsError) {
+  EXPECT_EQ(run("afforest", {"--generate", "not-a-family"}), 2);
+}
+
+TEST(AppsDriver, LoadsGraphFromFile) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("afforest_apps_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "g.el").string();
+  write_edge_list(path, EdgeList<std::int32_t>{{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(run("afforest",
+                {"--graph", path.c_str(), "--trials", "1", "--verify"}),
+            0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace afforest

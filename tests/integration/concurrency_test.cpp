@@ -1,0 +1,96 @@
+// Concurrency determinism and stress: lock-free kernels must give the same
+// partition on every run regardless of the OpenMP schedule, and Afforest's
+// min-id label convention must make outputs bitwise identical.
+#include <gtest/gtest.h>
+
+#include "cc/afforest.hpp"
+#include "cc/rem.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators/suite.hpp"
+#include "graph/generators/uniform.hpp"
+#include "util/platform.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(Concurrency, RepeatedAfforestRunsAreBitwiseIdentical) {
+  const Graph g = make_suite_graph("kron", 11);
+  const auto first = afforest_cc(g);
+  for (int run = 0; run < 20; ++run) {
+    const auto again = afforest_cc(g);
+    for (std::size_t v = 0; v < first.size(); ++v)
+      ASSERT_EQ(again[v], first[v]) << "run " << run << " v " << v;
+  }
+}
+
+TEST(Concurrency, RemParallelRepeatedRunsStableUnderStress) {
+  const Graph g = make_suite_graph("twitter", 10);
+  const auto truth = union_find_cc(g);
+  for (int run = 0; run < 20; ++run)
+    ASSERT_TRUE(labels_equivalent(rem_cc_parallel(g), truth)) << run;
+}
+
+TEST(Concurrency, ThreadCountSweepIdenticalLabels) {
+  const Graph g = make_suite_graph("web", 10);
+  const auto reference = afforest_cc(g);
+  const int original = num_threads();
+  for (int t : {1, 2, 3, 4, 8}) {
+    set_num_threads(t);
+    const auto labels = afforest_cc(g);
+    for (std::size_t v = 0; v < labels.size(); ++v)
+      ASSERT_EQ(labels[v], reference[v]) << "threads " << t;
+  }
+  set_num_threads(original);
+}
+
+TEST(Concurrency, HighContentionSingleHub) {
+  // Every edge touches the hub: maximal CAS contention on one root.
+  const std::int64_t n = 1 << 14;
+  EdgeList<NodeID> edges;
+  for (NodeID i = 1; i < n; ++i) edges.push_back({0, i});
+  const Graph g = build_undirected(edges, n);
+  for (int run = 0; run < 5; ++run) {
+    const auto comp = afforest_cc(g);
+    ASSERT_EQ(count_components(comp), 1) << run;
+    for (std::int64_t v = 0; v < n; ++v) ASSERT_EQ(comp[v], 0);
+  }
+}
+
+TEST(Concurrency, InterleavedLinkAndCompressConverges) {
+  // §III-B: compress may interleave with link phases in any pattern.
+  const std::int64_t n = 1 << 12;
+  const auto edges = generate_uniform_edges<NodeID>(n, 4 * n, 55);
+  const auto truth = union_find_cc(edges, n);
+  auto comp = identity_labels<NodeID>(n);
+  const std::int64_t m = static_cast<std::int64_t>(edges.size());
+  const std::int64_t stride = m / 7 + 1;
+  for (std::int64_t start = 0; start < m; start += stride) {
+    const std::int64_t end = std::min(m, start + stride);
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = start; i < end; ++i)
+      link(edges[i].u, edges[i].v, comp);
+    compress_all(comp);  // interleaved between subgraph phases
+  }
+  compress_all(comp);
+  EXPECT_TRUE(labels_equivalent(comp, truth));
+}
+
+TEST(Concurrency, MixedAlgorithmsShareGraphConcurrently) {
+  // Read-only graph shared by kernels launched back to back; results must
+  // not depend on residual state (each kernel owns its labels).
+  const Graph g = make_suite_graph("urand", 10);
+  const auto truth = union_find_cc(g);
+  const auto a = afforest_cc(g);
+  const auto b = rem_cc_parallel(g);
+  const auto c = afforest_no_skip(g);
+  EXPECT_TRUE(labels_equivalent(a, truth));
+  EXPECT_TRUE(labels_equivalent(b, truth));
+  EXPECT_TRUE(labels_equivalent(c, truth));
+}
+
+}  // namespace
+}  // namespace afforest

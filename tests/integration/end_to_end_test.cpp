@@ -1,0 +1,129 @@
+// Cross-module integration tests: generate → persist → reload → compute →
+// verify pipelines, exercising the same paths the benchmark binaries and
+// examples use.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "analysis/convergence.hpp"
+#include "analysis/instrumented.hpp"
+#include "cc/component_stats.hpp"
+#include "cc/registry.hpp"
+#include "cc/spanning_forest.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "graph/generators/suite.hpp"
+#include "util/platform.hpp"
+
+namespace afforest {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_e2e_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(EndToEndTest, GenerateSaveLoadComputeVerify) {
+  const Graph g = make_suite_graph("twitter", 10);
+  write_serialized_graph(path("g.sg"), g);
+  const Graph loaded = load_graph(path("g.sg"));
+  const auto truth = union_find_cc(loaded);
+  for (const auto& a : cc_algorithms())
+    ASSERT_TRUE(labels_equivalent(a.run(loaded), truth)) << a.name;
+}
+
+TEST_F(EndToEndTest, EdgeListFileFeedsEveryAlgorithm) {
+  const Graph g = make_suite_graph("kron", 9);
+  EdgeList<std::int32_t> edges;
+  for (std::int64_t u = 0; u < g.num_nodes(); ++u)
+    for (std::int32_t v : g.out_neigh(static_cast<std::int32_t>(u)))
+      if (static_cast<std::int32_t>(u) < v)
+        edges.push_back({static_cast<std::int32_t>(u), v});
+  write_edge_list(path("g.el"), edges);
+  const Graph loaded = load_graph(path("g.el"));
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_TRUE(labels_equivalent(cc_algorithm("afforest").run(loaded),
+                                union_find_cc(g)));
+}
+
+TEST_F(EndToEndTest, RoundTripPreservesComponentStructure) {
+  const Graph g = make_suite_graph("osm-eur", 10);
+  const auto before = summarize_components(union_find_cc(g));
+  write_serialized_graph(path("o.sg"), g);
+  const Graph loaded = load_graph(path("o.sg"));
+  const auto after = summarize_components(union_find_cc(loaded));
+  EXPECT_EQ(before.num_components, after.num_components);
+  EXPECT_EQ(before.largest_size, after.largest_size);
+}
+
+TEST(Integration, SpanningForestDrivesConvergenceOptimum) {
+  // The convergence module's optimal strategy must match a directly
+  // extracted spanning forest in edge count.
+  const Graph g = make_suite_graph("web", 9);
+  const auto forest = spanning_forest(g);
+  const auto truth = union_find_cc(g);
+  EXPECT_EQ(static_cast<std::int64_t>(forest.size()),
+            g.num_nodes() - count_components(truth));
+}
+
+TEST(Integration, ThreadCountDoesNotAffectResults) {
+  const Graph g = make_suite_graph("kron", 10);
+  const auto truth = union_find_cc(g);
+  const int original = num_threads();
+  for (int t : {1, 2, 4}) {
+    set_num_threads(t);
+    for (const auto& a : cc_algorithms())
+      ASSERT_TRUE(labels_equivalent(a.run(g), truth))
+          << a.name << " threads=" << t;
+  }
+  set_num_threads(original);
+}
+
+TEST(Integration, InstrumentedAndPlainAfforestAgree) {
+  const Graph g = make_suite_graph("urand", 10);
+  ComponentLabels<std::int32_t> instrumented_labels;
+  afforest_instrumented(g, &instrumented_labels);
+  EXPECT_TRUE(labels_equivalent(instrumented_labels,
+                                cc_algorithm("afforest").run(g)));
+}
+
+TEST(Integration, ConvergenceFinalStateMatchesDirectCC) {
+  const Graph g = make_suite_graph("twitter", 9);
+  ConvergenceOptions opts;
+  opts.strategy = PartitionStrategy::kRandomEdges;
+  const auto pts = measure_convergence(g, opts);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_DOUBLE_EQ(pts.back().linkage, 1.0);
+  const auto truth_components = count_components(union_find_cc(g));
+  EXPECT_EQ(count_components(cc_algorithm("afforest").run(g)),
+            truth_components);
+}
+
+TEST(Integration, SuiteStatisticsAreReproducible) {
+  // Regenerating a family twice must give identical stats (Table III
+  // depends on this).
+  for (const auto& e : graph_suite_entries()) {
+    const Graph a = make_suite_graph(e.name, 9);
+    const Graph b = make_suite_graph(e.name, 9);
+    EXPECT_EQ(a.num_edges(), b.num_edges()) << e.name;
+    EXPECT_EQ(count_components(union_find_cc(a)),
+              count_components(union_find_cc(b)))
+        << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace afforest

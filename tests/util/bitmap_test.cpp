@@ -1,0 +1,75 @@
+#include "util/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afforest {
+namespace {
+
+TEST(Bitmap, StartsAllClear) {
+  Bitmap bm(200);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(bm.get_bit(i));
+  EXPECT_EQ(bm.count(), 0);
+}
+
+TEST(Bitmap, SetBitIsVisible) {
+  Bitmap bm(100);
+  bm.set_bit(0);
+  bm.set_bit(63);
+  bm.set_bit(64);
+  bm.set_bit(99);
+  EXPECT_TRUE(bm.get_bit(0));
+  EXPECT_TRUE(bm.get_bit(63));
+  EXPECT_TRUE(bm.get_bit(64));
+  EXPECT_TRUE(bm.get_bit(99));
+  EXPECT_FALSE(bm.get_bit(1));
+  EXPECT_EQ(bm.count(), 4);
+}
+
+TEST(Bitmap, CountHandlesNonWordAlignedTail) {
+  Bitmap bm(65);  // one full word + 1 bit
+  bm.set_all();
+  EXPECT_EQ(bm.count(), 65);
+}
+
+TEST(Bitmap, CountExactWordMultiple) {
+  Bitmap bm(128);
+  bm.set_all();
+  EXPECT_EQ(bm.count(), 128);
+}
+
+TEST(Bitmap, ResetClearsEverything) {
+  Bitmap bm(300);
+  bm.set_all();
+  bm.reset();
+  EXPECT_EQ(bm.count(), 0);
+}
+
+TEST(Bitmap, AtomicSetUnderContention) {
+  const std::size_t n = 1 << 16;
+  Bitmap bm(n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i)
+    bm.set_bit_atomic(static_cast<std::size_t>(i));
+  EXPECT_EQ(bm.count(), static_cast<std::int64_t>(n));
+}
+
+TEST(Bitmap, AtomicSetSameWordFromManyIterations) {
+  Bitmap bm(64);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < 64; ++i) bm.set_bit_atomic(i);
+  EXPECT_EQ(bm.count(), 64);
+}
+
+TEST(Bitmap, SwapExchangesState) {
+  Bitmap a(10);
+  Bitmap b(20);
+  a.set_bit(3);
+  a.swap(b);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_TRUE(b.get_bit(3));
+  EXPECT_EQ(a.count(), 0);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,83 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace afforest {
+namespace {
+
+CommandLine parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CommandLine, SpaceSeparatedValue) {
+  auto cl = parse({"--scale", "16"});
+  EXPECT_EQ(cl.get_int("scale", 0), 16);
+}
+
+TEST(CommandLine, EqualsSeparatedValue) {
+  auto cl = parse({"--scale=18"});
+  EXPECT_EQ(cl.get_int("scale", 0), 18);
+}
+
+TEST(CommandLine, MissingFlagReturnsDefault) {
+  auto cl = parse({});
+  EXPECT_EQ(cl.get_int("scale", 12), 12);
+  EXPECT_EQ(cl.get_string("graph", "urand"), "urand");
+  EXPECT_DOUBLE_EQ(cl.get_double("frac", 0.5), 0.5);
+}
+
+TEST(CommandLine, BareFlagIsTrueBoolean) {
+  auto cl = parse({"--verbose"});
+  EXPECT_TRUE(cl.get_bool("verbose", false));
+}
+
+TEST(CommandLine, ExplicitBooleanValues) {
+  EXPECT_TRUE(parse({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+}
+
+TEST(CommandLine, DoubleParsing) {
+  auto cl = parse({"--frac", "0.125"});
+  EXPECT_DOUBLE_EQ(cl.get_double("frac", 0), 0.125);
+}
+
+TEST(CommandLine, NonFlagArgumentThrows) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(CommandLine, HelpFlagDetected) {
+  EXPECT_TRUE(parse({"--help"}).help_requested());
+  EXPECT_TRUE(parse({"-h"}).help_requested());
+  EXPECT_FALSE(parse({}).help_requested());
+}
+
+TEST(CommandLine, MultipleFlagsParseIndependently) {
+  auto cl = parse({"--graph", "web", "--scale=14", "--trials", "3"});
+  EXPECT_EQ(cl.get_string("graph", ""), "web");
+  EXPECT_EQ(cl.get_int("scale", 0), 14);
+  EXPECT_EQ(cl.get_int("trials", 0), 3);
+}
+
+TEST(CommandLine, UnknownFlagsReportsUnqueried) {
+  auto cl = parse({"--known", "1", "--typo", "2"});
+  (void)cl.get_int("known", 0);
+  const auto unknown = cl.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(CommandLine, DescribedFlagsAreNotUnknown) {
+  auto cl = parse({"--documented", "1"});
+  cl.describe("documented", "a documented flag");
+  EXPECT_TRUE(cl.unknown_flags().empty());
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,134 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+TEST(PrefixSum, EmptyInputYieldsSingleZero) {
+  pvector<std::int64_t> empty;
+  auto prefix = parallel_prefix_sum(empty);
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix[0], 0);
+}
+
+TEST(PrefixSum, SingleElement) {
+  pvector<std::int64_t> v{7};
+  auto prefix = parallel_prefix_sum(v);
+  ASSERT_EQ(prefix.size(), 2u);
+  EXPECT_EQ(prefix[0], 0);
+  EXPECT_EQ(prefix[1], 7);
+}
+
+TEST(PrefixSum, MatchesSerialReferenceOnRandomInput) {
+  Xoshiro256 rng(11);
+  pvector<std::int32_t> v(10007);
+  for (auto& x : v) x = static_cast<std::int32_t>(rng.next_bounded(100));
+  auto prefix = parallel_prefix_sum<std::int32_t, std::int64_t>(v);
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(prefix[i], acc) << "at index " << i;
+    acc += v[i];
+  }
+  EXPECT_EQ(prefix[v.size()], acc);
+}
+
+TEST(PrefixSum, ExactlyBlockBoundarySizes) {
+  // Sizes that stress the block partitioning (128 blocks internally).
+  for (std::size_t n : {127u, 128u, 129u, 255u, 256u, 4096u}) {
+    pvector<std::int64_t> v(n, 1);
+    auto prefix = parallel_prefix_sum(v);
+    for (std::size_t i = 0; i <= n; ++i)
+      ASSERT_EQ(prefix[i], static_cast<std::int64_t>(i)) << "n=" << n;
+  }
+}
+
+TEST(CompareAndSwap, SucceedsOnExpectedValue) {
+  std::int32_t x = 5;
+  EXPECT_TRUE(compare_and_swap(x, 5, 9));
+  EXPECT_EQ(x, 9);
+}
+
+TEST(CompareAndSwap, FailsOnMismatchWithoutModifying) {
+  std::int32_t x = 5;
+  EXPECT_FALSE(compare_and_swap(x, 4, 9));
+  EXPECT_EQ(x, 5);
+}
+
+TEST(AtomicFetchMin, ShrinksValue) {
+  std::int64_t x = 10;
+  EXPECT_TRUE(atomic_fetch_min(x, std::int64_t{3}));
+  EXPECT_EQ(x, 3);
+}
+
+TEST(AtomicFetchMin, IgnoresLargerValue) {
+  std::int64_t x = 10;
+  EXPECT_FALSE(atomic_fetch_min(x, std::int64_t{11}));
+  EXPECT_EQ(x, 10);
+  EXPECT_FALSE(atomic_fetch_min(x, std::int64_t{10}));
+  EXPECT_EQ(x, 10);
+}
+
+TEST(AtomicFetchMin, ParallelMinIsGlobalMin) {
+  std::int64_t x = 1 << 30;
+  const std::int64_t n = 100000;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 1; i <= n; ++i) atomic_fetch_min(x, i);
+  EXPECT_EQ(x, 1);
+}
+
+TEST(FetchAndAdd, ReturnsPreviousValue) {
+  std::int64_t x = 10;
+  EXPECT_EQ(fetch_and_add(x, std::int64_t{5}), 10);
+  EXPECT_EQ(x, 15);
+}
+
+TEST(FetchAndAdd, ParallelCountsAreExact) {
+  std::int64_t counter = 0;
+  const std::int64_t n = 200000;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) fetch_and_add(counter, std::int64_t{1});
+  EXPECT_EQ(counter, n);
+}
+
+TEST(ParallelSum, MatchesSerial) {
+  pvector<std::int32_t> v(12345);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int32_t>(i % 7);
+  std::int64_t expect = 0;
+  for (auto x : v) expect += x;
+  EXPECT_EQ(parallel_sum(v), expect);
+}
+
+TEST(ParallelMax, FindsMaximum) {
+  pvector<std::int32_t> v(1000, 0);
+  v[317] = 42;
+  EXPECT_EQ(parallel_max(v), 42);
+}
+
+TEST(ParallelMax, EmptyReturnsLowest) {
+  pvector<std::int32_t> v;
+  EXPECT_EQ(parallel_max(v), std::numeric_limits<std::int32_t>::lowest());
+}
+
+TEST(ParallelCountIf, CountsMatchingElements) {
+  pvector<std::int32_t> v(1000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int32_t>(i);
+  EXPECT_EQ(parallel_count_if(v, [](std::int32_t x) { return x % 2 == 0; }),
+            500);
+}
+
+TEST(AtomicLoadStore, RoundTrip) {
+  std::int32_t x = 0;
+  atomic_store(x, 77);
+  EXPECT_EQ(atomic_load(x), 77);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,48 @@
+#include "util/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+namespace afforest {
+namespace {
+
+TEST(Platform, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+TEST(Platform, SetNumThreadsIsObserved) {
+  const int original = num_threads();
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2);
+  int seen = 0;
+#pragma omp parallel
+  {
+#pragma omp single
+    seen = omp_get_num_threads();
+  }
+  EXPECT_LE(seen, 2);
+  set_num_threads(original);
+}
+
+TEST(Platform, SetNumThreadsClampsBelowOne) {
+  const int original = num_threads();
+  set_num_threads(0);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(-5);
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(original);
+}
+
+TEST(Platform, ThreadIdZeroOutsideParallelRegion) {
+  EXPECT_EQ(thread_id(), 0);
+}
+
+TEST(Platform, SummaryMentionsThreadCounts) {
+  const auto s = platform_summary();
+  EXPECT_NE(s.find("hardware_threads="), std::string::npos);
+  EXPECT_NE(s.find("omp_max_threads="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,137 @@
+#include "util/pvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+
+namespace afforest {
+namespace {
+
+TEST(PVector, DefaultConstructedIsEmpty) {
+  pvector<int> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(PVector, SizedConstructionAllocates) {
+  pvector<int> v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_FALSE(v.empty());
+}
+
+TEST(PVector, FillConstructorSetsEveryElement) {
+  pvector<std::int64_t> v(1000, 42);
+  for (auto x : v) EXPECT_EQ(x, 42);
+}
+
+TEST(PVector, InitializerList) {
+  pvector<int> v{1, 2, 3};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(PVector, FillOverwritesAllElements) {
+  pvector<int> v(257, 1);
+  v.fill(-7);
+  for (auto x : v) EXPECT_EQ(x, -7);
+}
+
+TEST(PVector, PushBackGrowsAcrossCapacityBoundaries) {
+  pvector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(PVector, ResizeSmallerKeepsPrefix) {
+  pvector<int> v(10);
+  std::iota(v.begin(), v.end(), 0);
+  v.resize(4);
+  ASSERT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(PVector, ResizeLargerPreservesOldElements) {
+  pvector<int> v(4);
+  std::iota(v.begin(), v.end(), 10);
+  v.resize(100);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], 10 + i);
+}
+
+TEST(PVector, ReserveDoesNotChangeSize) {
+  pvector<int> v;
+  v.push_back(5);
+  v.reserve(1000);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_GE(v.capacity(), 1000u);
+  EXPECT_EQ(v[0], 5);
+}
+
+TEST(PVector, CloneIsDeep) {
+  pvector<int> v(8, 3);
+  pvector<int> c = v.clone();
+  c[0] = 99;
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(c[0], 99);
+  EXPECT_EQ(c.size(), v.size());
+}
+
+TEST(PVector, MoveConstructionTransfersOwnership) {
+  pvector<int> v(5, 1);
+  const int* data = v.data();
+  pvector<int> w(std::move(v));
+  EXPECT_EQ(w.data(), data);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  EXPECT_EQ(w.size(), 5u);
+}
+
+TEST(PVector, MoveAssignmentReleasesOldStorage) {
+  pvector<int> v(5, 1);
+  pvector<int> w(3, 2);
+  w = std::move(v);
+  EXPECT_EQ(w.size(), 5u);
+  EXPECT_EQ(w[0], 1);
+}
+
+TEST(PVector, SwapExchangesContents) {
+  pvector<int> a(2, 1);
+  pvector<int> b(3, 9);
+  a.swap(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a[0], 9);
+  EXPECT_EQ(b[0], 1);
+}
+
+TEST(PVector, FrontBackAccessors) {
+  pvector<int> v{7, 8, 9};
+  EXPECT_EQ(v.front(), 7);
+  EXPECT_EQ(v.back(), 9);
+  v.back() = 10;
+  EXPECT_EQ(v[2], 10);
+}
+
+TEST(PVector, ClearResetsSizeButKeepsCapacity) {
+  pvector<int> v(100, 0);
+  const auto cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+TEST(PVector, LargeParallelFill) {
+  pvector<std::int32_t> v(1 << 20);
+  v.fill(123);
+  std::int64_t sum = 0;
+  for (auto x : v) sum += x;
+  EXPECT_EQ(sum, 123LL * (1 << 20));
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,99 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace afforest {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto x = rng.next_bounded(17);
+    ASSERT_LT(x, 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.next_bounded(0), 0u);
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedCoversFullRange) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanIsRoughlyHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  const int buckets = 10, n = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < n; ++i)
+    ++counts[rng.next_bounded(static_cast<std::uint64_t>(buckets))];
+  for (int c : counts) {
+    EXPECT_GT(c, n / buckets - n / 50);
+    EXPECT_LT(c, n / buckets + n / 50);
+  }
+}
+
+TEST(Xoshiro256, SplitStreamsAreIndependentAndDeterministic) {
+  Xoshiro256 root(42);
+  Xoshiro256 s1 = root.split(1);
+  Xoshiro256 s2 = root.split(2);
+  Xoshiro256 s1_again = root.split(1);
+  EXPECT_NE(s1.next(), s2.next());
+  Xoshiro256 s1_copy = Xoshiro256(42).split(1);
+  EXPECT_EQ(s1_again.next(), s1_copy.next());
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() ==
+                std::numeric_limits<std::uint64_t>::max());
+  Xoshiro256 rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace afforest

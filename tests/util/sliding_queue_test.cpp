@@ -1,0 +1,100 @@
+#include "util/sliding_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace afforest {
+namespace {
+
+TEST(SlidingQueue, StartsEmpty) {
+  SlidingQueue<int> q(16);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SlidingQueue, PushThenSlideExposesWindow) {
+  SlidingQueue<int> q(16);
+  q.push_back(1);
+  q.push_back(2);
+  EXPECT_TRUE(q.empty());  // not visible until slide
+  q.slide_window();
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(*(q.begin()), 1);
+  EXPECT_EQ(*(q.begin() + 1), 2);
+}
+
+TEST(SlidingQueue, SecondSlidePromotesNewAppends) {
+  SlidingQueue<int> q(16);
+  q.push_back(1);
+  q.slide_window();
+  q.push_back(2);
+  q.push_back(3);
+  q.slide_window();
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(*(q.begin()), 2);
+}
+
+TEST(SlidingQueue, SlideWithNoAppendsGivesEmptyWindow) {
+  SlidingQueue<int> q(16);
+  q.push_back(1);
+  q.slide_window();
+  q.slide_window();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SlidingQueue, ResetAllowsReuse) {
+  SlidingQueue<int> q(8);
+  q.push_back(1);
+  q.slide_window();
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  q.push_back(9);
+  q.slide_window();
+  ASSERT_EQ(q.size(), 1u);
+  EXPECT_EQ(*q.begin(), 9);
+}
+
+TEST(QueueBuffer, FlushMovesElementsToShared) {
+  SlidingQueue<int> q(100);
+  {
+    QueueBuffer<int> buf(q, 4);
+    buf.push_back(10);
+    buf.push_back(11);
+    buf.flush();
+  }
+  q.slide_window();
+  ASSERT_EQ(q.size(), 2u);
+}
+
+TEST(QueueBuffer, AutoFlushesWhenFull) {
+  SlidingQueue<int> q(100);
+  QueueBuffer<int> buf(q, 2);
+  buf.push_back(1);
+  buf.push_back(2);
+  buf.push_back(3);  // triggers flush of {1,2}
+  buf.flush();
+  q.slide_window();
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(QueueBuffer, ParallelProducersDeliverEveryElement) {
+  const int n = 100000;
+  SlidingQueue<int> q(n);
+#pragma omp parallel
+  {
+    QueueBuffer<int> buf(q, 64);
+#pragma omp for schedule(static) nowait
+    for (int i = 0; i < n; ++i) buf.push_back(i);
+    buf.flush();
+  }
+  q.slide_window();
+  ASSERT_EQ(q.size(), static_cast<std::size_t>(n));
+  std::vector<int> got(q.begin(), q.end());
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < n; ++i) ASSERT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace afforest

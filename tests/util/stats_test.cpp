@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afforest {
+namespace {
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+}
+
+TEST(Stats, MedianEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(Stats, MedianSingleElement) { EXPECT_DOUBLE_EQ(median({7}), 7.0); }
+
+TEST(Stats, MedianEmptyIsZero) { EXPECT_DOUBLE_EQ(median({}), 0.0); }
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+}
+
+TEST(Stats, PercentileInterpolatesLinearly) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  std::vector<double> v{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+}
+
+TEST(Stats, GeometricMeanOfPowers) {
+  EXPECT_NEAR(geometric_mean({1, 100}), 10.0, 1e-9);
+  EXPECT_NEAR(geometric_mean({2, 8}), 4.0, 1e-9);
+}
+
+TEST(Stats, GeometricMeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138089935, 1e-6);
+}
+
+TEST(Stats, StddevFewerThanTwoSamplesIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Stats, TrialSummaryFields) {
+  const auto s = summarize_trials({3, 1, 2, 4, 5});
+  EXPECT_DOUBLE_EQ(s.median_s, 3.0);
+  EXPECT_DOUBLE_EQ(s.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 5.0);
+  EXPECT_EQ(s.trials, 5u);
+  EXPECT_LE(s.p25_s, s.median_s);
+  EXPECT_GE(s.p75_s, s.median_s);
+}
+
+TEST(Stats, TrialSummaryEmpty) {
+  const auto s = summarize_trials({});
+  EXPECT_EQ(s.trials, 0u);
+  EXPECT_DOUBLE_EQ(s.median_s, 0.0);
+}
+
+}  // namespace
+}  // namespace afforest

@@ -1,0 +1,86 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace afforest {
+namespace {
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, PrintsHeaderSeparatorAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // 4 lines: header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell) {
+  TextTable t({"h"});
+  t.add_row({"wide-cell-content"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header_line, sep_line;
+  std::getline(is, header_line);
+  std::getline(is, sep_line);
+  EXPECT_GE(sep_line.size(), std::string("wide-cell-content").size());
+}
+
+TEST(TextTable, FmtRespectsPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(1.0, 0), "1");
+}
+
+TEST(TextTable, FmtIntHandlesNegatives) {
+  EXPECT_EQ(TextTable::fmt_int(-42), "-42");
+  EXPECT_EQ(TextTable::fmt_int(0), "0");
+}
+
+TEST(TextTable, RowsAccessorExposesCells) {
+  TextTable t({"a"});
+  t.add_row({"v1"});
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "v1");
+}
+
+TEST(TextTable, CsvOutputBasic) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable t({"name"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TextTable, EmptyTablePrintsHeaderOnly) {
+  TextTable t({"col"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace afforest

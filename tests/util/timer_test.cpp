@@ -1,0 +1,55 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace afforest {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  t.stop();
+  EXPECT_GE(t.seconds(), 0.009);
+  EXPECT_LT(t.seconds(), 5.0);
+}
+
+TEST(Timer, UnitConversionsAreConsistent) {
+  Timer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.stop();
+  EXPECT_NEAR(t.millisecs(), t.seconds() * 1e3, 1e-9);
+  EXPECT_NEAR(t.microsecs(), t.seconds() * 1e6, 1e-6);
+}
+
+TEST(Timer, RestartOverwritesPreviousMeasurement) {
+  Timer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.stop();
+  const double first = t.seconds();
+  t.start();
+  t.stop();
+  EXPECT_LT(t.seconds(), first);
+}
+
+TEST(ScopedTimer, AccumulatesIntoSink) {
+  double total = 0;
+  {
+    ScopedTimer st(total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(total, 0.004);
+  const double after_first = total;
+  {
+    ScopedTimer st(total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(total, after_first);
+}
+
+}  // namespace
+}  // namespace afforest

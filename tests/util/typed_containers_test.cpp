@@ -1,0 +1,96 @@
+// Typed instantiation coverage: pvector and the atomic helpers must work
+// for every element width the library uses (labels are int32/int64,
+// flags are uint8, offsets are int64, measures are double).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/parallel.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+namespace {
+
+template <typename T>
+class PVectorTyped : public ::testing::Test {};
+
+using ElementTypes = ::testing::Types<std::int8_t, std::uint8_t,
+                                      std::int32_t, std::uint32_t,
+                                      std::int64_t, float, double>;
+TYPED_TEST_SUITE(PVectorTyped, ElementTypes);
+
+TYPED_TEST(PVectorTyped, FillAndReadBack) {
+  pvector<TypeParam> v(1000);
+  v.fill(TypeParam{7});
+  for (auto x : v) ASSERT_EQ(x, TypeParam{7});
+}
+
+TYPED_TEST(PVectorTyped, PushBackGrowth) {
+  pvector<TypeParam> v;
+  for (int i = 0; i < 300; ++i)
+    v.push_back(static_cast<TypeParam>(i % 100));
+  ASSERT_EQ(v.size(), 300u);
+  for (int i = 0; i < 300; ++i)
+    ASSERT_EQ(v[static_cast<std::size_t>(i)],
+              static_cast<TypeParam>(i % 100));
+}
+
+TYPED_TEST(PVectorTyped, CloneIndependence) {
+  pvector<TypeParam> v(64, TypeParam{1});
+  auto c = v.clone();
+  c[0] = TypeParam{0};
+  EXPECT_EQ(v[0], TypeParam{1});
+}
+
+TYPED_TEST(PVectorTyped, ResizePreservesPrefix) {
+  pvector<TypeParam> v(8, TypeParam{3});
+  v.resize(128);
+  for (int i = 0; i < 8; ++i) ASSERT_EQ(v[i], TypeParam{3});
+}
+
+struct PodPair {
+  std::int32_t a;
+  std::int32_t b;
+};
+
+TEST(PVectorPod, StructElementsWork) {
+  pvector<PodPair> v(10, PodPair{1, 2});
+  EXPECT_EQ(v[9].a, 1);
+  EXPECT_EQ(v[9].b, 2);
+  v.push_back(PodPair{3, 4});
+  EXPECT_EQ(v.back().b, 4);
+}
+
+template <typename T>
+class AtomicHelpersTyped : public ::testing::Test {};
+
+using AtomicTypes =
+    ::testing::Types<std::int32_t, std::uint32_t, std::int64_t,
+                     std::uint64_t>;
+TYPED_TEST_SUITE(AtomicHelpersTyped, AtomicTypes);
+
+TYPED_TEST(AtomicHelpersTyped, CasRoundTrip) {
+  TypeParam x{5};
+  EXPECT_TRUE(compare_and_swap(x, TypeParam{5}, TypeParam{9}));
+  EXPECT_FALSE(compare_and_swap(x, TypeParam{5}, TypeParam{1}));
+  EXPECT_EQ(x, TypeParam{9});
+}
+
+TYPED_TEST(AtomicHelpersTyped, FetchMinAndAdd) {
+  TypeParam x{100};
+  EXPECT_TRUE(atomic_fetch_min(x, TypeParam{40}));
+  EXPECT_EQ(x, TypeParam{40});
+  EXPECT_EQ(fetch_and_add(x, TypeParam{2}), TypeParam{40});
+  EXPECT_EQ(atomic_load(x), TypeParam{42});
+}
+
+TYPED_TEST(AtomicHelpersTyped, ParallelIncrementExact) {
+  TypeParam counter{0};
+  const int n = 50000;
+#pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; ++i) fetch_and_add(counter, TypeParam{1});
+  EXPECT_EQ(counter, static_cast<TypeParam>(n));
+}
+
+}  // namespace
+}  // namespace afforest
