@@ -68,10 +68,19 @@ void link(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
 }
 
 /// Compresses v's path so comp[v] points directly at its root (Fig 2b).
+/// All accesses are atomic: during compress_all, sibling threads compress
+/// overlapping parent chains, so the plain-read formulation of Fig 2b is a
+/// data race (flagged by TSan via the std::thread stress tests in
+/// tests/fuzz/schedule_stress_test.cpp).  On x86 these lower to the same
+/// mov instructions as plain accesses.
 template <typename NodeID_>
 void compress(NodeID_ v, pvector<NodeID_>& comp) {
-  while (comp[comp[v]] != comp[v]) {
-    comp[v] = comp[comp[v]];
+  NodeID_ p = atomic_load(comp[v]);
+  NodeID_ gp = atomic_load(comp[p]);
+  while (p != gp) {
+    atomic_store(comp[v], gp);
+    p = gp;
+    gp = atomic_load(comp[p]);
   }
 }
 
@@ -148,7 +157,9 @@ ComponentLabels<NodeID_> afforest_cc(const CSRGraph<NodeID_>& g,
   const bool directed = g.directed();
 #pragma omp parallel for schedule(dynamic, 1024)
   for (std::int64_t v = 0; v < n; ++v) {
-    if (opts.skip_largest && comp[v] == c) continue;
+    // Atomic read: sibling threads are concurrently linking, and a plain
+    // load racing their CAS is UB even though any snapshot is acceptable.
+    if (opts.skip_largest && atomic_load(comp[v]) == c) continue;
     const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
     for (OffsetT k = rounds; k < deg; ++k)
       link(static_cast<NodeID_>(v),
@@ -200,7 +211,7 @@ ComponentLabels<NodeID_> afforest_uniform_sampling(const CSRGraph<NodeID_>& g,
     c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
 #pragma omp parallel for schedule(dynamic, 1024)
   for (std::int64_t v = 0; v < n; ++v) {
-    if (opts.skip_largest && comp[v] == c) continue;
+    if (opts.skip_largest && atomic_load(comp[v]) == c) continue;
     for (NodeID_ w : g.out_neigh(static_cast<NodeID_>(v)))
       link(static_cast<NodeID_>(v), w, comp);
   }

@@ -71,7 +71,8 @@ ComponentLabels<NodeID_> afforest_timed(const CSRGraph<NodeID_>& g,
   const bool directed = g.directed();
 #pragma omp parallel for schedule(dynamic, 1024)
   for (std::int64_t v = 0; v < n; ++v) {
-    if (opts.skip_largest && comp[v] == c) continue;
+    // Atomic read: races with concurrent link CAS (same fix as afforest_cc).
+    if (opts.skip_largest && atomic_load(comp[v]) == c) continue;
     const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
     for (OffsetT k = rounds; k < deg; ++k)
       link(static_cast<NodeID_>(v), g.neighbor(static_cast<NodeID_>(v), k),

@@ -59,7 +59,9 @@ ComponentLabels<NodeID_> multistep_cc(const CSRGraph<NodeID_>& g) {
     change = false;
 #pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
-      if (comp[u] == pivot && static_cast<NodeID_>(u) != pivot) continue;
+      // Atomic read: sibling threads may atomic_fetch_min comp[u] below.
+      if (atomic_load(comp[u]) == pivot && static_cast<NodeID_>(u) != pivot)
+        continue;
       NodeID_ lowest = atomic_load(comp[u]);
       for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
         lowest = std::min(lowest, atomic_load(comp[v]));

@@ -13,14 +13,37 @@
 //                               see DESIGN.md §3)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
+#include "cc/afforest.hpp"
 #include "cc/common.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "util/parallel.hpp"
 
 namespace afforest {
+
+/// One SV hook attempt over the edge (u, v): if the endpoints' current
+/// labels differ and the higher label is (still) a root, hook it onto the
+/// lower.  Returns true iff the hook fired.  All label reads are atomic —
+/// they race with concurrent hooks' atomic_stores, and a mixed plain/atomic
+/// access is UB even when any observed value would do.  A lost update
+/// remains benign, as in the original PRAM formulation: it only delays
+/// convergence by an iteration.  Shared by all SV variants and driven
+/// directly from std::threads in tests/fuzz/schedule_stress_test.cpp so
+/// TSan can observe its access history (libgomp is not instrumented).
+template <typename NodeID_>
+bool sv_hook_edge(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
+  const NodeID_ comp_u = atomic_load(comp[u]);
+  const NodeID_ comp_v = atomic_load(comp[v]);
+  if (comp_u == comp_v) return false;
+  const NodeID_ high_comp = std::max(comp_u, comp_v);
+  const NodeID_ low_comp = std::min(comp_u, comp_v);
+  if (high_comp != atomic_load(comp[high_comp])) return false;
+  atomic_store(comp[high_comp], low_comp);
+  return true;
+}
 
 /// CSR-based SV.  If `out_iterations` is non-null it receives the number of
 /// hook+shortcut iterations executed (reported in Table II).
@@ -34,27 +57,17 @@ ComponentLabels<NodeID_> shiloach_vishkin(
   while (change) {
     change = false;
     ++num_iter;
-#pragma omp parallel for schedule(dynamic, 16384)
+    // reduction(||) rather than a shared flag: unsynchronized stores to a
+    // shared `change` from inside the region are a write-write race.
+#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
       for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
-        const NodeID_ comp_u = comp[u];
-        const NodeID_ comp_v = comp[v];
-        if (comp_u == comp_v) continue;
-        const NodeID_ high_comp = std::max(comp_u, comp_v);
-        const NodeID_ low_comp = std::min(comp_u, comp_v);
-        // Hooks only fire on roots; competing edges are resolved across
-        // iterations (benign race, as in the original PRAM formulation —
-        // a lost update only delays convergence by an iteration).
-        if (high_comp == atomic_load(comp[high_comp])) {
-          change = true;
-          atomic_store(comp[high_comp], low_comp);
-        }
+        if (sv_hook_edge(static_cast<NodeID_>(u), v, comp)) change = true;
       }
     }
-#pragma omp parallel for schedule(dynamic, 16384)
-    for (std::int64_t v = 0; v < n; ++v) {
-      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
-    }
+    // Shortcut = full path compression; compress() is the atomic-access
+    // formulation shared with Afforest.
+    compress_all(comp);
   }
   if (out_iterations != nullptr) *out_iterations = num_iter;
   return comp;
@@ -79,11 +92,13 @@ ComponentLabels<NodeID_> shiloach_vishkin_original(
     ++num_iter;
     changed.fill(0);
     // Conditional hook (higher root onto lower), marking modified roots.
-#pragma omp parallel for schedule(dynamic, 16384)
+    // Label reads are atomic (they race with sibling hooks) and the
+    // iteration flag folds through reduction(||) — see sv_hook_edge.
+#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
       for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
-        const NodeID_ comp_u = comp[u];
-        const NodeID_ comp_v = comp[v];
+        const NodeID_ comp_u = atomic_load(comp[u]);
+        const NodeID_ comp_v = atomic_load(comp[v]);
         if (comp_u == comp_v) continue;
         const NodeID_ high_comp = std::max(comp_u, comp_v);
         const NodeID_ low_comp = std::min(comp_u, comp_v);
@@ -99,12 +114,12 @@ ComponentLabels<NodeID_> shiloach_vishkin_original(
     // neighboring tree (even a higher-labeled one would break Invariant 1,
     // so we keep the lower-only rule but drop the direction condition on
     // which endpoint initiates — sufficient to merge stalled stars).
-#pragma omp parallel for schedule(dynamic, 16384)
+#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
-      const NodeID_ comp_u = comp[u];
+      const NodeID_ comp_u = atomic_load(comp[u]);
       if (atomic_load(changed[comp_u]) != 0) continue;
       for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
-        const NodeID_ comp_v = comp[v];
+        const NodeID_ comp_v = atomic_load(comp[v]);
         if (comp_v < comp_u && comp_u == atomic_load(comp[comp_u])) {
           change = true;
           atomic_store(comp[comp_u], comp_v);
@@ -113,10 +128,7 @@ ComponentLabels<NodeID_> shiloach_vishkin_original(
       }
     }
     // Shortcut.
-#pragma omp parallel for schedule(dynamic, 16384)
-    for (std::int64_t v = 0; v < n; ++v) {
-      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
-    }
+    compress_all(comp);
   }
   if (out_iterations != nullptr) *out_iterations = num_iter;
   return comp;
@@ -136,23 +148,11 @@ ComponentLabels<NodeID_> shiloach_vishkin_edgelist(
   while (change) {
     change = false;
     ++num_iter;
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for reduction(|| : change) schedule(static)
     for (std::int64_t i = 0; i < ne; ++i) {
-      const auto [u, v] = edges[i];
-      const NodeID_ comp_u = comp[u];
-      const NodeID_ comp_v = comp[v];
-      if (comp_u == comp_v) continue;
-      const NodeID_ high_comp = std::max(comp_u, comp_v);
-      const NodeID_ low_comp = std::min(comp_u, comp_v);
-      if (high_comp == atomic_load(comp[high_comp])) {
-        change = true;
-        atomic_store(comp[high_comp], low_comp);
-      }
+      if (sv_hook_edge(edges[i].u, edges[i].v, comp)) change = true;
     }
-#pragma omp parallel for schedule(static)
-    for (std::int64_t v = 0; v < num_nodes; ++v) {
-      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
-    }
+    compress_all(comp);
   }
   if (out_iterations != nullptr) *out_iterations = num_iter;
   return comp;

@@ -37,6 +37,50 @@ TEST(Registry, UnknownNameThrows) {
   EXPECT_FALSE(is_cc_algorithm("quantum-cc"));
 }
 
+TEST(Registry, UnknownNameMessageNamesTheAlgorithm) {
+  // The CLI surfaces this message verbatim; it must identify the input.
+  try {
+    cc_algorithm("quantum-cc");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("quantum-cc"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(cc_algorithm(""), std::invalid_argument);
+  EXPECT_THROW(cc_algorithm("AFFOREST"), std::invalid_argument)
+      << "lookup must be case-sensitive";
+}
+
+TEST(Registry, PaperFigureOrder) {
+  // cc_algorithms() documents its order as the one the paper's figures use;
+  // bench tables and report scripts index into it, so it is an API.
+  const std::vector<std::string> expected = {
+      "afforest", "afforest-noskip", "sv",        "sv-original",
+      "sv-edgelist", "lp",           "lp-frontier", "bfs",
+      "dobfs",    "multistep",       "contraction", "rem",
+      "rem-parallel", "serial-uf"};
+  ASSERT_EQ(cc_algorithms().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(cc_algorithms()[i].name, expected[i]) << "position " << i;
+}
+
+TEST(Registry, RunCallablesAreBound) {
+  for (const auto& a : cc_algorithms())
+    EXPECT_TRUE(static_cast<bool>(a.run)) << a.name;
+}
+
+TEST(Registry, NamesAreCliSafe) {
+  // Names are used directly as CLI flag values and in reproducer file
+  // names: lowercase alphanumerics and dashes only.
+  for (const auto& a : cc_algorithms()) {
+    EXPECT_FALSE(a.name.empty());
+    for (const char c : a.name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '-')
+          << a.name << " contains '" << c << "'";
+  }
+}
+
 TEST(Registry, EveryAlgorithmRunsCorrectly) {
   const Graph g = make_suite_graph("twitter", 10);
   const auto truth = union_find_cc(g);

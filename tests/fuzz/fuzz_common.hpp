@@ -1,0 +1,287 @@
+// Differential fuzzing harness for the CC algorithm registry.
+//
+// The oracle is the serial union-find (union_find_cc): every registered
+// algorithm must produce the SAME PARTITION on every input the generator
+// corpus can draw.  The corpus spans all generator families in
+// graph/generators/ plus degenerate/adversarial shapes the randomized
+// families never emit (isolated vertices, self loops, duplicated edges,
+// worst-case edge orders from §V-A).
+//
+// On a mismatch the harness shrinks the edge list with ddmin (keeping the
+// "this algorithm disagrees with the oracle" property) and dumps the
+// minimized reproducer as a text .el file, replayable either through
+// AFFOREST_FUZZ_REPLAY (see differential_fuzz_test.cpp) or the apps/
+// driver.  Everything is seeded; no run depends on wall clock or
+// std::random_device.
+//
+// Budget control: AFFOREST_FUZZ_BUDGET is a percentage (1..100, default
+// 100) that scales the number of seeds per (family, scale) cell, so the
+// sanitizer CI jobs can run the same grid at reduced depth.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cc/registry.hpp"
+#include "cc/union_find.hpp"
+#include "cc/verifier.hpp"
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/generators/adversarial.hpp"
+#include "graph/generators/component_mix.hpp"
+#include "graph/generators/geometric.hpp"
+#include "graph/generators/kronecker.hpp"
+#include "graph/generators/regular.hpp"
+#include "graph/generators/road.hpp"
+#include "graph/generators/smallworld.hpp"
+#include "graph/generators/uniform.hpp"
+#include "graph/generators/webgraph.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace afforest::fuzz {
+
+using NodeID = std::int32_t;
+
+/// AFFOREST_FUZZ_BUDGET as a percentage, clamped to [1, 100].
+inline int fuzz_budget() {
+  const char* env = std::getenv("AFFOREST_FUZZ_BUDGET");
+  if (env == nullptr || *env == '\0') return 100;
+  const long v = std::strtol(env, nullptr, 10);
+  return static_cast<int>(std::clamp(v, 1L, 100L));
+}
+
+/// Seeds fuzzed per (family, scale) cell at the current budget.
+inline int seeds_per_cell() { return std::max(1, 3 * fuzz_budget() / 100); }
+
+/// One drawn corpus entry: a seeded edge list plus its vertex-count bound.
+struct FuzzInput {
+  std::string family;
+  int scale = 0;  ///< log2 of the vertex count
+  std::uint64_t seed = 0;
+  std::int64_t num_nodes = 0;
+  EdgeList<NodeID> edges;
+};
+
+/// All corpus families.  The first six mirror the paper's Table III suite;
+/// the rest are extended/degenerate shapes a randomized family never draws.
+inline const std::vector<std::string>& fuzz_families() {
+  static const std::vector<std::string> families = {
+      "road",         "lattice-sparse", "kron",          "web",
+      "urand",        "smallworld",     "rgg",           "regular",
+      "component-mix", "star-reversed", "path-reversed", "isolated",
+      "self-loops",   "multi-edges",
+  };
+  return families;
+}
+
+inline FuzzInput make_fuzz_input(const std::string& family, int scale,
+                                 std::uint64_t seed) {
+  FuzzInput in;
+  in.family = family;
+  in.scale = scale;
+  in.seed = seed;
+  const std::int64_t n = std::int64_t{1} << scale;
+  in.num_nodes = n;
+  if (family == "road") {
+    const auto side =
+        static_cast<std::int64_t>(std::max(1.0, std::sqrt(static_cast<double>(n))));
+    in.num_nodes = side * side;
+    in.edges = generate_road_edges<NodeID>(
+        side, side, seed, {.keep_prob = 0.97, .shortcut_per_node = 0.005});
+  } else if (family == "lattice-sparse") {
+    const auto side =
+        static_cast<std::int64_t>(std::max(1.0, std::sqrt(static_cast<double>(n))));
+    in.num_nodes = side * side;
+    in.edges = generate_road_edges<NodeID>(
+        side, side, seed, {.keep_prob = 0.60, .shortcut_per_node = 0.0});
+  } else if (family == "kron") {
+    in.edges = generate_kronecker_edges<NodeID>(scale, 16, seed);
+  } else if (family == "web") {
+    in.edges = generate_web_edges<NodeID>(n, seed);
+  } else if (family == "urand") {
+    in.edges = generate_uniform_edges<NodeID>(n, 8 * n, seed);
+  } else if (family == "smallworld") {
+    // Ring degree must stay below n; n = 1 has no valid ring at all.
+    if (n > 1)
+      in.edges =
+          generate_small_world_edges<NodeID>(n, std::min<std::int64_t>(4, n - 1),
+                                             0.1, seed);
+  } else if (family == "rgg") {
+    // Threshold radius; clamped into the generator's (0, 1] domain (the
+    // formula yields 0 at n = 1 and can exceed 1 at tiny n).
+    const double r = 1.5 * std::sqrt(std::log(static_cast<double>(n)) /
+                                     (3.14159265 * static_cast<double>(n)));
+    in.edges = generate_geometric_edges<NodeID>(n, std::clamp(r, 0.05, 1.0),
+                                                seed);
+  } else if (family == "regular") {
+    in.edges = generate_regular_edges<NodeID>(n, 8, seed);
+  } else if (family == "component-mix") {
+    // Clamp the fraction so tiny scales keep ≥ 1 vertex per component
+    // (generate_component_mix_edges rejects empty components).
+    const double fraction = std::max(0.05, 1.0 / static_cast<double>(n));
+    in.edges = generate_component_mix_edges<NodeID>(n, 4.0, fraction, seed);
+  } else if (family == "star-reversed") {
+    // §V-A link worst case: hub is the highest index, leaves descending.
+    in.edges = adversarial_star_edges<NodeID>(n);
+  } else if (family == "path-reversed") {
+    in.edges = adversarial_path_edges<NodeID>(n);
+  } else if (family == "isolated") {
+    // Pure isolated vertices: every label must stay a singleton.
+    in.edges = EdgeList<NodeID>{};
+  } else if (family == "self-loops") {
+    // A path with a self loop on every vertex; the builder strips the
+    // loops, and stripping must not change the partition.
+    for (std::int64_t v = 0; v < n; ++v) {
+      in.edges.push_back({static_cast<NodeID>(v), static_cast<NodeID>(v)});
+      if (v + 1 < n)
+        in.edges.push_back(
+            {static_cast<NodeID>(v), static_cast<NodeID>(v + 1)});
+    }
+  } else if (family == "multi-edges") {
+    // Uniform edges, each duplicated in both orientations: dedup pressure.
+    const auto base = generate_uniform_edges<NodeID>(n, 2 * n, seed);
+    for (const auto& [u, v] : base) {
+      in.edges.push_back({u, v});
+      in.edges.push_back({u, v});
+      in.edges.push_back({v, u});
+    }
+  } else {
+    throw std::invalid_argument("unknown fuzz family: " + family);
+  }
+  return in;
+}
+
+/// True iff `algo` disagrees with the serial oracle on (edges, num_nodes).
+/// An exception thrown by the algorithm counts as a disagreement so the
+/// minimizer also shrinks crashing inputs.
+inline bool algorithm_disagrees(const AlgorithmEntry& algo,
+                                const EdgeList<NodeID>& edges,
+                                std::int64_t num_nodes) {
+  try {
+    const Graph g = build_undirected(edges, num_nodes);
+    const auto oracle = union_find_cc(g);
+    const auto got = algo.run(g);
+    return !labels_equivalent(got, oracle);
+  } catch (...) {
+    return true;
+  }
+}
+
+/// ddmin over the edge list: returns the smallest found edge subset on
+/// which `algo` still disagrees with the oracle.  Bounded by `max_checks`
+/// oracle evaluations so pathological cases cannot hang a test run.
+inline EdgeList<NodeID> minimize_reproducer(const AlgorithmEntry& algo,
+                                            const FuzzInput& in,
+                                            int max_checks = 512) {
+  EdgeList<NodeID> current = in.edges.clone();
+  int checks = 0;
+  std::size_t granularity = 2;
+  while (current.size() >= 2 && checks < max_checks) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, current.size() / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size() && checks < max_checks;
+         start += chunk) {
+      const std::size_t end = std::min(current.size(), start + chunk);
+      EdgeList<NodeID> candidate;
+      candidate.reserve(current.size() - (end - start));
+      for (std::size_t i = 0; i < current.size(); ++i)
+        if (i < start || i >= end) candidate.push_back(current[i]);
+      ++checks;
+      if (algorithm_disagrees(algo, candidate, in.num_nodes)) {
+        current = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) break;
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  return current;
+}
+
+/// Number of vertices a replay needs: max referenced id + 1 (so dumped
+/// reproducers stay minimal even when the original input was mostly
+/// isolated vertices).
+inline std::int64_t reproducer_num_nodes(const EdgeList<NodeID>& edges) {
+  NodeID max_id = 0;
+  for (const auto& [u, v] : edges) max_id = std::max({max_id, u, v});
+  return static_cast<std::int64_t>(max_id) + 1;
+}
+
+/// A confirmed oracle disagreement, minimized and dumped for replay.
+struct Mismatch {
+  std::string algorithm;
+  std::string family;
+  int scale = 0;
+  std::uint64_t seed = 0;
+  std::size_t original_edges = 0;
+  std::size_t minimized_edges = 0;
+  std::string dump_path;  ///< empty if the dump could not be written
+
+  [[nodiscard]] std::string report() const {
+    std::ostringstream os;
+    os << "algorithm '" << algorithm << "' disagrees with the union-find "
+       << "oracle on family=" << family << " scale=" << scale
+       << " seed=" << seed << " (" << original_edges
+       << " edges, minimized to " << minimized_edges << ")";
+    if (!dump_path.empty())
+      os << "\nreproducer dumped to: " << dump_path
+         << "\nreplay with: AFFOREST_FUZZ_REPLAY=" << dump_path
+         << " ./tests/test_fuzz --gtest_filter='DifferentialFuzzReplay.*'";
+    return os.str();
+  }
+};
+
+/// Directory reproducers are dumped into (AFFOREST_FUZZ_DUMP_DIR, default
+/// current working directory).
+inline std::string dump_dir() {
+  const char* env = std::getenv("AFFOREST_FUZZ_DUMP_DIR");
+  return (env != nullptr && *env != '\0') ? env : ".";
+}
+
+/// Runs one algorithm differentially; on disagreement minimizes + dumps.
+inline std::optional<Mismatch> check_algorithm(const AlgorithmEntry& algo,
+                                               const FuzzInput& in) {
+  if (!algorithm_disagrees(algo, in.edges, in.num_nodes)) return std::nullopt;
+  Mismatch m;
+  m.algorithm = algo.name;
+  m.family = in.family;
+  m.scale = in.scale;
+  m.seed = in.seed;
+  m.original_edges = in.edges.size();
+  const EdgeList<NodeID> minimized = minimize_reproducer(algo, in);
+  m.minimized_edges = minimized.size();
+  std::ostringstream path;
+  path << dump_dir() << "/fuzz-repro-" << in.family << "-s" << in.scale
+       << "-seed" << in.seed << "-" << algo.name << ".el";
+  try {
+    write_edge_list(path.str(), minimized);
+    m.dump_path = path.str();
+  } catch (...) {
+    m.dump_path.clear();  // report still carries the (family, scale, seed)
+  }
+  return m;
+}
+
+/// Runs EVERY registered algorithm against the oracle on one input.
+/// Returns all mismatches (empty = the input is clean).
+inline std::vector<Mismatch> run_differential(const FuzzInput& in) {
+  std::vector<Mismatch> out;
+  for (const auto& algo : cc_algorithms())
+    if (auto m = check_algorithm(algo, in)) out.push_back(std::move(*m));
+  return out;
+}
+
+}  // namespace afforest::fuzz

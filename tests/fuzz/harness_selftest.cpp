@@ -1,0 +1,139 @@
+// The fuzz harness is itself load-bearing test infrastructure, so its
+// oracle plumbing, minimizer, and reproducer dump/replay loop get direct
+// tests — driven with a deliberately broken "algorithm" so the failure
+// path runs even while every real algorithm is correct.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fuzz/fuzz_common.hpp"
+#include "graph/io.hpp"
+
+namespace afforest {
+namespace {
+
+using fuzz::FuzzInput;
+using fuzz::NodeID;
+
+/// An algorithm that never merges anything: wrong on any input with ≥ 1
+/// non-self-loop edge, so the minimal reproducer is exactly one edge.
+AlgorithmEntry broken_identity() {
+  return {"broken-identity", "returns identity labels (test double)",
+          [](const Graph& g) { return identity_labels<NodeID>(g.num_nodes()); }};
+}
+
+/// Correct except it ignores the lexicographically largest stored edge —
+/// a "lost update" shaped bug, as a race would produce.
+AlgorithmEntry broken_drops_edge() {
+  return {"broken-drops-edge", "drops one edge (test double)",
+          [](const Graph& g) {
+            EdgeList<NodeID> edges;
+            for (std::int64_t u = 0; u < g.num_nodes(); ++u)
+              for (NodeID v : g.out_neigh(static_cast<NodeID>(u)))
+                if (static_cast<NodeID>(u) < v)
+                  edges.push_back({static_cast<NodeID>(u), v});
+            std::size_t drop = 0;
+            for (std::size_t i = 1; i < edges.size(); ++i)
+              if (edges[drop] < edges[i]) drop = i;
+            UnionFind<NodeID> uf(g.num_nodes());
+            for (std::size_t i = 0; i < edges.size(); ++i)
+              if (i != drop || edges.size() < 2)
+                uf.unite(edges[i].u, edges[i].v);
+            return uf.labels();
+          }};
+}
+
+TEST(FuzzHarness, OracleAcceptsEveryRealAlgorithmOnASmokeInput) {
+  const FuzzInput in = fuzz::make_fuzz_input("urand", 8, 1);
+  EXPECT_TRUE(fuzz::run_differential(in).empty());
+}
+
+TEST(FuzzHarness, DetectsBrokenAlgorithm) {
+  const FuzzInput in = fuzz::make_fuzz_input("urand", 8, 2);
+  EXPECT_TRUE(fuzz::algorithm_disagrees(broken_identity(), in.edges,
+                                        in.num_nodes));
+}
+
+TEST(FuzzHarness, TreatsThrowingAlgorithmAsDisagreement) {
+  const AlgorithmEntry thrower = {
+      "broken-throws", "always throws (test double)",
+      [](const Graph&) -> ComponentLabels<NodeID> {
+        throw std::runtime_error("boom");
+      }};
+  const FuzzInput in = fuzz::make_fuzz_input("urand", 6, 3);
+  EXPECT_TRUE(fuzz::algorithm_disagrees(thrower, in.edges, in.num_nodes));
+}
+
+TEST(FuzzHarness, MinimizerShrinksToSingleEdge) {
+  FuzzInput in = fuzz::make_fuzz_input("urand", 9, 4);
+  const auto minimized = fuzz::minimize_reproducer(broken_identity(), in);
+  ASSERT_EQ(minimized.size(), 1u);
+  // The shrunken input must still exhibit the failure.
+  EXPECT_TRUE(fuzz::algorithm_disagrees(broken_identity(), minimized,
+                                        in.num_nodes));
+}
+
+TEST(FuzzHarness, MinimizerKeepsLostUpdateWitness) {
+  // A path: every edge is a bridge, so the dropped unite always changes
+  // the partition (on dense inputs the largest edge is usually redundant
+  // and the double would agree with the oracle).
+  FuzzInput in = fuzz::make_fuzz_input("path-reversed", 9, 5);
+  const auto minimized = fuzz::minimize_reproducer(broken_drops_edge(), in);
+  EXPECT_LT(minimized.size(), in.edges.size());
+  EXPECT_GE(minimized.size(), 2u);  // one edge alone is never dropped
+  EXPECT_TRUE(fuzz::algorithm_disagrees(broken_drops_edge(), minimized,
+                                        in.num_nodes));
+}
+
+TEST(FuzzHarness, MismatchDumpIsReplayable) {
+  // End-to-end failure path: detect → minimize → dump → read back → the
+  // reproducer still fails.  Dumps are routed into the gtest temp dir.
+  const std::string dir = ::testing::TempDir();
+  setenv("AFFOREST_FUZZ_DUMP_DIR", dir.c_str(), 1);
+  const FuzzInput in = fuzz::make_fuzz_input("urand", 8, 6);
+  const auto mismatch = fuzz::check_algorithm(broken_identity(), in);
+  unsetenv("AFFOREST_FUZZ_DUMP_DIR");
+  ASSERT_TRUE(mismatch.has_value());
+  ASSERT_FALSE(mismatch->dump_path.empty());
+  EXPECT_NE(mismatch->report().find("replay with"), std::string::npos);
+  const auto replayed = read_edge_list(mismatch->dump_path);
+  ASSERT_EQ(replayed.size(), mismatch->minimized_edges);
+  EXPECT_TRUE(fuzz::algorithm_disagrees(
+      broken_identity(), replayed, fuzz::reproducer_num_nodes(replayed)));
+}
+
+TEST(FuzzHarness, CleanAlgorithmProducesNoMismatch) {
+  const FuzzInput in = fuzz::make_fuzz_input("kron", 8, 7);
+  EXPECT_FALSE(fuzz::check_algorithm(cc_algorithm("afforest"), in).has_value());
+}
+
+TEST(FuzzHarness, BudgetParsesAndClamps) {
+  setenv("AFFOREST_FUZZ_BUDGET", "25", 1);
+  EXPECT_EQ(fuzz::fuzz_budget(), 25);
+  setenv("AFFOREST_FUZZ_BUDGET", "0", 1);
+  EXPECT_EQ(fuzz::fuzz_budget(), 1);
+  setenv("AFFOREST_FUZZ_BUDGET", "9000", 1);
+  EXPECT_EQ(fuzz::fuzz_budget(), 100);
+  unsetenv("AFFOREST_FUZZ_BUDGET");
+  EXPECT_EQ(fuzz::fuzz_budget(), 100);
+  EXPECT_GE(fuzz::seeds_per_cell(), 1);
+}
+
+TEST(FuzzHarness, EveryFamilyDrawsDeterministically) {
+  for (const auto& family : fuzz::fuzz_families()) {
+    const FuzzInput a = fuzz::make_fuzz_input(family, 8, 42);
+    const FuzzInput b = fuzz::make_fuzz_input(family, 8, 42);
+    ASSERT_EQ(a.num_nodes, b.num_nodes) << family;
+    ASSERT_EQ(a.edges.size(), b.edges.size()) << family;
+    for (std::size_t i = 0; i < a.edges.size(); ++i)
+      ASSERT_TRUE(a.edges[i] == b.edges[i]) << family << " edge " << i;
+  }
+}
+
+TEST(FuzzHarness, UnknownFamilyThrows) {
+  EXPECT_THROW(fuzz::make_fuzz_input("no-such-family", 8, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace afforest
