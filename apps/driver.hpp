@@ -9,6 +9,16 @@
 //   --seed S                     generator seed (default 42)
 //   --trials K                   timing trials (default 16, as the paper)
 //   --verify                     check against serial union-find
+//   --fallback                   degrade to serial union-find when the
+//                                algorithm fails or verification FAILs
+//
+// Exit-code taxonomy (asserted by tests and scripted callers, see
+// docs/ROBUSTNESS.md):
+//   0  success
+//   1  verification FAILed, or the algorithm failed, without --fallback
+//   2  usage error or I/O error (bad flags, unknown family, IoError)
+//   3  degraded: --fallback caught a failure and the reported labels come
+//      from serial union-find
 #pragma once
 
 #include <iostream>
@@ -29,10 +39,20 @@
 
 namespace afforest::apps {
 
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitFailed = 1;
+inline constexpr int kExitUsageOrIo = 2;
+inline constexpr int kExitDegraded = 3;
+
 /// Runs the named registry algorithm under the standard app protocol.
-/// Returns a process exit code.
+/// Returns a process exit code (see the taxonomy above).
 inline int run_cc_app(int argc, char** argv, const std::string& algo_name,
                       const std::string& default_generate = "kron") {
+  Graph g;
+  int trials = 0;
+  bool verify = false;
+  bool fallback = false;
+  const AlgorithmEntry* algo = nullptr;
   try {
     CommandLine cl(argc, argv);
     cl.describe("graph", "input graph file (.el, .mtx, or .sg)");
@@ -44,14 +64,16 @@ inline int run_cc_app(int argc, char** argv, const std::string& algo_name,
     cl.describe("trials", "timing trials (default 16)");
     cl.describe("threads", "cap OpenMP threads (default: all)");
     cl.describe("verify", "verify against serial union-find");
-    const auto& algo = cc_algorithm(algo_name);
+    cl.describe("fallback",
+                "degrade to serial union-find on algorithm failure or "
+                "verify FAIL (exit 3)");
+    algo = &cc_algorithm(algo_name);
     if (cl.help_requested()) {
-      cl.print_help(algo_name + ": " + algo.description);
-      return 0;
+      cl.print_help(algo_name + ": " + algo->description);
+      return kExitOk;
     }
 
     const std::string graph_path = cl.get_string("graph", "");
-    Graph g;
     if (!graph_path.empty()) {
       g = load_graph(graph_path);
     } else {
@@ -59,44 +81,80 @@ inline int run_cc_app(int argc, char** argv, const std::string& algo_name,
                            static_cast<int>(cl.get_int("scale", 16)),
                            static_cast<std::uint64_t>(cl.get_int("seed", 42)));
     }
-    const auto trials = static_cast<int>(cl.get_int("trials", 16));
+    trials = static_cast<int>(cl.get_int("trials", 16));
     const auto threads = cl.get_int("threads", 0);
     if (threads > 0) set_num_threads(static_cast<int>(threads));
-    const bool verify = cl.get_bool("verify", false);
+    verify = cl.get_bool("verify", false);
+    fallback = cl.get_bool("fallback", false);
     for (const auto& f : cl.unknown_flags())
       std::cerr << "warning: unknown flag --" << f << " ignored\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitUsageOrIo;
+  }
 
-    std::cout << algo_name << " (" << algo.description << ")\n"
-              << platform_summary() << '\n'
-              << format_degree_stats(compute_degree_stats(g)) << '\n';
+  std::cout << algo_name << " (" << algo->description << ")\n"
+            << platform_summary() << '\n'
+            << format_degree_stats(compute_degree_stats(g)) << '\n';
 
-    std::vector<double> seconds;
-    ComponentLabels<std::int32_t> labels;
+  // Degrades to the trusted serial reference, reporting its labels and the
+  // distinct exit code so scripted callers can tell a rescued run apart.
+  bool degraded = false;
+  std::vector<double> seconds;
+  ComponentLabels<std::int32_t> labels;
+  const auto degrade = [&](const std::string& why) {
+    std::cerr << "warning: " << why
+              << "; degrading to serial union-find\n";
+    Timer timer;
+    timer.start();
+    labels = union_find_cc(g);
+    timer.stop();
+    seconds.push_back(timer.seconds());
+    degraded = true;
+  };
+
+  try {
     for (int t = 0; t < trials; ++t) {
       Timer timer;
       timer.start();
-      labels = algo.run(g);
+      labels = algo->run(g);
       timer.stop();
       seconds.push_back(timer.seconds());
     }
-    const auto summary = summarize_trials(seconds);
-    const auto comps = summarize_components(labels);
-    std::cout << "components: " << comps.num_components
-              << "  largest: " << comps.largest_size << " ("
-              << 100.0 * comps.largest_fraction << "%)\n"
-              << "time: median " << summary.median_s * 1e3 << " ms  [p25 "
-              << summary.p25_s * 1e3 << ", p75 " << summary.p75_s * 1e3
-              << "] over " << summary.trials << " trials\n";
-    if (verify) {
-      const bool ok = labels_equivalent(labels, union_find_cc(g));
-      std::cout << "verification: " << (ok ? "PASS" : "FAIL") << '\n';
-      if (!ok) return 1;
-    }
-    return 0;
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 2;
+    if (!fallback) {
+      std::cerr << "error: algorithm '" << algo_name
+                << "' failed: " << e.what() << '\n';
+      return kExitFailed;
+    }
+    seconds.clear();
+    degrade("algorithm '" + algo_name + "' failed (" + e.what() + ")");
   }
+
+  if (verify && !degraded) {
+    const bool ok = labels_equivalent(labels, union_find_cc(g));
+    if (!ok) {
+      if (!fallback) {
+        std::cout << "verification: FAIL\n";
+        return kExitFailed;
+      }
+      seconds.clear();
+      degrade("verification FAILed for '" + algo_name + "'");
+    }
+  }
+
+  const auto summary = summarize_trials(seconds);
+  const auto comps = summarize_components(labels);
+  std::cout << "components: " << comps.num_components
+            << "  largest: " << comps.largest_size << " ("
+            << 100.0 * comps.largest_fraction << "%)\n"
+            << "time: median " << summary.median_s * 1e3 << " ms  [p25 "
+            << summary.p25_s * 1e3 << ", p75 " << summary.p75_s * 1e3
+            << "] over " << summary.trials << " trials\n";
+  if (verify)
+    std::cout << "verification: PASS" << (degraded ? " (degraded)" : "")
+              << '\n';
+  return degraded ? kExitDegraded : kExitOk;
 }
 
 }  // namespace afforest::apps

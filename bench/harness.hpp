@@ -3,6 +3,7 @@
 // percentiles) and common CLI plumbing.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -15,18 +16,45 @@
 
 namespace afforest::bench {
 
+/// Wall-clock budget for one time_trials call, from AFFOREST_WATCHDOG_S
+/// (seconds; 0 or unset = unlimited).  The watchdog is cooperative: it is
+/// consulted between trials, so a run over budget finishes its current
+/// trial, reports what it has, and skips the rest — a hung benchmark grid
+/// degrades to a partial report instead of stalling the whole sweep.
+/// (Kernels that fail to converge at all are covered separately by the
+/// iteration guards in src/cc/guards.hpp.)
+inline double watchdog_budget_seconds() {
+  if (const char* env = std::getenv("AFFOREST_WATCHDOG_S")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0) return v;
+  }
+  return 0.0;
+}
+
 /// Times `fn` `trials` times and summarizes (median / p25 / p75), matching
-/// §VI's methodology.  The function's side effects are discarded.
-inline TrialSummary time_trials(const std::function<void()>& fn,
-                                int trials) {
+/// §VI's methodology.  The function's side effects are discarded.  When
+/// `budget_seconds` > 0 (default: AFFOREST_WATCHDOG_S), trials stop early
+/// once the budget is spent; at least one trial always runs.
+inline TrialSummary time_trials(const std::function<void()>& fn, int trials,
+                                double budget_seconds =
+                                    watchdog_budget_seconds()) {
   std::vector<double> seconds;
   seconds.reserve(static_cast<std::size_t>(trials));
+  double elapsed = 0.0;
   for (int t = 0; t < trials; ++t) {
+    if (budget_seconds > 0.0 && t > 0 && elapsed > budget_seconds) {
+      std::cerr << "watchdog: trial budget of " << budget_seconds
+                << " s spent after " << t << "/" << trials
+                << " trials; reporting the partial sample\n";
+      break;
+    }
     Timer timer;
     timer.start();
     fn();
     timer.stop();
     seconds.push_back(timer.seconds());
+    elapsed += timer.seconds();
   }
   return summarize_trials(seconds);
 }

@@ -1,0 +1,79 @@
+// Convergence guards for the fixpoint-iteration algorithms.
+//
+// Shiloach–Vishkin, label propagation, and Multistep's cleanup loop all
+// iterate "until nothing changes".  On correct code and sane inputs that
+// terminates (every productive SV iteration retires at least one root;
+// a label travels at most one hop per LP iteration), but a bug — or a
+// data race reintroduced by a future edit — can spin them forever with no
+// diagnostic.  Each loop therefore runs under an iteration ceiling; when
+// it is exceeded the algorithm throws ConvergenceError carrying enough
+// context to file a useful report, and the app driver's --fallback mode
+// (apps/driver.hpp) can catch it and degrade to serial union-find.
+//
+// The default ceiling is structural: 2·|V| + 64, which no terminating run
+// can reach (SV performs at most |V| productive iterations + 1, LP at most
+// diameter + 1 ≤ |V|).  AFFOREST_MAX_ITER overrides it for tests and for
+// operators who want a tighter leash; 0 disables the guard entirely.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace afforest {
+
+/// Thrown when an iterative CC kernel exceeds its iteration ceiling.
+class ConvergenceError : public std::runtime_error {
+ public:
+  ConvergenceError(const std::string& algorithm, std::int64_t iterations,
+                   std::int64_t ceiling)
+      : std::runtime_error(algorithm + ": no convergence after " +
+                           std::to_string(iterations) +
+                           " iterations (ceiling " +
+                           std::to_string(ceiling) +
+                           "; raise AFFOREST_MAX_ITER or suspect a "
+                           "livelock)"),
+        algorithm_(algorithm),
+        iterations_(iterations),
+        ceiling_(ceiling) {}
+
+  [[nodiscard]] const std::string& algorithm() const noexcept {
+    return algorithm_;
+  }
+  [[nodiscard]] std::int64_t iterations() const noexcept {
+    return iterations_;
+  }
+  [[nodiscard]] std::int64_t ceiling() const noexcept { return ceiling_; }
+
+ private:
+  std::string algorithm_;
+  std::int64_t iterations_;
+  std::int64_t ceiling_;
+};
+
+/// Iteration ceiling for a graph of `num_nodes` vertices: the
+/// AFFOREST_MAX_ITER override when set (0 disables the guard), else the
+/// structural bound 2·|V| + 64.  Read once per algorithm invocation.
+inline std::int64_t iteration_ceiling(std::int64_t num_nodes) {
+  if (const char* env = std::getenv("AFFOREST_MAX_ITER")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && v >= 0)
+      return v == 0 ? std::numeric_limits<std::int64_t>::max()
+                    : static_cast<std::int64_t>(v);
+  }
+  return 2 * num_nodes + 64;
+}
+
+/// Call at the top of each fixpoint iteration, after incrementing the
+/// iteration counter: throws once the loop runs past its ceiling.
+inline void check_convergence_guard(const char* algorithm,
+                                    std::int64_t iterations,
+                                    std::int64_t ceiling) {
+  if (iterations > ceiling)
+    throw ConvergenceError(algorithm, iterations, ceiling);
+}
+
+}  // namespace afforest

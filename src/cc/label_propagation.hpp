@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "cc/common.hpp"
+#include "cc/guards.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/parallel.hpp"
 
@@ -32,11 +33,13 @@ ComponentLabels<NodeID_> label_propagation(
   // behaviour the paper analyzes.  An in-place update would be
   // Gauss-Seidel and converge artificially fast in scan order.
   ComponentLabels<NodeID_> next = comp.clone();
+  const std::int64_t ceiling = iteration_ceiling(n);
   bool change = true;
   std::int64_t num_iter = 0;
   while (change) {
     change = false;
     ++num_iter;
+    check_convergence_guard("label_propagation", num_iter, ceiling);
 #pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
       NodeID_ lowest = comp[u];
@@ -67,9 +70,11 @@ ComponentLabels<NodeID_> label_propagation_frontier(
   for (std::int64_t v = 0; v < n; ++v) current[v] = static_cast<NodeID_>(v);
 
   pvector<std::uint8_t> queued(static_cast<std::size_t>(n), 0);
+  const std::int64_t ceiling = iteration_ceiling(n);
   std::int64_t num_iter = 0;
   while (current_size > 0) {
     ++num_iter;
+    check_convergence_guard("label_propagation_frontier", num_iter, ceiling);
     std::int64_t next_size = 0;
 #pragma omp parallel for schedule(dynamic, 4096)
     for (std::int64_t i = 0; i < current_size; ++i) {

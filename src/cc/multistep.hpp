@@ -18,6 +18,7 @@
 
 #include "cc/bfs_cc.hpp"
 #include "cc/common.hpp"
+#include "cc/guards.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/parallel.hpp"
 
@@ -54,9 +55,13 @@ ComponentLabels<NodeID_> multistep_cc(const CSRGraph<NodeID_>& g) {
   for (std::int64_t v = 0; v < n; ++v)
     if (comp[v] == kUnvisited) comp[v] = static_cast<NodeID_>(v);
 
+  const std::int64_t ceiling = iteration_ceiling(n);
+  std::int64_t num_iter = 0;
   bool change = true;
   while (change) {
     change = false;
+    ++num_iter;
+    check_convergence_guard("multistep", num_iter, ceiling);
 #pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
       // Atomic read: sibling threads may atomic_fetch_min comp[u] below.

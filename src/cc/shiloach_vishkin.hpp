@@ -18,6 +18,7 @@
 
 #include "cc/afforest.hpp"
 #include "cc/common.hpp"
+#include "cc/guards.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
 #include "util/parallel.hpp"
@@ -52,11 +53,13 @@ ComponentLabels<NodeID_> shiloach_vishkin(
     const CSRGraph<NodeID_>& g, std::int64_t* out_iterations = nullptr) {
   const std::int64_t n = g.num_nodes();
   ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+  const std::int64_t ceiling = iteration_ceiling(n);
   bool change = true;
   std::int64_t num_iter = 0;
   while (change) {
     change = false;
     ++num_iter;
+    check_convergence_guard("shiloach_vishkin", num_iter, ceiling);
     // reduction(||) rather than a shared flag: unsynchronized stores to a
     // shared `change` from inside the region are a write-write race.
 #pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
@@ -85,11 +88,13 @@ ComponentLabels<NodeID_> shiloach_vishkin_original(
   const std::int64_t n = g.num_nodes();
   ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
   pvector<std::uint8_t> changed(static_cast<std::size_t>(n), 0);
+  const std::int64_t ceiling = iteration_ceiling(n);
   bool change = true;
   std::int64_t num_iter = 0;
   while (change) {
     change = false;
     ++num_iter;
+    check_convergence_guard("shiloach_vishkin_original", num_iter, ceiling);
     changed.fill(0);
     // Conditional hook (higher root onto lower), marking modified roots.
     // Label reads are atomic (they race with sibling hooks) and the
@@ -143,11 +148,13 @@ ComponentLabels<NodeID_> shiloach_vishkin_edgelist(
     std::int64_t* out_iterations = nullptr) {
   ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(num_nodes);
   const std::int64_t ne = static_cast<std::int64_t>(edges.size());
+  const std::int64_t ceiling = iteration_ceiling(num_nodes);
   bool change = true;
   std::int64_t num_iter = 0;
   while (change) {
     change = false;
     ++num_iter;
+    check_convergence_guard("shiloach_vishkin_edgelist", num_iter, ceiling);
 #pragma omp parallel for reduction(|| : change) schedule(static)
     for (std::int64_t i = 0; i < ne; ++i) {
       if (sv_hook_edge(edges[i].u, edges[i].v, comp)) change = true;

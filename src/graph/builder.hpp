@@ -22,6 +22,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/pvector.hpp"
 
@@ -51,6 +52,7 @@ class Builder {
   /// max id + 1.
   [[nodiscard]] CSRGraph<NodeID_> build(const EdgeList<NodeID_>& edges,
                                         OffsetT num_nodes = -1) const {
+    failpoint_maybe_fail("builder.build");
     if (num_nodes < 0) num_nodes = infer_num_nodes(edges);
     validate(edges, num_nodes);
 

@@ -1,0 +1,158 @@
+// Failpoint injection: named fault sites that tests can arm from the
+// environment to deterministically exercise error paths that are otherwise
+// unreachable (allocation failure, mid-read truncation, write errors).
+//
+// Syntax (AFFOREST_FAILPOINTS):
+//     name=prob[,name=prob...]
+// where `prob` is a hit probability in [0, 1]; 1 fires on every hit, 0.01
+// fires on ~1% of hits.  Example:
+//     AFFOREST_FAILPOINTS="io.read.truncate=1,alloc.pvector=0.01"
+//
+// Sub-unit probabilities are resolved by a counter-hashed SplitMix64 step
+// seeded from AFFOREST_FAILPOINT_SEED (default 0), so a given
+// (seed, site, hit-index) triple always decides the same way — failing
+// runs replay exactly, in keeping with the repository's seeded-everything
+// convention.
+//
+// This header is include-light on purpose: pvector.hpp pulls it in, so it
+// must not depend on any other repository header.  The disarmed fast path
+// is a single branch on a cached bool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afforest {
+
+/// Thrown by failpoint_maybe_fail when the named site fires.  Distinct
+/// from IoError/ConvergenceError so tests can tell an injected fault from
+/// an organic one.
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : std::runtime_error("failpoint '" + site + "' fired"),
+        site_(site) {}
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+namespace detail {
+
+struct FailpointEntry {
+  std::string name;
+  double probability = 0.0;
+  std::atomic<std::uint64_t> hits{0};
+
+  FailpointEntry(std::string n, double p)
+      : name(std::move(n)), probability(p) {}
+  FailpointEntry(const FailpointEntry& other)
+      : name(other.name),
+        probability(other.probability),
+        hits(other.hits.load(std::memory_order_relaxed)) {}
+};
+
+struct FailpointRegistry {
+  std::vector<FailpointEntry> entries;
+  std::uint64_t seed = 0;
+  bool armed = false;
+
+  void parse_env() {
+    entries.clear();
+    armed = false;
+    seed = 0;
+    if (const char* s = std::getenv("AFFOREST_FAILPOINT_SEED"))
+      seed = std::strtoull(s, nullptr, 10);
+    const char* spec = std::getenv("AFFOREST_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0') return;
+    std::string_view rest(spec);
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      std::string_view item = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      const auto eq = item.find('=');
+      if (item.empty()) continue;
+      std::string name(item.substr(0, eq));
+      double prob = 1.0;  // bare "name" means always fire
+      if (eq != std::string_view::npos) {
+        const std::string value(item.substr(eq + 1));
+        char* end = nullptr;
+        prob = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || prob < 0.0) prob = 0.0;
+        if (prob > 1.0) prob = 1.0;
+      }
+      if (!name.empty() && prob > 0.0) entries.emplace_back(name, prob);
+    }
+    armed = !entries.empty();
+  }
+};
+
+inline FailpointRegistry& failpoint_registry() {
+  static FailpointRegistry registry = [] {
+    FailpointRegistry r;
+    r.parse_env();
+    return r;
+  }();
+  return registry;
+}
+
+/// One SplitMix64 step (duplicated from util/rng.hpp to keep this header
+/// dependency-free for pvector.hpp).
+inline std::uint64_t failpoint_mix(std::uint64_t x) {
+  std::uint64_t z = x + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t failpoint_name_hash(std::string_view name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace detail
+
+/// Re-reads AFFOREST_FAILPOINTS / AFFOREST_FAILPOINT_SEED.  Call after
+/// setenv in tests; must not race with concurrent failpoint_triggered
+/// calls (arm before spawning parallel work).
+inline void failpoints_reload() { detail::failpoint_registry().parse_env(); }
+
+/// True iff the named site is armed and this hit fires.  Each call counts
+/// as one hit; sub-unit probabilities decide deterministically from
+/// (seed, name, hit index).  Disarmed builds cost one branch.
+inline bool failpoint_triggered(std::string_view name) {
+  auto& registry = detail::failpoint_registry();
+  if (!registry.armed) return false;
+  for (auto& entry : registry.entries) {
+    if (entry.name != name) continue;
+    const std::uint64_t hit =
+        entry.hits.fetch_add(1, std::memory_order_relaxed);
+    if (entry.probability >= 1.0) return true;
+    const std::uint64_t draw = detail::failpoint_mix(
+        registry.seed ^ detail::failpoint_name_hash(name) ^ hit);
+    // Top 53 bits → uniform double in [0, 1).
+    const double u =
+        static_cast<double>(draw >> 11) * 0x1.0p-53;
+    return u < entry.probability;
+  }
+  return false;
+}
+
+/// Throws FailpointError when the named site fires; no-op otherwise.
+inline void failpoint_maybe_fail(std::string_view name) {
+  if (failpoint_triggered(name)) throw FailpointError(std::string(name));
+}
+
+}  // namespace afforest

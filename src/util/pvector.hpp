@@ -13,9 +13,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <limits>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <utility>
+
+#include "util/failpoint.hpp"
 
 namespace afforest {
 
@@ -132,6 +136,9 @@ class pvector {
 
  private:
   void allocate(size_type n) {
+    if (n > std::numeric_limits<size_type>::max() / sizeof(T) ||
+        failpoint_triggered("alloc.pvector"))
+      throw std::bad_alloc();
     data_ = static_cast<T*>(::operator new[](n * sizeof(T)));
     size_ = capacity_ = n;
   }

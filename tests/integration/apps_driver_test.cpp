@@ -6,13 +6,18 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <vector>
 
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
+#include "tests/support/scoped_env.hpp"
+#include "util/failpoint.hpp"
 
 namespace afforest {
 namespace {
+
+using ::afforest::testing::ScopedEnv;
 
 int run(const std::string& algo, std::initializer_list<const char*> args) {
   std::vector<char*> argv;
@@ -46,6 +51,60 @@ TEST(AppsDriver, MissingFileIsReportedAsError) {
 
 TEST(AppsDriver, UnknownFamilyIsReportedAsError) {
   EXPECT_EQ(run("afforest", {"--generate", "not-a-family"}), 2);
+}
+
+// --fallback / exit-code taxonomy (0 ok, 1 failed, 2 usage-or-io,
+// 3 degraded).  AFFOREST_MAX_ITER=1 forces a ConvergenceError from any
+// fixpoint algorithm on a graph with at least one edge.
+
+TEST(AppsDriverFallback, ForcedFailureWithoutFallbackExits1) {
+  ScopedEnv env("AFFOREST_MAX_ITER", "1");
+  EXPECT_EQ(run("sv", {"--generate", "urand", "--scale", "9", "--trials",
+                       "1"}),
+            apps::kExitFailed);
+}
+
+TEST(AppsDriverFallback, ForcedFailureWithFallbackDegradesAndExits3) {
+  ScopedEnv env("AFFOREST_MAX_ITER", "1");
+  EXPECT_EQ(run("sv", {"--generate", "urand", "--scale", "9", "--trials",
+                       "1", "--fallback", "--verify"}),
+            apps::kExitDegraded);
+}
+
+TEST(AppsDriverFallback, FallbackIsANoopOnHealthyRuns) {
+  EXPECT_EQ(run("sv", {"--generate", "urand", "--scale", "9", "--trials",
+                       "1", "--fallback", "--verify"}),
+            0);
+}
+
+TEST(AppsDriverFallback, IoFailpointIsAUsageOrIoError) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("afforest_fallback_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "g.el").string();
+  write_edge_list(path, EdgeList<std::int32_t>{{0, 1}, {1, 2}});
+  {
+    ScopedEnv env("AFFOREST_FAILPOINTS", "io.read.open=1");
+    failpoints_reload();
+    EXPECT_EQ(run("sv", {"--graph", path.c_str(), "--trials", "1"}),
+              apps::kExitUsageOrIo);
+  }
+  failpoints_reload();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AppsDriverFallback, CorruptGraphFileExits2EvenWithFallback) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("afforest_corrupt_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "bad.el").string();
+  {
+    std::ofstream out(path);
+    out << "9999999999 1\n";  // id overflows 32-bit NodeID
+  }
+  EXPECT_EQ(run("sv", {"--graph", path.c_str(), "--fallback"}),
+            apps::kExitUsageOrIo);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(AppsDriver, LoadsGraphFromFile) {

@@ -1,0 +1,205 @@
+// Failpoint plumbing (src/util/failpoint.hpp): env parsing, deterministic
+// probability draws, and the armed sites threaded through io, the builder,
+// and pvector allocation.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "../support/scoped_env.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest {
+namespace {
+
+using ::afforest::testing::ScopedEnv;
+
+/// Sets AFFOREST_FAILPOINTS for one scope and re-arms the registry; the
+/// previous configuration is restored (and re-parsed) on destruction.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const char* spec, const char* seed = nullptr)
+      : env_("AFFOREST_FAILPOINTS", spec),
+        seed_env_("AFFOREST_FAILPOINT_SEED", seed) {
+    failpoints_reload();
+  }
+  ~ScopedFailpoints() {
+    // env_ members restore the variables after this runs, so reload once
+    // more from the *restored* environment in reverse order.
+  }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+
+ private:
+  struct Reloader {
+    ~Reloader() { failpoints_reload(); }
+  };
+  Reloader reloader_;  // destroyed LAST → reload sees the restored env
+  ScopedEnv env_;
+  ScopedEnv seed_env_;
+};
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_failpoint_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FailpointTest, DisarmedByDefault) {
+  ScopedFailpoints fp(nullptr);
+  EXPECT_FALSE(failpoint_triggered("io.read.open"));
+  EXPECT_NO_THROW(failpoint_maybe_fail("anything"));
+}
+
+TEST_F(FailpointTest, UnknownSiteNeverFires) {
+  ScopedFailpoints fp("io.read.open=1");
+  EXPECT_FALSE(failpoint_triggered("some.other.site"));
+}
+
+TEST_F(FailpointTest, ProbabilityOneAlwaysFires) {
+  ScopedFailpoints fp("x=1");
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(failpoint_triggered("x"));
+}
+
+TEST_F(FailpointTest, BareNameMeansAlways) {
+  ScopedFailpoints fp("x");
+  EXPECT_TRUE(failpoint_triggered("x"));
+}
+
+TEST_F(FailpointTest, ZeroProbabilityNeverFires) {
+  ScopedFailpoints fp("x=0");
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(failpoint_triggered("x"));
+}
+
+TEST_F(FailpointTest, MultipleSitesParse) {
+  ScopedFailpoints fp("a=1,b=0,c=1");
+  EXPECT_TRUE(failpoint_triggered("a"));
+  EXPECT_FALSE(failpoint_triggered("b"));
+  EXPECT_TRUE(failpoint_triggered("c"));
+}
+
+TEST_F(FailpointTest, SubUnitProbabilityIsDeterministicPerSeed) {
+  std::vector<bool> first, second;
+  {
+    ScopedFailpoints fp("x=0.5", "42");
+    for (int i = 0; i < 256; ++i) first.push_back(failpoint_triggered("x"));
+  }
+  {
+    ScopedFailpoints fp("x=0.5", "42");
+    for (int i = 0; i < 256; ++i) second.push_back(failpoint_triggered("x"));
+  }
+  EXPECT_EQ(first, second);
+  // ~half fire; being a fixed pseudorandom sequence this is exact, the
+  // wide bounds just document the intent.
+  const auto fired = std::count(first.begin(), first.end(), true);
+  EXPECT_GT(fired, 64);
+  EXPECT_LT(fired, 192);
+}
+
+TEST_F(FailpointTest, DifferentSeedsGiveDifferentSequences) {
+  std::vector<bool> a, b;
+  {
+    ScopedFailpoints fp("x=0.5", "1");
+    for (int i = 0; i < 256; ++i) a.push_back(failpoint_triggered("x"));
+  }
+  {
+    ScopedFailpoints fp("x=0.5", "2");
+    for (int i = 0; i < 256; ++i) b.push_back(failpoint_triggered("x"));
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FailpointTest, MaybeFailThrowsFailpointErrorWithSite) {
+  ScopedFailpoints fp("my.site=1");
+  try {
+    failpoint_maybe_fail("my.site");
+    FAIL() << "expected FailpointError";
+  } catch (const FailpointError& e) {
+    EXPECT_EQ(e.site(), "my.site");
+  }
+}
+
+// ------------------------------------------------- threaded-through ----
+
+TEST_F(FailpointTest, IoReadOpenFailpointSurfacesAsIoError) {
+  const auto p = path("g.el");
+  write_edge_list(p, EdgeList<std::int32_t>{{0, 1}});
+  ScopedFailpoints fp("io.read.open=1");
+  try {
+    read_edge_list(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kOpenFailed);
+  }
+}
+
+TEST_F(FailpointTest, IoReadTruncateFailpointOnSerializedGraph) {
+  const auto p = path("g.sg");
+  write_serialized_graph(
+      p, build_undirected(EdgeList<std::int32_t>{{0, 1}, {1, 2}}, 3));
+  ScopedFailpoints fp("io.read.truncate=1");
+  try {
+    read_serialized_graph(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTruncated);
+  }
+}
+
+TEST_F(FailpointTest, IoReadTruncateFailpointOnLabels) {
+  const auto p = path("c.cl");
+  write_labels(p, pvector<std::int32_t>(16, 3));
+  ScopedFailpoints fp("io.read.truncate=1");
+  EXPECT_THROW(read_labels(p), IoError);
+}
+
+TEST_F(FailpointTest, IoWriteFailpointSurfacesAsIoError) {
+  ScopedFailpoints fp("io.write=1");
+  try {
+    write_edge_list(path("w.el"), EdgeList<std::int32_t>{{0, 1}});
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kWriteFailed);
+  }
+}
+
+TEST_F(FailpointTest, PvectorAllocationFailpointThrowsBadAlloc) {
+  ScopedFailpoints fp("alloc.pvector=1");
+  EXPECT_THROW(pvector<int> v(16), std::bad_alloc);
+}
+
+TEST_F(FailpointTest, BuilderFailpointThrowsFailpointError) {
+  ScopedFailpoints fp("builder.build=1");
+  EXPECT_THROW(build_undirected(EdgeList<std::int32_t>{{0, 1}}, 2),
+               FailpointError);
+}
+
+TEST_F(FailpointTest, ReloadRearmsAndDisarms) {
+  {
+    ScopedFailpoints fp("x=1");
+    EXPECT_TRUE(failpoint_triggered("x"));
+  }
+  // ScopedFailpoints restored + reloaded: disarmed again.
+  EXPECT_FALSE(failpoint_triggered("x"));
+}
+
+}  // namespace
+}  // namespace afforest

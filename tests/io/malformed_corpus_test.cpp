@@ -1,0 +1,453 @@
+// Malformed-input corpus: every corrupt variant of the four on-disk
+// formats (.el, .mtx, .sg, .cl) must surface a *typed* IoError — never a
+// crash, an OOM (the headline case: a tiny file whose header claims 2^60
+// elements), or a silent success.  Each case asserts the specific
+// IoErrorKind so a refactor cannot quietly collapse the taxonomy.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+
+namespace afforest {
+namespace {
+
+/// Runs `fn`; returns the IoError kind it threw, or nullopt if it did not
+/// throw.  A non-IoError exception fails the test.
+template <typename Fn>
+std::optional<IoErrorKind> io_error_kind(Fn&& fn) {
+  try {
+    fn();
+    return std::nullopt;
+  } catch (const IoError& e) {
+    return e.kind();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected IoError, got: " << e.what();
+    return std::nullopt;
+  }
+}
+
+class MalformedCorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_corpus_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::string write_text(const std::string& name, const std::string& text) {
+    const auto p = path(name);
+    std::ofstream out(p);
+    out << text;
+    return p;
+  }
+
+  std::string write_bytes(const std::string& name,
+                          const std::vector<unsigned char>& bytes) {
+    const auto p = path(name);
+    std::ofstream out(p, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return p;
+  }
+
+  static std::vector<unsigned char> read_bytes(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>());
+  }
+
+  /// A valid 4-vertex .sg file (path 0-1-2-3) to corrupt from.
+  std::string valid_sg(const std::string& name) {
+    const Graph g =
+        build_undirected(EdgeList<std::int32_t>{{0, 1}, {1, 2}, {2, 3}}, 4);
+    const auto p = path(name);
+    write_serialized_graph(p, g);
+    return p;
+  }
+
+  std::string valid_cl(const std::string& name) {
+    pvector<std::int32_t> labels(64, 7);
+    const auto p = path(name);
+    write_labels(p, labels);
+    return p;
+  }
+
+  /// Overwrites 8 bytes at `offset` with an int64 value.
+  static void patch_i64(std::vector<unsigned char>& bytes, std::size_t offset,
+                        std::int64_t value) {
+    std::memcpy(bytes.data() + offset, &value, sizeof(value));
+  }
+
+  static void patch_i32(std::vector<unsigned char>& bytes, std::size_t offset,
+                        std::int32_t value) {
+    std::memcpy(bytes.data() + offset, &value, sizeof(value));
+  }
+
+  std::filesystem::path dir_;
+};
+
+// 32 = magic(8) + n(8) + m(8) + directed(8); offsets follow, then neighbors.
+constexpr std::size_t kSgHeader = 32;
+constexpr std::size_t kClHeader = 16;
+
+// ---------------------------------------------------------------- .el ----
+
+TEST_F(MalformedCorpusTest, ElOverflowIdIsRejectedNotWrapped) {
+  const auto p = write_text("overflow.el", "3000000000 4\n");
+  const auto kind = io_error_kind([&] { read_edge_list(p); });
+  EXPECT_EQ(kind, IoErrorKind::kIdOverflow);
+}
+
+TEST_F(MalformedCorpusTest, ElOverflowSecondEndpoint) {
+  const auto p = write_text("overflow2.el", "0 1\n1 9999999999\n");
+  try {
+    read_edge_list(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kIdOverflow);
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.path(), p);
+  }
+}
+
+TEST_F(MalformedCorpusTest, ElNegativeId) {
+  const auto p = write_text("neg.el", "-7 2\n");
+  EXPECT_EQ(io_error_kind([&] { read_edge_list(p); }),
+            IoErrorKind::kNegativeId);
+}
+
+TEST_F(MalformedCorpusTest, ElParseErrorCarriesLineNumber) {
+  const auto p = write_text("bad.el", "# comment\n0 1\n2 two\n");
+  try {
+    read_edge_list(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kParseError);
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST_F(MalformedCorpusTest, ElEmptyFileIsAValidEmptyEdgeList) {
+  // An empty .el is the round-trip image of an empty edge list, so it
+  // loads (to zero edges) rather than erroring.
+  const auto p = write_text("empty.el", "");
+  EXPECT_TRUE(read_edge_list(p).empty());
+}
+
+TEST_F(MalformedCorpusTest, ElMissingFile) {
+  EXPECT_EQ(io_error_kind([&] { read_edge_list(path("nope.el")); }),
+            IoErrorKind::kOpenFailed);
+}
+
+// --------------------------------------------------------------- .mtx ----
+
+TEST_F(MalformedCorpusTest, MtxEmptyFile) {
+  const auto p = write_text("empty.mtx", "");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, MtxMissingBanner) {
+  const auto p = write_text("nobanner.mtx", "hello world\n2 2 1\n1 2\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kBadMagic);
+}
+
+TEST_F(MalformedCorpusTest, MtxUnsupportedVariant) {
+  const auto p = write_text(
+      "array.mtx", "%%MatrixMarket matrix array real general\n2 2\n1\n2\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kUnsupportedFormat);
+}
+
+TEST_F(MalformedCorpusTest, MtxMissingSizeLine) {
+  const auto p = write_text("nosize.mtx",
+                            "%%MatrixMarket matrix coordinate pattern "
+                            "general\n% only comments follow\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, MtxGarbageSizeLine) {
+  const auto p = write_text(
+      "badsize.mtx",
+      "%%MatrixMarket matrix coordinate pattern general\nx y z\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kParseError);
+}
+
+TEST_F(MalformedCorpusTest, MtxNonPositiveDimensions) {
+  const auto p = write_text(
+      "zero.mtx", "%%MatrixMarket matrix coordinate pattern general\n0 0 0\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(MalformedCorpusTest, MtxNegativeEntryCount) {
+  const auto p = write_text(
+      "negent.mtx",
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 -1\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(MalformedCorpusTest, MtxDimensionOverflow) {
+  const auto p = write_text(
+      "huge.mtx",
+      "%%MatrixMarket matrix coordinate pattern general\n3000000000 1 0\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kIdOverflow);
+}
+
+TEST_F(MalformedCorpusTest, MtxEntryOutOfDeclaredRange) {
+  const auto p = write_text(
+      "oob.mtx",
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kOutOfRangeNeighbor);
+}
+
+TEST_F(MalformedCorpusTest, MtxTruncatedEntries) {
+  const auto p = write_text(
+      "short.mtx",
+      "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 2\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, MtxTrailingEntries) {
+  const auto p = write_text("long.mtx",
+                            "%%MatrixMarket matrix coordinate pattern "
+                            "general\n3 3 1\n1 2\n2 3\n3 1\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kTrailingGarbage);
+}
+
+TEST_F(MalformedCorpusTest, MtxMalformedEntry) {
+  const auto p = write_text(
+      "garb.mtx",
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nfoo bar\n");
+  EXPECT_EQ(io_error_kind([&] { read_matrix_market(p); }),
+            IoErrorKind::kParseError);
+}
+
+// ---------------------------------------------------------------- .sg ----
+
+TEST_F(MalformedCorpusTest, SgEmptyFile) {
+  const auto p = write_bytes("empty.sg", {});
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, SgShorterThanMagic) {
+  const auto p = write_bytes("tiny.sg", {'A', 'F', 'F'});
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, SgBadMagic) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  bytes[0] = 'X';
+  const auto p = write_bytes("badmagic.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kBadMagic);
+}
+
+TEST_F(MalformedCorpusTest, SgFileEndsInsideHeader) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  bytes.resize(kSgHeader - 10);
+  const auto p = write_bytes("midheader.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, SgHugeNodeCountMustNotAllocate) {
+  // The headline satellite case: a 32-byte file claiming n = 2^60.  The
+  // n > INT32_MAX check fires before any allocation is attempted.
+  std::vector<unsigned char> bytes(kSgHeader, 0);
+  std::memcpy(bytes.data(), "AFFSG001", 8);
+  patch_i64(bytes, 8, std::int64_t{1} << 60);   // n
+  patch_i64(bytes, 16, 0);                      // m
+  patch_i64(bytes, 24, 0);                      // directed
+  const auto p = write_bytes("huge_n.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kIdOverflow);
+}
+
+TEST_F(MalformedCorpusTest, SgNodeCountBeyondFileSize) {
+  // n fits NodeID but the file cannot possibly hold n+1 offsets: the
+  // file-size reconciliation must reject it before allocating.
+  std::vector<unsigned char> bytes(kSgHeader, 0);
+  std::memcpy(bytes.data(), "AFFSG001", 8);
+  patch_i64(bytes, 8, 1'000'000);               // n, needs ~8 MB of offsets
+  patch_i64(bytes, 16, 0);                      // m
+  patch_i64(bytes, 24, 0);                      // directed
+  const auto p = write_bytes("lying_n.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, SgHugeEdgeCountMustNotAllocate) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  patch_i64(bytes, 16, std::int64_t{1} << 40);  // m
+  const auto p = write_bytes("huge_m.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, SgNegativeCounts) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  patch_i64(bytes, 8, -4);  // n
+  const auto p = write_bytes("neg_n.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(MalformedCorpusTest, SgBadDirectedFlag) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  patch_i64(bytes, 24, 7);  // directed must be 0 or 1
+  const auto p = write_bytes("flag.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(MalformedCorpusTest, SgTruncatedNeighborArray) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  bytes.resize(bytes.size() - 4);
+  const auto p = write_bytes("trunc.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, SgTrailingGarbage) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  bytes.push_back(0xAB);
+  bytes.push_back(0xCD);
+  const auto p = write_bytes("trailing.sg", bytes);
+  try {
+    read_serialized_graph(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTrailingGarbage);
+    // The reported byte offset is where the expected payload ended.
+    EXPECT_EQ(e.byte_offset(),
+              static_cast<std::int64_t>(read_bytes(p).size()) - 2);
+  }
+}
+
+TEST_F(MalformedCorpusTest, SgOutOfRangeNeighbor) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  // 4 vertices → 5 offsets; first neighbor lives right after them.
+  patch_i32(bytes, kSgHeader + 5 * 8, 1000);
+  const auto p = write_bytes("oob.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kOutOfRangeNeighbor);
+}
+
+TEST_F(MalformedCorpusTest, SgNegativeNeighbor) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  patch_i32(bytes, kSgHeader + 5 * 8, -3);
+  const auto p = write_bytes("negnbr.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kOutOfRangeNeighbor);
+}
+
+TEST_F(MalformedCorpusTest, SgNonMonotoneOffsets) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  patch_i64(bytes, kSgHeader + 1 * 8, 6);  // offsets[1] > offsets[2]
+  const auto p = write_bytes("nonmono.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kMalformedOffsets);
+}
+
+TEST_F(MalformedCorpusTest, SgOffsetsDoNotSpanPayload) {
+  auto bytes = read_bytes(valid_sg("g.sg"));
+  patch_i64(bytes, kSgHeader, 2);  // offsets[0] must be 0
+  const auto p = write_bytes("badspan.sg", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_serialized_graph(p); }),
+            IoErrorKind::kMalformedOffsets);
+}
+
+// ---------------------------------------------------------------- .cl ----
+
+TEST_F(MalformedCorpusTest, ClEmptyFile) {
+  const auto p = write_bytes("empty.cl", {});
+  EXPECT_EQ(io_error_kind([&] { read_labels(p); }), IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, ClBadMagic) {
+  auto bytes = read_bytes(valid_cl("c.cl"));
+  bytes[3] = 'x';
+  const auto p = write_bytes("badmagic.cl", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_labels(p); }), IoErrorKind::kBadMagic);
+}
+
+TEST_F(MalformedCorpusTest, ClFileEndsInsideHeader) {
+  auto bytes = read_bytes(valid_cl("c.cl"));
+  bytes.resize(kClHeader - 4);
+  const auto p = write_bytes("midheader.cl", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_labels(p); }), IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, ClHugeCountMustNotAllocate) {
+  // 16-byte file claiming 2^60 labels: rejected against the file size.
+  std::vector<unsigned char> bytes(kClHeader, 0);
+  std::memcpy(bytes.data(), "AFFCL001", 8);
+  patch_i64(bytes, 8, std::int64_t{1} << 60);
+  const auto p = write_bytes("huge.cl", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_labels(p); }), IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, ClNegativeCount) {
+  auto bytes = read_bytes(valid_cl("c.cl"));
+  patch_i64(bytes, 8, -1);
+  const auto p = write_bytes("neg.cl", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_labels(p); }),
+            IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(MalformedCorpusTest, ClTruncatedPayload) {
+  auto bytes = read_bytes(valid_cl("c.cl"));
+  bytes.resize(bytes.size() - 8);
+  const auto p = write_bytes("trunc.cl", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_labels(p); }), IoErrorKind::kTruncated);
+}
+
+TEST_F(MalformedCorpusTest, ClTrailingGarbage) {
+  auto bytes = read_bytes(valid_cl("c.cl"));
+  bytes.push_back(0x00);
+  const auto p = write_bytes("trailing.cl", bytes);
+  EXPECT_EQ(io_error_kind([&] { read_labels(p); }),
+            IoErrorKind::kTrailingGarbage);
+}
+
+// --------------------------------------------------------- dispatcher ----
+
+TEST_F(MalformedCorpusTest, LoadGraphUnknownExtension) {
+  const auto p = write_text("g.graphml", "<xml/>");
+  EXPECT_EQ(io_error_kind([&] { load_graph(p); }),
+            IoErrorKind::kUnsupportedFormat);
+}
+
+TEST_F(MalformedCorpusTest, LoadGraphPropagatesTypedErrors) {
+  const auto p = write_text("bad.el", "5000000000 1\n");
+  EXPECT_EQ(io_error_kind([&] { load_graph(p); }), IoErrorKind::kIdOverflow);
+}
+
+}  // namespace
+}  // namespace afforest

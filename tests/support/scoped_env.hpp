@@ -1,0 +1,41 @@
+// RAII environment-variable override for tests that exercise the
+// env-configured robustness knobs (AFFOREST_FAILPOINTS, AFFOREST_MAX_ITER,
+// AFFOREST_WATCHDOG_S).  Restores the previous value on destruction so
+// tests cannot leak configuration into each other.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace afforest::testing {
+
+class ScopedEnv {
+ public:
+  /// Sets `name` to `value`; nullptr unsets it.
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_value_ = old;
+    if (value != nullptr)
+      ::setenv(name, value, 1);
+    else
+      ::unsetenv(name);
+  }
+
+  ~ScopedEnv() {
+    if (had_old_)
+      ::setenv(name_.c_str(), old_value_.c_str(), 1);
+    else
+      ::unsetenv(name_.c_str());
+  }
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::string old_value_;
+  bool had_old_ = false;
+};
+
+}  // namespace afforest::testing
