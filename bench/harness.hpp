@@ -3,13 +3,13 @@
 // percentiles) and common CLI plumbing.
 #pragma once
 
-#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/platform.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -24,11 +24,8 @@ namespace afforest::bench {
 /// (Kernels that fail to converge at all are covered separately by the
 /// iteration guards in src/cc/guards.hpp.)
 inline double watchdog_budget_seconds() {
-  if (const char* env = std::getenv("AFFOREST_WATCHDOG_S")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && v > 0.0) return v;
-  }
+  if (const auto v = env::as_double("AFFOREST_WATCHDOG_S"); v && *v > 0.0)
+    return *v;
   return 0.0;
 }
 

@@ -10,6 +10,7 @@
 
 #include "cc/afforest.hpp"
 #include "cc/common.hpp"
+#include "cc/guards.hpp"
 #include "cc/shiloach_vishkin.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/parallel.hpp"
@@ -22,10 +23,13 @@ template <typename NodeID_>
 std::int64_t max_tree_depth(const pvector<NodeID_>& comp) {
   const std::int64_t n = static_cast<std::int64_t>(comp.size());
   std::int64_t max_depth = 0;
+  // comp is quiescent here (probes run between phases, never concurrently
+  // with hooks), so the plain reads cannot race.
 #pragma omp parallel for reduction(max : max_depth) schedule(dynamic, 16384)
   for (std::int64_t v = 0; v < n; ++v) {
     std::int64_t depth = 0;
     NodeID_ x = static_cast<NodeID_>(v);
+    // lint: bounded(Invariant 1 keeps the parent forest acyclic, so the walk reaches a root)
     while (comp[x] != x) {
       x = comp[x];
       ++depth;
@@ -51,12 +55,14 @@ struct LinkStats {
 /// link() with an iteration counter (adds to `iters` the number of times
 /// the while-loop body would run, counting a trivially-linked edge as 1 —
 /// the "validation" iteration §V-A describes).
+// lint: parallel-context
 template <typename NodeID_>
 void link_counted(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp,
                   std::int64_t& iters) {
   NodeID_ p1 = atomic_load(comp[u]);
   NodeID_ p2 = atomic_load(comp[v]);
   ++iters;  // the initial comparison pass
+  // lint: bounded(each retry strictly descends a finite acyclic parent chain; Lemma 5)
   while (p1 != p2) {
     const NodeID_ high = std::max(p1, p2);
     const NodeID_ low = std::min(p1, p2);
@@ -136,15 +142,24 @@ SVStats shiloach_vishkin_instrumented(
   const std::int64_t n = g.num_nodes();
   ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
   SVStats stats;
+  const std::int64_t ceiling = iteration_ceiling(n);
   bool change = true;
   while (change) {
     change = false;
     ++stats.iterations;
-#pragma omp parallel for schedule(dynamic, 16384)
+    check_convergence_guard("shiloach_vishkin_instrumented",
+                            stats.iterations, ceiling);
+    // The hook pass mirrors sv_hook_edge's discipline exactly: label reads
+    // are atomic (they race with sibling hooks' atomic_stores) and the
+    // iteration flag folds through reduction(||).  The plain-read,
+    // shared-flag formulation this replaces was the same race class PR 1
+    // fixed in the production kernels — the instrumented mirror had kept
+    // it until afforest-lint flagged the file.
+#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
       for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
-        const NodeID_ comp_u = comp[u];
-        const NodeID_ comp_v = comp[v];
+        const NodeID_ comp_u = atomic_load(comp[u]);
+        const NodeID_ comp_v = atomic_load(comp[v]);
         if (comp_u == comp_v) continue;
         const NodeID_ high_comp = std::max(comp_u, comp_v);
         const NodeID_ low_comp = std::min(comp_u, comp_v);
@@ -156,10 +171,9 @@ SVStats shiloach_vishkin_instrumented(
     }
     stats.max_tree_depth =
         std::max(stats.max_tree_depth, max_tree_depth(comp));
-#pragma omp parallel for schedule(dynamic, 16384)
-    for (std::int64_t v = 0; v < n; ++v) {
-      while (comp[v] != comp[comp[v]]) comp[v] = comp[comp[v]];
-    }
+    // Shortcut via the shared atomic-access compress (sibling threads
+    // compress overlapping chains, so plain accesses would race).
+    compress_all(comp);
   }
   if (out_labels != nullptr) *out_labels = std::move(comp);
   return stats;

@@ -66,7 +66,10 @@ AfforestWorkStats afforest_with_work_stats(
   for (std::int64_t v = 0; v < n; ++v) {
     const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
     const OffsetT remaining = std::max<OffsetT>(0, deg - rounds);
-    if (opts.skip_largest && comp[v] == c) {
+    // should_skip reads the label atomically — the plain read this
+    // replaces raced the concurrent link CAS (the PR 1 bug class, still
+    // present here until afforest-lint flagged it).
+    if (should_skip(static_cast<NodeID_>(v), comp, opts, c)) {
       skipped_e += remaining;
       ++skipped_v;
       continue;

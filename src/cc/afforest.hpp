@@ -50,10 +50,12 @@ struct AfforestOptions {
 
 /// Hooks the trees containing u and v (paper Fig 3).  Lock-free; safe to
 /// call concurrently on arbitrary edges.
+// lint: parallel-context
 template <typename NodeID_>
 void link(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
   NodeID_ p1 = atomic_load(comp[u]);
   NodeID_ p2 = atomic_load(comp[v]);
+  // lint: bounded(each retry strictly descends a finite acyclic parent chain; Lemma 5)
   while (p1 != p2) {
     const NodeID_ high = std::max(p1, p2);
     const NodeID_ low = std::min(p1, p2);
@@ -73,10 +75,12 @@ void link(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
 /// data race (flagged by TSan via the std::thread stress tests in
 /// tests/fuzz/schedule_stress_test.cpp).  On x86 these lower to the same
 /// mov instructions as plain accesses.
+// lint: parallel-context
 template <typename NodeID_>
 void compress(NodeID_ v, pvector<NodeID_>& comp) {
   NodeID_ p = atomic_load(comp[v]);
   NodeID_ gp = atomic_load(comp[p]);
+  // lint: bounded(pointer jumping strictly shortens the path to the root; Theorem 2)
   while (p != gp) {
     atomic_store(comp[v], gp);
     p = gp;
@@ -119,13 +123,52 @@ NodeID_ sample_frequent_element(const pvector<NodeID_>& comp,
   return best;
 }
 
+/// True iff phase 3 may skip vertex v entirely: component skipping is on
+/// and v's current label equals the sampled giant component c (paper
+/// §IV-D, correct by Theorem 3).  The single certified site for the skip
+/// predicate — the load is atomic because sibling threads are concurrently
+/// linking, and a plain read racing their CAS is UB even though any
+/// snapshot is acceptable.
+// lint: parallel-context
+template <typename NodeID_>
+bool should_skip(NodeID_ v, const pvector<NodeID_>& comp,
+                 const AfforestOptions& opts, NodeID_ c) {
+  return opts.skip_largest && atomic_load(comp[v]) == c;
+}
+
+/// Phase 3 of Fig 5 (lines 11–15): every vertex not skipped links its
+/// remaining out-neighbors (from index `rounds` onward) and, on directed
+/// graphs, its full in-neighborhood — an arc u->v whose tail u was skipped
+/// is still reached from v's in-edges, preserving Theorem 3's
+/// both-directions argument.  Shared by afforest_cc and afforest_timed so
+/// the two cannot drift.
+template <typename NodeID_>
+void link_remaining(const CSRGraph<NodeID_>& g, pvector<NodeID_>& comp,
+                    std::int32_t rounds, const AfforestOptions& opts,
+                    NodeID_ c) {
+  using OffsetT = typename CSRGraph<NodeID_>::OffsetT;
+  const std::int64_t n = g.num_nodes();
+  const bool directed = g.directed();
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (should_skip(static_cast<NodeID_>(v), comp, opts, c)) continue;
+    const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
+    for (OffsetT k = rounds; k < deg; ++k)
+      link(static_cast<NodeID_>(v),
+           g.neighbor(static_cast<NodeID_>(v), k), comp);
+    if (directed) {
+      for (NodeID_ u : g.in_neigh(static_cast<NodeID_>(v)))
+        link(static_cast<NodeID_>(v), u, comp);
+    }
+  }
+}
+
 /// Full Afforest (paper Fig 5).  Returns component labels; labels are the
 /// minimum vertex id in each component (a property of Invariant 1 +
 /// convergence, relied on by tests).
 template <typename NodeID_>
 ComponentLabels<NodeID_> afforest_cc(const CSRGraph<NodeID_>& g,
                                   AfforestOptions opts = {}) {
-  using OffsetT = typename CSRGraph<NodeID_>::OffsetT;
   const std::int64_t n = g.num_nodes();
   ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
 
@@ -149,26 +192,8 @@ ComponentLabels<NodeID_> afforest_cc(const CSRGraph<NodeID_>& g,
     c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
   }
 
-  // Phase 3: link remaining edges, skipping vertices inside c
-  // (Fig 5 lines 11–15; correctness by Theorem 3).  For directed graphs
-  // (weakly-connected components) the in-neighborhood is linked as well:
-  // an arc u->v whose tail u was skipped is still reached from v's
-  // in-edges, preserving the theorem's both-directions argument.
-  const bool directed = g.directed();
-#pragma omp parallel for schedule(dynamic, 1024)
-  for (std::int64_t v = 0; v < n; ++v) {
-    // Atomic read: sibling threads are concurrently linking, and a plain
-    // load racing their CAS is UB even though any snapshot is acceptable.
-    if (opts.skip_largest && atomic_load(comp[v]) == c) continue;
-    const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
-    for (OffsetT k = rounds; k < deg; ++k)
-      link(static_cast<NodeID_>(v),
-           g.neighbor(static_cast<NodeID_>(v), k), comp);
-    if (directed) {
-      for (NodeID_ u : g.in_neigh(static_cast<NodeID_>(v)))
-        link(static_cast<NodeID_>(v), u, comp);
-    }
-  }
+  // Phase 3: link remaining edges, skipping vertices inside c.
+  link_remaining(g, comp, rounds, opts, c);
 
   compress_all(comp);
   return comp;
@@ -211,7 +236,7 @@ ComponentLabels<NodeID_> afforest_uniform_sampling(const CSRGraph<NodeID_>& g,
     c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
 #pragma omp parallel for schedule(dynamic, 1024)
   for (std::int64_t v = 0; v < n; ++v) {
-    if (opts.skip_largest && atomic_load(comp[v]) == c) continue;
+    if (should_skip(static_cast<NodeID_>(v), comp, opts, c)) continue;
     for (NodeID_ w : g.out_neigh(static_cast<NodeID_>(v)))
       link(static_cast<NodeID_>(v), w, comp);
   }

@@ -24,10 +24,12 @@
 namespace afforest {
 
 /// link() that returns true iff this call's CAS merged two trees.
+// lint: parallel-context
 template <typename NodeID_>
 bool link_witness(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
   NodeID_ p1 = atomic_load(comp[u]);
   NodeID_ p2 = atomic_load(comp[v]);
+  // lint: bounded(each retry strictly descends a finite acyclic parent chain; Lemma 5)
   while (p1 != p2) {
     const NodeID_ high = std::max(p1, p2);
     const NodeID_ low = std::min(p1, p2);

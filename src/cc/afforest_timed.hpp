@@ -32,7 +32,6 @@ template <typename NodeID_>
 ComponentLabels<NodeID_> afforest_timed(const CSRGraph<NodeID_>& g,
                                         AfforestPhaseTimes& times,
                                         AfforestOptions opts = {}) {
-  using OffsetT = typename CSRGraph<NodeID_>::OffsetT;
   const std::int64_t n = g.num_nodes();
   times = AfforestPhaseTimes{};
   Timer t;
@@ -67,21 +66,10 @@ ComponentLabels<NodeID_> afforest_timed(const CSRGraph<NodeID_>& g,
     times.find_component_s = t.seconds();
   }
 
+  // Phase 3 is the exact production loop (link_remaining), so the timed
+  // variant cannot drift from afforest_cc's semantics.
   t.start();
-  const bool directed = g.directed();
-#pragma omp parallel for schedule(dynamic, 1024)
-  for (std::int64_t v = 0; v < n; ++v) {
-    // Atomic read: races with concurrent link CAS (same fix as afforest_cc).
-    if (opts.skip_largest && atomic_load(comp[v]) == c) continue;
-    const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
-    for (OffsetT k = rounds; k < deg; ++k)
-      link(static_cast<NodeID_>(v), g.neighbor(static_cast<NodeID_>(v), k),
-           comp);
-    if (directed) {
-      for (NodeID_ u : g.in_neigh(static_cast<NodeID_>(v)))
-        link(static_cast<NodeID_>(v), u, comp);
-    }
-  }
+  link_remaining(g, comp, rounds, opts, c);
   t.stop();
   times.final_link_s = t.seconds();
 

@@ -29,6 +29,7 @@ std::int64_t bfs_label_component(const CSRGraph<NodeID_>& g, NodeID_ source,
   queue.push_back(source);
   queue.slide_window();
   std::int64_t visited = 1;
+  // lint: bounded(every vertex is CAS-claimed and enqueued at most once, so at most |V| non-empty frontiers)
   while (!queue.empty()) {
 #pragma omp parallel
     {

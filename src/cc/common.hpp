@@ -34,7 +34,7 @@ ComponentLabels<NodeID_> identity_labels(std::int64_t num_nodes) {
   ComponentLabels<NodeID_> comp(static_cast<std::size_t>(num_nodes));
 #pragma omp parallel for schedule(static)
   for (std::int64_t v = 0; v < num_nodes; ++v)
-    comp[v] = static_cast<NodeID_>(v);
+    comp[v] = static_cast<NodeID_>(v);  // NOLINT(afforest-plain-shared-access): owner-exclusive init write, no other thread touches slot v
   return comp;
 }
 

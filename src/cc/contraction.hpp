@@ -17,6 +17,7 @@
 
 #include "cc/afforest.hpp"
 #include "cc/common.hpp"
+#include "cc/guards.hpp"
 #include "graph/builder.hpp"
 #include "graph/csr_graph.hpp"
 #include "graph/edge_list.hpp"
@@ -39,9 +40,17 @@ ComponentLabels<NodeID_> contraction_cc(const CSRGraph<NodeID_>& g,
       if (static_cast<NodeID_>(u) < v)
         edges.push_back({static_cast<NodeID_>(u), v});
 
+  // Every round merges at least one pair while edges remain (a surviving
+  // edge has distinct representatives, and the next hook pass points one
+  // at the other), so rounds ≤ |V|; the guard turns a stall — e.g. a race
+  // reintroduced into the hook pass — into a diagnosable error instead of
+  // a livelock.  This fixpoint loop predates the guard discipline and was
+  // the one PR 2 missed; afforest-lint's L2 rule flagged it.
+  const std::int64_t ceiling = iteration_ceiling(n);
   std::int64_t rounds = 0;
   while (!edges.empty()) {
     ++rounds;
+    check_convergence_guard("contraction", rounds, ceiling);
     // (1) Hook: every endpoint pair tries to point the larger label at the
     // smaller one.  atomic_fetch_min keeps this a proper min over all
     // incident edges under parallelism.
@@ -64,8 +73,8 @@ ComponentLabels<NodeID_> contraction_cc(const CSRGraph<NodeID_>& g,
       EdgeList<NodeID_> local;
 #pragma omp for schedule(static) nowait
       for (std::int64_t i = 0; i < m; ++i) {
-        const NodeID_ cu = comp[edges[i].u];
-        const NodeID_ cv = comp[edges[i].v];
+        const NodeID_ cu = comp[edges[i].u];  // NOLINT(afforest-plain-shared-access): comp is quiescent here, hooks and compress finished before this region
+        const NodeID_ cv = comp[edges[i].v];  // NOLINT(afforest-plain-shared-access): comp is quiescent here, hooks and compress finished before this region
         if (cu != cv) local.push_back({cu, cv});
       }
 #pragma omp critical(contraction_merge)

@@ -84,10 +84,10 @@ std::int64_t bu_step(const CSRGraph<NodeID_>& g, NodeID_ label,
   next.reset();
 #pragma omp parallel for reduction(+ : awake_count) schedule(dynamic, 2048)
   for (std::int64_t v = 0; v < n; ++v) {
-    if (comp[v] != unvisited) continue;
+    if (comp[v] != unvisited) continue;  // NOLINT(afforest-plain-shared-access): bottom-up pass only touches comp[v] from the thread owning v
     for (NodeID_ w : g.out_neigh(static_cast<NodeID_>(v))) {
       if (front.get_bit(static_cast<std::size_t>(w))) {
-        comp[v] = label;  // exclusive: only this thread owns v
+        comp[v] = label;  // NOLINT(afforest-plain-shared-access): owner-exclusive write, only this thread owns v
         next.set_bit(static_cast<std::size_t>(v));
         ++awake_count;
         break;  // first parent suffices — the bottom-up edge saving
@@ -139,11 +139,13 @@ void dobfs_label_component(const CSRGraph<NodeID_>& g, NodeID_ source,
   queue.slide_window();
   std::int64_t scout_count = g.out_degree(source);
   std::int64_t edges_to_check = remaining_edges;
+  // lint: bounded(every vertex is claimed at most once, so at most |V| non-empty frontiers)
   while (!queue.empty()) {
     if (scout_count > edges_to_check / opts.alpha) {
       queue_to_bitmap(queue, state.front);
       std::int64_t awake_count = static_cast<std::int64_t>(queue.size());
       std::int64_t old_awake;
+      // lint: bounded(loops only while the awake count grows or stays above n/beta; both are capped by |V| claims)
       do {
         old_awake = awake_count;
         awake_count =

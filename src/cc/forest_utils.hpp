@@ -24,6 +24,7 @@ bool satisfies_parent_invariant(const pvector<NodeID_>& pi) {
 template <typename NodeID_>
 std::int64_t depth_of(const pvector<NodeID_>& pi, NodeID_ v) {
   std::int64_t d = 0;
+  // lint: bounded(precondition: pi is acyclic, so the walk reaches a root)
   while (pi[v] != v) {
     v = pi[v];
     ++d;
@@ -60,6 +61,7 @@ std::unordered_map<NodeID_, std::int64_t> tree_sizes(
   std::unordered_map<NodeID_, std::int64_t> sizes;
   for (std::size_t v = 0; v < pi.size(); ++v) {
     NodeID_ root = static_cast<NodeID_>(v);
+    // lint: bounded(precondition: pi is acyclic, so the walk reaches a root)
     while (pi[root] != root) root = pi[root];
     ++sizes[root];
   }

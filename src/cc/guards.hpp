@@ -17,10 +17,11 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
+
+#include "util/env.hpp"
 
 namespace afforest {
 
@@ -57,13 +58,8 @@ class ConvergenceError : public std::runtime_error {
 /// AFFOREST_MAX_ITER override when set (0 disables the guard), else the
 /// structural bound 2·|V| + 64.  Read once per algorithm invocation.
 inline std::int64_t iteration_ceiling(std::int64_t num_nodes) {
-  if (const char* env = std::getenv("AFFOREST_MAX_ITER")) {
-    char* end = nullptr;
-    const long long v = std::strtoll(env, &end, 10);
-    if (end != env && v >= 0)
-      return v == 0 ? std::numeric_limits<std::int64_t>::max()
-                    : static_cast<std::int64_t>(v);
-  }
+  if (const auto v = env::as_int64("AFFOREST_MAX_ITER"); v && *v >= 0)
+    return *v == 0 ? std::numeric_limits<std::int64_t>::max() : *v;
   return 2 * num_nodes + 64;
 }
 

@@ -69,6 +69,7 @@ class IncrementalCC {
  private:
   [[nodiscard]] NodeID_ root(NodeID_ v) const {
     NodeID_ x = atomic_load(comp_[v]);
+    // lint: bounded(Lemma 4: concurrent links never break paths to existing ancestors, so the walk descends a finite chain)
     while (atomic_load(comp_[x]) != x) x = atomic_load(comp_[x]);
     return x;
   }

@@ -40,13 +40,17 @@ ComponentLabels<NodeID_> label_propagation(
     change = false;
     ++num_iter;
     check_convergence_guard("label_propagation", num_iter, ceiling);
+    // Jacobi iterations are race-free with plain accesses: comp is
+    // read-only until the swap below, and next[u] is written only by the
+    // thread that owns u.  Each access carries its own waiver so a future
+    // edit that breaks the double-buffer pattern re-triggers the lint.
 #pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
     for (std::int64_t u = 0; u < n; ++u) {
-      NodeID_ lowest = comp[u];
+      NodeID_ lowest = comp[u];  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
       for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
-        lowest = std::min(lowest, comp[v]);
-      next[u] = lowest;
-      if (lowest != comp[u]) change = true;
+        lowest = std::min(lowest, comp[v]);  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
+      next[u] = lowest;  // NOLINT(afforest-plain-shared-access): owner-exclusive write, only thread owning u writes next[u]
+      if (lowest != comp[u]) change = true;  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
     }
     comp.swap(next);
   }

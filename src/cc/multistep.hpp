@@ -53,7 +53,7 @@ ComponentLabels<NodeID_> multistep_cc(const CSRGraph<NodeID_>& g) {
   // never wins a min against real ids).
 #pragma omp parallel for schedule(static)
   for (std::int64_t v = 0; v < n; ++v)
-    if (comp[v] == kUnvisited) comp[v] = static_cast<NodeID_>(v);
+    if (comp[v] == kUnvisited) comp[v] = static_cast<NodeID_>(v);  // NOLINT(afforest-plain-shared-access): owner-exclusive, BFS is quiescent and only the thread owning v touches slot v
 
   const std::int64_t ceiling = iteration_ceiling(n);
   std::int64_t num_iter = 0;

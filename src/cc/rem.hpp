@@ -29,6 +29,7 @@ template <typename NodeID_>
 bool rem_unite(NodeID_ u, NodeID_ v, pvector<NodeID_>& parent) {
   NodeID_ r_u = u;
   NodeID_ r_v = v;
+  // lint: bounded(each splice strictly descends one of two finite acyclic parent chains)
   while (parent[r_u] != parent[r_v]) {
     if (parent[r_u] > parent[r_v]) {
       if (r_u == parent[r_u]) {  // r_u is a root: hook it
@@ -66,10 +67,12 @@ ComponentLabels<NodeID_> rem_cc(const CSRGraph<NodeID_>& g) {
 
 /// Lock-free Rem union: splices via CAS, retrying from the current node on
 /// contention (Patwary et al.'s shared-memory variant).
+// lint: parallel-context
 template <typename NodeID_>
 void rem_unite_atomic(NodeID_ u, NodeID_ v, pvector<NodeID_>& parent) {
   NodeID_ r_u = u;
   NodeID_ r_v = v;
+  // lint: bounded(every retry either terminates, advances down a finite chain, or loses a CAS to a thread that made progress)
   while (true) {
     NodeID_ p_u = atomic_load(parent[r_u]);
     NodeID_ p_v = atomic_load(parent[r_v]);

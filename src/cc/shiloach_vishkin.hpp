@@ -34,6 +34,7 @@ namespace afforest {
 /// convergence by an iteration.  Shared by all SV variants and driven
 /// directly from std::threads in tests/fuzz/schedule_stress_test.cpp so
 /// TSan can observe its access history (libgomp is not instrumented).
+// lint: parallel-context
 template <typename NodeID_>
 bool sv_hook_edge(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
   const NodeID_ comp_u = atomic_load(comp[u]);

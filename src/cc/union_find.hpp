@@ -28,7 +28,9 @@ class UnionFind {
   /// Root of v's set, with path compression.
   NodeID_ find(NodeID_ v) {
     NodeID_ root = v;
+    // lint: bounded(walks a finite acyclic parent chain to its root)
     while (parent_[root] != root) root = parent_[root];
+    // lint: bounded(rewrites the same finite chain, each step moves one hop toward the root)
     while (parent_[v] != root) {
       const NodeID_ next = parent_[v];
       parent_[v] = root;

@@ -106,7 +106,7 @@ ComponentLabels<NodeID_> afforest_balanced(const CSRGraph<NodeID_>& g,
 #pragma omp parallel for schedule(dynamic, 64)
   for (std::int64_t i = 0; i < nc; ++i) {
     const auto& chunk = chunks[i];
-    if (opts.skip_largest && atomic_load(comp[chunk.vertex]) == c) continue;
+    if (should_skip(chunk.vertex, comp, opts, c)) continue;
     for (std::int64_t k = chunk.begin; k < chunk.end; ++k)
       link(chunk.vertex, g.neighbor(chunk.vertex, k), comp);
   }

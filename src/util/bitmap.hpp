@@ -31,6 +31,7 @@ class Bitmap {
 
   /// Atomic set; safe under concurrent writers.
   void set_bit_atomic(std::size_t pos) {
+    // NOLINTNEXTLINE(afforest-atomic-ref-local): words_ is member storage that outlives the ref; fetch_or has no helper in util/parallel.hpp
     std::atomic_ref<std::uint64_t>(words_[word_of(pos)])
         .fetch_or(mask_of(pos), std::memory_order_acq_rel);
   }

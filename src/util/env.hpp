@@ -1,0 +1,86 @@
+// Typed environment-variable access — the single place the process reads
+// configuration from the environment.
+//
+// Every AFFOREST_* knob used to call std::getenv and hand-roll its own
+// strtol/strtod parsing, which made the set of environment inputs (and
+// their failure modes: partial parses, negative values, empty strings)
+// impossible to audit in one place.  afforest-lint's `afforest-raw-getenv`
+// rule (docs/STATIC_ANALYSIS.md) now flags any getenv call outside this
+// header, so the parsing conventions below are the only ones in the tree:
+//
+//   * empty values are treated as unset;
+//   * numeric parses must consume at least one character or the default
+//     is returned — "12abc" parses as 12 (matching the historical strtol
+//     behaviour the knobs shipped with), "abc" does not parse;
+//   * out-of-domain values (negative where a count is expected) are
+//     rejected by the caller via the returned optional.
+//
+// Kept dependency-free (std headers only): util/failpoint.hpp includes
+// this, and pvector.hpp includes failpoint.hpp, so anything heavier would
+// land in every translation unit's critical include path.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace afforest::env {
+
+/// Raw value of `name`, or nullptr when unset.  The one sanctioned getenv
+/// call site (see afforest-raw-getenv in docs/STATIC_ANALYSIS.md); prefer
+/// the typed accessors below.
+inline const char* raw(const char* name) {
+  return std::getenv(name);  // NOLINT(afforest-raw-getenv): the single sanctioned call site all typed accessors funnel through
+}
+
+/// True iff `name` is set to a non-empty value.
+inline bool is_set(const char* name) {
+  const char* v = raw(name);
+  return v != nullptr && *v != '\0';
+}
+
+/// String value of `name`; `fallback` when unset or empty.
+inline std::string as_string(const char* name, const std::string& fallback = {}) {
+  const char* v = raw(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+/// Signed integer value of `name`; nullopt when unset, empty, or not
+/// starting with a number.
+inline std::optional<std::int64_t> as_int64(const char* name) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return std::nullopt;
+  return static_cast<std::int64_t>(parsed);
+}
+
+/// Unsigned integer value of `name`; nullopt when unset, empty, not
+/// starting with a number, or negative.
+inline std::optional<std::uint64_t> as_uint64(const char* name) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  // strtoull silently wraps negatives; reject them explicitly.
+  const char* p = v;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p == '-') return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return std::nullopt;
+  return static_cast<std::uint64_t>(parsed);
+}
+
+/// Floating-point value of `name`; nullopt when unset, empty, or not
+/// starting with a number.
+inline std::optional<double> as_double(const char* name) {
+  const char* v = raw(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace afforest::env

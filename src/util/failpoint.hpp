@@ -15,8 +15,9 @@
 // convention.
 //
 // This header is include-light on purpose: pvector.hpp pulls it in, so it
-// must not depend on any other repository header.  The disarmed fast path
-// is a single branch on a cached bool.
+// must not depend on any repository header beyond the std-only
+// util/env.hpp.  The disarmed fast path is a single branch on a cached
+// bool.
 #pragma once
 
 #include <atomic>
@@ -26,6 +27,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/env.hpp"
 
 namespace afforest {
 
@@ -68,10 +71,9 @@ struct FailpointRegistry {
     entries.clear();
     armed = false;
     seed = 0;
-    if (const char* s = std::getenv("AFFOREST_FAILPOINT_SEED"))
-      seed = std::strtoull(s, nullptr, 10);
-    const char* spec = std::getenv("AFFOREST_FAILPOINTS");
-    if (spec == nullptr || *spec == '\0') return;
+    seed = env::as_uint64("AFFOREST_FAILPOINT_SEED").value_or(0);
+    const std::string spec = env::as_string("AFFOREST_FAILPOINTS");
+    if (spec.empty()) return;
     std::string_view rest(spec);
     while (!rest.empty()) {
       const auto comma = rest.find(',');

@@ -5,12 +5,12 @@
 // exact replay command; see docs/TESTING.md ("Fuzz harness").
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <string>
 #include <tuple>
 
 #include "fuzz/fuzz_common.hpp"
 #include "graph/io.hpp"
+#include "util/env.hpp"
 
 namespace afforest {
 namespace {
@@ -57,8 +57,8 @@ INSTANTIATE_TEST_SUITE_P(
 // Replay mode: AFFOREST_FUZZ_REPLAY=<dump.el> re-runs the full differential
 // check on a dumped reproducer.  Skipped when the variable is unset.
 TEST(DifferentialFuzzReplay, ReplaysDumpedReproducer) {
-  const char* path = std::getenv("AFFOREST_FUZZ_REPLAY");
-  if (path == nullptr || *path == '\0')
+  const std::string path = env::as_string("AFFOREST_FUZZ_REPLAY");
+  if (path.empty())
     GTEST_SKIP() << "set AFFOREST_FUZZ_REPLAY=<file.el> to replay a dump";
   FuzzInput in;
   in.family = "replay";

@@ -44,6 +44,7 @@
 #include "graph/generators/uniform.hpp"
 #include "graph/generators/webgraph.hpp"
 #include "graph/io.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace afforest::fuzz {
@@ -52,10 +53,9 @@ using NodeID = std::int32_t;
 
 /// AFFOREST_FUZZ_BUDGET as a percentage, clamped to [1, 100].
 inline int fuzz_budget() {
-  const char* env = std::getenv("AFFOREST_FUZZ_BUDGET");
-  if (env == nullptr || *env == '\0') return 100;
-  const long v = std::strtol(env, nullptr, 10);
-  return static_cast<int>(std::clamp(v, 1L, 100L));
+  const auto v = env::as_int64("AFFOREST_FUZZ_BUDGET");
+  if (!v) return 100;
+  return static_cast<int>(std::clamp<std::int64_t>(*v, 1, 100));
 }
 
 /// Seeds fuzzed per (family, scale) cell at the current budget.
@@ -246,10 +246,7 @@ struct Mismatch {
 
 /// Directory reproducers are dumped into (AFFOREST_FUZZ_DUMP_DIR, default
 /// current working directory).
-inline std::string dump_dir() {
-  const char* env = std::getenv("AFFOREST_FUZZ_DUMP_DIR");
-  return (env != nullptr && *env != '\0') ? env : ".";
-}
+inline std::string dump_dir() { return env::as_string("AFFOREST_FUZZ_DUMP_DIR", "."); }
 
 /// Runs one algorithm differentially; on disagreement minimizes + dumps.
 inline std::optional<Mismatch> check_algorithm(const AlgorithmEntry& algo,

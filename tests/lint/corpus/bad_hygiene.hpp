@@ -1,0 +1,37 @@
+// Fixture: the L3 hygiene rules.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+namespace afforest {
+
+// pvector by value copies the whole label array per call.
+template <typename NodeID_>
+std::int64_t copies_the_array(pvector<NodeID_> comp) {  // BAD(afforest-pvector-by-value)
+  return static_cast<std::int64_t>(comp.size());
+}
+
+// ...but a sink parameter that is moved into place is fine.
+template <typename NodeID_>
+struct LabelsHolder {
+  explicit LabelsHolder(pvector<NodeID_> labels) : labels_(std::move(labels)) {}
+  pvector<NodeID_> labels_;
+};
+
+inline void raw_atomic_ref(std::uint64_t& word) {
+  std::atomic_ref<std::uint64_t>(word).fetch_or(1u);  // BAD(afforest-atomic-ref-local)
+}
+
+inline std::uint64_t nondeterministic_seed() {
+  std::random_device rd;  // BAD(afforest-rng-seed)
+  return rd();
+}
+
+inline const char* raw_env_read() {
+  return std::getenv("AFFOREST_THREADS");  // BAD(afforest-raw-getenv)
+}
+
+}  // namespace afforest

@@ -1,0 +1,52 @@
+// Fixture: rule L1 (afforest-plain-shared-access).
+// Plain subscripts of tracked shared arrays inside OpenMP parallel regions
+// must be flagged; blessed accesses through the atomic helpers must not.
+#pragma once
+
+#include <cstdint>
+
+namespace afforest {
+
+template <typename NodeID_>
+void plain_read_and_write(std::int64_t n, pvector<NodeID_>& comp) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (comp[v] == static_cast<NodeID_>(0)) continue;  // BAD(afforest-plain-shared-access)
+    comp[v] = static_cast<NodeID_>(v);  // BAD(afforest-plain-shared-access)
+  }
+}
+
+template <typename NodeID_>
+void blessed_accesses(std::int64_t n, pvector<NodeID_>& comp) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    const NodeID_ p = atomic_load(comp[v]);
+    if (p != static_cast<NodeID_>(v))
+      compare_and_swap(comp[v], p, static_cast<NodeID_>(v));
+    atomic_store(comp[v], atomic_fetch_min(comp[v], p));
+  }
+}
+
+template <typename NodeID_>
+void serial_access_is_fine(std::int64_t n, pvector<NodeID_>& comp) {
+  for (std::int64_t v = 0; v < n; ++v) comp[v] = static_cast<NodeID_>(v);
+}
+
+// lint: parallel-context
+template <typename NodeID_>
+void helper_called_from_region(NodeID_ v, pvector<NodeID_>& comp) {
+  comp[v] = v;  // BAD(afforest-plain-shared-access)
+}
+
+template <typename NodeID_>
+void tracked_declaration(std::int64_t n) {
+  ComponentLabels<NodeID_> labels(static_cast<std::size_t>(n));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v) {
+    labels[v] = static_cast<NodeID_>(v);  // BAD(afforest-plain-shared-access)
+#pragma omp critical
+    { labels[v] = static_cast<NodeID_>(v); }  // relaxed inside omp critical
+  }
+}
+
+}  // namespace afforest

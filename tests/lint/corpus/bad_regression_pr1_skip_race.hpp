@@ -1,0 +1,36 @@
+// Fixture: regression test for the PR 1 bug class.
+//
+// This snippet reverts the race fix applied to the skip-largest predicate
+// (src/analysis/work_counter.hpp): the plain `comp[v] == c` read races with
+// concurrent link() CASes on comp[v] — a mixed plain/atomic access that is
+// UB even though any observed value would be acceptable.  The fixed code
+// routes the read through should_skip(), which uses atomic_load.
+// afforest-lint must flag the reverted form so the bug class cannot
+// silently reappear.
+#pragma once
+
+#include <cstdint>
+
+namespace afforest {
+
+template <typename NodeID_>
+void count_work_reverted(std::int64_t n, pvector<NodeID_>& comp, NodeID_ c) {
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (comp[v] == c) continue;  // BAD(afforest-plain-shared-access)
+    link(static_cast<NodeID_>(v), static_cast<NodeID_>(v + 1), comp);
+  }
+}
+
+// The fixed formulation: the predicate reads through atomic_load (here
+// inlined; in src/ it lives in should_skip()).  Must lint clean.
+template <typename NodeID_>
+void count_work_fixed(std::int64_t n, pvector<NodeID_>& comp, NodeID_ c) {
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (std::int64_t v = 0; v < n; ++v) {
+    if (atomic_load(comp[v]) == c) continue;
+    link(static_cast<NodeID_>(v), static_cast<NodeID_>(v + 1), comp);
+  }
+}
+
+}  // namespace afforest

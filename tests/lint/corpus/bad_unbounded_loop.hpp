@@ -1,0 +1,44 @@
+// Fixture: rule L2 (afforest-unbounded-fixpoint).
+// lint-scope: cc    -- opt this fixture into the src/cc fixpoint rule.
+#pragma once
+
+#include <cstdint>
+
+namespace afforest {
+
+template <typename NodeID_>
+void unguarded_fixpoint(pvector<NodeID_>& comp) {
+  bool change = true;
+  while (change) {  // BAD(afforest-unbounded-fixpoint)
+    change = do_pass(comp);
+  }
+}
+
+template <typename NodeID_>
+void unguarded_do_while(pvector<NodeID_>& comp) {
+  std::int64_t awake = 1;
+  do {  // BAD(afforest-unbounded-fixpoint)
+    awake = do_pass(comp);
+  } while (awake > 0);
+}
+
+template <typename NodeID_>
+void guarded_fixpoint(std::int64_t n, pvector<NodeID_>& comp) {
+  const std::int64_t ceiling = iteration_ceiling(n);
+  std::int64_t iter = 0;
+  bool change = true;
+  while (change) {
+    ++iter;
+    check_convergence_guard("guarded_fixpoint", iter, ceiling);
+    change = do_pass(comp);
+  }
+}
+
+template <typename NodeID_>
+NodeID_ waived_fixpoint(NodeID_ v, const pvector<NodeID_>& pi) {
+  // lint: bounded(walks a finite acyclic parent chain to its root)
+  while (pi[v] != v) v = pi[v];
+  return v;
+}
+
+}  // namespace afforest

@@ -1,0 +1,32 @@
+// Fixture: rule W1 (afforest-waiver-missing-reason).
+// A waiver must always say WHY.  A NOLINT or bounded() without a reason
+// still suppresses/waives the underlying diagnostic, but earns W1 instead.
+// lint-scope: cc
+#pragma once
+
+#include <cstdint>
+
+namespace afforest {
+
+template <typename NodeID_>
+void nolint_without_reason(std::int64_t n, pvector<NodeID_>& comp) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v)
+    comp[v] = static_cast<NodeID_>(v);  // NOLINT(afforest-plain-shared-access) BAD(afforest-waiver-missing-reason)
+}
+
+template <typename NodeID_>
+NodeID_ bounded_without_reason(NodeID_ v, const pvector<NodeID_>& pi) {
+  // lint: bounded()
+  while (pi[v] != v) v = pi[v];  // BAD(afforest-waiver-missing-reason)
+  return v;
+}
+
+template <typename NodeID_>
+void nolint_with_reason(std::int64_t n, pvector<NodeID_>& comp) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v)
+    comp[v] = static_cast<NodeID_>(v);  // NOLINT(afforest-plain-shared-access): owner-exclusive init write
+}
+
+}  // namespace afforest

@@ -1,0 +1,56 @@
+// Fixture: a file following every discipline must produce ZERO
+// diagnostics.  Exercises blessed atomic access, guarded and waived
+// fixpoint loops, sink pvector parameters, and reasoned NOLINTs together.
+// lint-scope: cc
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace afforest {
+
+// lint: parallel-context
+template <typename NodeID_>
+void link_like(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
+  NodeID_ p1 = atomic_load(comp[u]);
+  NodeID_ p2 = atomic_load(comp[v]);
+  // lint: bounded(each retry strictly descends a finite acyclic parent chain)
+  while (p1 != p2) {
+    const NodeID_ high = p1 > p2 ? p1 : p2;
+    const NodeID_ low = p1 > p2 ? p2 : p1;
+    if (compare_and_swap(comp[high], high, low)) break;
+    p1 = atomic_load(comp[high]);
+    p2 = atomic_load(comp[low]);
+  }
+}
+
+template <typename NodeID_>
+void guarded_driver(std::int64_t n, pvector<NodeID_>& comp) {
+  const std::int64_t ceiling = iteration_ceiling(n);
+  std::int64_t iter = 0;
+  bool change = true;
+  while (change) {
+    ++iter;
+    check_convergence_guard("guarded_driver", iter, ceiling);
+    change = false;
+#pragma omp parallel for reduction(|| : change) schedule(static)
+    for (std::int64_t v = 0; v + 1 < n; ++v) {
+      if (atomic_fetch_min(comp[v + 1], atomic_load(comp[v]))) change = true;
+    }
+  }
+}
+
+template <typename NodeID_>
+void init_labels(std::int64_t n, pvector<NodeID_>& comp) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t v = 0; v < n; ++v)
+    comp[v] = static_cast<NodeID_>(v);  // NOLINT(afforest-plain-shared-access): owner-exclusive init write, no other thread touches slot v
+}
+
+template <typename NodeID_>
+struct SinkHolder {
+  explicit SinkHolder(pvector<NodeID_> labels) : labels_(std::move(labels)) {}
+  pvector<NodeID_> labels_;
+};
+
+}  // namespace afforest

@@ -7,13 +7,15 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/env.hpp"
+
 namespace afforest::testing {
 
 class ScopedEnv {
  public:
   /// Sets `name` to `value`; nullptr unsets it.
   ScopedEnv(const char* name, const char* value) : name_(name) {
-    const char* old = std::getenv(name);
+    const char* old = env::raw(name);
     had_old_ = old != nullptr;
     if (had_old_) old_value_ = old;
     if (value != nullptr)

@@ -1,0 +1,94 @@
+"""Optional libclang cross-check backend.
+
+The structural engine (engine.py) is the source of truth — it needs nothing
+beyond python3.  When the clang python bindings AND a compile_commands.json
+are available (CI installs them; the dev container may not have them), this
+backend re-checks the simple token-level rules (raw getenv, raw
+std::atomic_ref, std::random_device) over real ASTs as a
+defense-in-depth pass.  It is additive only: it can confirm findings or add
+ones the lexical pass missed in macro-heavy code, and it is silently
+skipped when unavailable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from . import diagnostics as diag
+
+try:  # pragma: no cover - availability depends on the host image
+    from clang import cindex  # type: ignore
+
+    _AVAILABLE = True
+except Exception:  # ModuleNotFoundError or libclang load failure
+    cindex = None  # type: ignore
+    _AVAILABLE = False
+
+
+def available() -> bool:
+    return _AVAILABLE
+
+
+def _iter_calls(node):
+    for child in node.get_children():
+        yield child
+        yield from _iter_calls(child)
+
+
+def check_compile_commands(
+    build_dir: str, source_roots: list[str]
+) -> list[diag.Diagnostic]:
+    """Parses every TU in build_dir/compile_commands.json under the given
+    roots and re-applies the token-level rules on the AST."""
+    if not _AVAILABLE:
+        return []
+    ccpath = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(ccpath):
+        return []
+    with open(ccpath, encoding="utf-8") as f:
+        commands = json.load(f)
+
+    roots = [os.path.abspath(r) for r in source_roots]
+    index = cindex.Index.create()
+    out: list[diag.Diagnostic] = []
+    for entry in commands:
+        src = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        if not any(src.startswith(r + os.sep) for r in roots):
+            continue
+        args = [
+            a
+            for a in entry.get("command", "").split()[1:]
+            if a not in ("-c", "-o") and not a.endswith((".o", ".cpp", ".cc"))
+        ]
+        try:
+            tu = index.parse(src, args=args)
+        except Exception:
+            continue
+        for node in _iter_calls(tu.cursor):
+            loc = node.location
+            if loc.file is None:
+                continue
+            fname = loc.file.name.replace(os.sep, "/")
+            if not any(fname.startswith(r.replace(os.sep, "/")) for r in roots):
+                continue
+            if node.kind == cindex.CursorKind.CALL_EXPR and node.spelling == "getenv":
+                if not fname.endswith("util/env.hpp"):
+                    out.append(
+                        diag.Diagnostic(
+                            fname, loc.line, diag.RAW_GETENV,
+                            "raw getenv call (clang backend)",
+                        )
+                    )
+            if (
+                node.kind == cindex.CursorKind.TYPE_REF
+                and "atomic_ref" in node.spelling
+                and not fname.endswith("util/parallel.hpp")
+            ):
+                out.append(
+                    diag.Diagnostic(
+                        fname, loc.line, diag.ATOMIC_REF_LOCAL,
+                        "raw std::atomic_ref (clang backend)",
+                    )
+                )
+    return out

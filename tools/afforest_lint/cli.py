@@ -1,0 +1,118 @@
+"""Command-line entry point for afforest-lint.
+
+Usage:
+  afforest-lint [options] <file-or-dir>...      lint sources
+  afforest-lint --selftest <corpus-dir>         run the fixture corpus
+  afforest-lint --list-codes                    print every diagnostic code
+
+Exit status: 0 clean, 1 diagnostics emitted (or selftest failures),
+2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import __version__, clang_backend, engine
+from . import diagnostics as diag
+from .selftest import run_selftest
+
+_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc")
+
+
+def collect_sources(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs.sort()
+                for name in sorted(names):
+                    if name.endswith(_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        elif os.path.isfile(path):
+            files.append(path)
+        else:
+            raise FileNotFoundError(path)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="afforest-lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--selftest", metavar="DIR",
+                        help="run the fixture corpus in DIR and exit")
+    parser.add_argument("--list-codes", action="store_true",
+                        help="print all diagnostic codes and exit")
+    parser.add_argument("--backend", choices=("structural", "clang", "auto"),
+                        default="auto",
+                        help="analysis backend; 'clang' additionally "
+                        "cross-checks via libclang when importable "
+                        "(default: auto = structural + clang if available)")
+    parser.add_argument("--build-dir", default=None,
+                        help="build dir with compile_commands.json for the "
+                        "clang backend")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    parser.add_argument("--version", action="version", version=__version__)
+    args = parser.parse_args(argv)
+
+    if args.list_codes:
+        for code in diag.ALL_CODES:
+            print(f"{code}: {diag.DESCRIPTIONS[code]}")
+        return 0
+
+    if args.selftest:
+        failures, report = run_selftest(args.selftest)
+        for line in report:
+            print(line)
+        if failures:
+            print(f"selftest: {failures} fixture(s) FAILED", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print("selftest: all fixtures passed")
+        return 0
+
+    if not args.paths:
+        parser.error("no input files (or use --selftest / --list-codes)")
+
+    try:
+        files = collect_sources(args.paths)
+    except FileNotFoundError as e:
+        print(f"afforest-lint: no such file or directory: {e}", file=sys.stderr)
+        return 2
+
+    all_diags: list[diag.Diagnostic] = []
+    for path in files:
+        try:
+            all_diags.extend(engine.analyze_file(path))
+        except Exception as e:  # diagnose, don't crash the whole run
+            print(f"afforest-lint: internal error analyzing {path}: {e}",
+                  file=sys.stderr)
+            return 2
+
+    if args.backend in ("clang", "auto") and args.build_dir:
+        if clang_backend.available():
+            roots = [p for p in args.paths if os.path.isdir(p)]
+            all_diags.extend(
+                clang_backend.check_compile_commands(args.build_dir, roots)
+            )
+        elif args.backend == "clang":
+            print("afforest-lint: clang backend requested but the clang "
+                  "python bindings are not importable; structural results "
+                  "only", file=sys.stderr)
+
+    for d in all_diags:
+        print(d.render())
+    if not args.quiet:
+        print(f"afforest-lint: {len(files)} file(s), "
+              f"{len(all_diags)} diagnostic(s)", file=sys.stderr)
+    return 1 if all_diags else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

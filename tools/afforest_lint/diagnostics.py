@@ -1,0 +1,70 @@
+"""Diagnostic codes and the Diagnostic record emitted by the engine."""
+
+from __future__ import annotations
+
+import dataclasses
+
+# L1: atomic-access discipline inside parallel regions.
+PLAIN_SHARED_ACCESS = "afforest-plain-shared-access"
+# L2: convergence-guard discipline for fixpoint loops in src/cc.
+UNBOUNDED_FIXPOINT = "afforest-unbounded-fixpoint"
+# L3: general hygiene rules.
+PVECTOR_BY_VALUE = "afforest-pvector-by-value"
+ATOMIC_REF_LOCAL = "afforest-atomic-ref-local"
+RNG_SEED = "afforest-rng-seed"
+RAW_GETENV = "afforest-raw-getenv"
+# W1: a waiver (NOLINT or lint: bounded) without a reason string.
+WAIVER_MISSING_REASON = "afforest-waiver-missing-reason"
+
+ALL_CODES = (
+    PLAIN_SHARED_ACCESS,
+    UNBOUNDED_FIXPOINT,
+    PVECTOR_BY_VALUE,
+    ATOMIC_REF_LOCAL,
+    RNG_SEED,
+    RAW_GETENV,
+    WAIVER_MISSING_REASON,
+)
+
+DESCRIPTIONS = {
+    PLAIN_SHARED_ACCESS: (
+        "subscript access to a shared component array inside a parallel "
+        "region must go through atomic_load/atomic_store/compare_and_swap/"
+        "atomic_fetch_min/fetch_and_add"
+    ),
+    UNBOUNDED_FIXPOINT: (
+        "fixpoint loop in src/cc must call check_convergence_guard (see "
+        "cc/guards.hpp) or carry a '// lint: bounded(<reason>)' waiver"
+    ),
+    PVECTOR_BY_VALUE: (
+        "pvector taken by value copies the whole array; pass by (const) "
+        "reference, or std::move it if the parameter is a sink"
+    ),
+    ATOMIC_REF_LOCAL: (
+        "raw std::atomic_ref construction outside util/parallel.hpp; use "
+        "the atomic_* helpers so lifetime and ordering stay centralized"
+    ),
+    RNG_SEED: (
+        "non-deterministic RNG seeding outside util/rng.hpp breaks "
+        "reproducible benchmarks; take seeds from util/rng.hpp or the CLI"
+    ),
+    RAW_GETENV: (
+        "raw std::getenv call site; go through the typed accessors in "
+        "util/env.hpp"
+    ),
+    WAIVER_MISSING_REASON: (
+        "waiver without a reason string; write "
+        "'// NOLINT(<code>): <why>' or '// lint: bounded(<why>)'"
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    path: str
+    line: int  # 1-based
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code}: {self.message}"

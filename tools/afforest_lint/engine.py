@@ -1,0 +1,586 @@
+"""Structural analysis engine for afforest-lint.
+
+Dependency-free by design: the container image has no clang frontend, so the
+primary engine is a lexical/structural analyzer over the blanked code view
+produced by lexer.py.  It understands exactly as much C++ as the rules need:
+
+  * function definitions (name, parameter list, body extent)
+  * OpenMP parallel regions (``#pragma omp parallel [for]`` + the statement
+    they apply to, with ``critical``/``single``/``master`` sub-blocks
+    excluded from the L1 check)
+  * while/do fixpoint loops and their body extents
+  * the comment marker grammar:
+      // NOLINT(afforest-<code>[, ...]): <reason>        same-line waiver
+      // NOLINTNEXTLINE(afforest-<code>[, ...]): <reason>
+      // lint: bounded(<reason>)         L2 waiver for the next loop
+      // lint: parallel-context          next function body is analyzed as
+                                         if inside a parallel region (for
+                                         helpers like link/compress that are
+                                         only ever called from one)
+      // lint-scope: cc                  opt this file into the L2 rule
+                                         (src/cc/*.hpp is in scope by path)
+
+Tracked shared arrays (rule L1):
+  * non-const ``pvector<...NodeID...>&`` function parameters (scoped to the
+    function body)
+  * ``ComponentLabels<...>`` declarations (scoped from the declaration to
+    the end of file — declarations are function-local in practice, and the
+    over-approximation only ever *adds* checking)
+  * ``auto& x = <expr>.labels`` aliases of the above
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import os
+import re
+
+from . import diagnostics as diag
+from .lexer import lex
+
+# Helpers whose first argument may be (and must be, inside parallel code) a
+# subscript of a tracked array.  All live in src/util/parallel.hpp.
+ATOMIC_HELPERS = frozenset(
+    {
+        "atomic_load",
+        "atomic_store",
+        "compare_and_swap",
+        "atomic_fetch_min",
+        "fetch_and_add",
+    }
+)
+
+# Statement keywords the function-definition scan must not mistake for
+# function names.
+_NON_FUNCTION_NAMES = frozenset(
+    {
+        "if",
+        "for",
+        "while",
+        "switch",
+        "catch",
+        "return",
+        "do",
+        "else",
+        "sizeof",
+        "alignas",
+        "alignof",
+        "decltype",
+        "static_assert",
+        "new",
+        "delete",
+        "co_await",
+        "co_return",
+        "noexcept",
+        "requires",
+    }
+)
+
+_FUNC_RE = re.compile(
+    r"([A-Za-z_][\w:]*)\s*"  # function name (possibly qualified)
+    r"\(((?:[^()]|\([^()]*\))*)\)"  # params, one nesting level
+    r"\s*(?:const\s*)?(?:noexcept(?:\s*\([^()]*\))?\s*)?"
+    r"(?:->\s*[\w:<>&*,\s]+?)?"
+    r"(?::\s*[^{};]*)?\s*\{",  # optional constructor member-init list
+    re.DOTALL,
+)
+
+_TRACKED_PARAM_RE = re.compile(
+    r"(const\s+)?pvector<[^<>;&]*NodeID[^<>;&]*>\s*&\s*([A-Za-z_]\w*)"
+)
+_BYVALUE_PVECTOR_RE = re.compile(
+    r"(?:const\s+)?pvector<(?:[^<>]|<[^<>]*>)*>\s+([A-Za-z_]\w*)\s*(?=[,=)]|$)"
+)
+_LABELS_DECL_RE = re.compile(r"\bComponentLabels<[^;{}]*>\s+([A-Za-z_]\w*)\s*[=({;]")
+_LABELS_ALIAS_RE = re.compile(r"\bauto\s*&\s*([A-Za-z_]\w*)\s*=[^;]*\blabels\b")
+_LABELS_INIT_RE = re.compile(
+    r"\bauto\s*&?\s*([A-Za-z_]\w*)\s*=[^;]*\bidentity_labels\b"
+)
+
+_NOLINT_RE = re.compile(r"(?<![A-Z])NOLINT\(([^)]*)\)(?:\s*:\s*(\S.*))?")
+_NOLINTNEXT_RE = re.compile(r"NOLINTNEXTLINE\(([^)]*)\)(?:\s*:\s*(\S.*))?")
+_BOUNDED_RE = re.compile(r"lint:\s*bounded\((.*)\)")
+_PARALLEL_CONTEXT_RE = re.compile(r"lint:\s*parallel-context")
+_CC_SCOPE_RE = re.compile(r"lint-scope:\s*cc")
+
+_WS_RE = re.compile(r"\s+$")
+
+
+@dataclasses.dataclass
+class Function:
+    name: str
+    params: str
+    sig_start: int  # offset of the name in the blanked code
+    body_start: int  # offset of the opening brace
+    body_end: int  # offset just past the closing brace
+    parallel_context: bool = False
+
+
+@dataclasses.dataclass
+class _Nolint:
+    codes: frozenset[str]
+    has_reason: bool
+    reported_missing: bool = False
+
+
+class FileAnalysis:
+    """Single-file structural analysis producing diagnostics."""
+
+    def __init__(self, path: str, text: str, display_path: str | None = None):
+        self.path = path
+        self.display = display_path or path
+        self.code_lines, self.comment_lines = lex(text)
+        self.code = "\n".join(self.code_lines)
+        self.line_starts = [0]
+        for line in self.code_lines[:-1]:
+            self.line_starts.append(self.line_starts[-1] + len(line) + 1)
+        self.diags: list[diag.Diagnostic] = []
+        self._collect_markers()
+        self.functions = self._find_functions()
+        self._attach_parallel_context()
+        self.parallel_ranges = self._find_parallel_ranges()
+        self.excluded_ranges = self._find_excluded_ranges()
+        self.tracked = self._find_tracked_arrays()
+
+    # -- geometry -----------------------------------------------------------
+
+    def line_of(self, offset: int) -> int:
+        """1-based physical line containing the given code offset."""
+        return bisect.bisect_right(self.line_starts, offset)
+
+    def _match_brace(self, start: int) -> int:
+        """Given the offset of '{', returns the offset just past its '}'."""
+        depth = 0
+        for i in range(start, len(self.code)):
+            c = self.code[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        return len(self.code)
+
+    def _match_paren(self, start: int) -> int:
+        depth = 0
+        for i in range(start, len(self.code)):
+            c = self.code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        return len(self.code)
+
+    def _skip_ws(self, i: int) -> int:
+        while i < len(self.code) and self.code[i].isspace():
+            i += 1
+        return i
+
+    def _pragma_extent(self, i: int) -> int:
+        """Offset past a preprocessor directive starting at i, following
+        backslash line continuations."""
+        line = self.line_of(i)
+        while line <= len(self.code_lines):
+            stripped = _WS_RE.sub("", self.code_lines[line - 1])
+            if not stripped.endswith("\\"):
+                break
+            line += 1
+        if line >= len(self.code_lines):
+            return len(self.code)
+        return self.line_starts[line]  # start of the line after the directive
+
+    def _consume_statement(self, i: int) -> int:
+        """Offset just past the statement starting at (or after) i."""
+        i = self._skip_ws(i)
+        if i >= len(self.code):
+            return i
+        c = self.code[i]
+        if c == "{":
+            return self._match_brace(i)
+        if c == "#":
+            # A nested pragma (e.g. `#pragma omp for`) applies to the next
+            # statement; consume both.
+            return self._consume_statement(self._pragma_extent(i))
+        m = re.match(r"(for|while|if|do|else|switch)\b", self.code[i:])
+        if m:
+            kw = m.group(1)
+            j = i + len(kw)
+            if kw == "do":
+                j = self._consume_statement(j)
+                j = self._skip_ws(j)
+                m2 = re.match(r"while\b", self.code[j:])
+                if m2:
+                    j = self._match_paren(self.code.index("(", j))
+                    j = self._skip_ws(j)
+                    if j < len(self.code) and self.code[j] == ";":
+                        j += 1
+                return j
+            if kw != "else":
+                j = self._skip_ws(j)
+                if j < len(self.code) and self.code[j] == "(":
+                    j = self._match_paren(j)
+            j = self._consume_statement(j)
+            if kw == "if":
+                k = self._skip_ws(j)
+                if re.match(r"else\b", self.code[k:]):
+                    j = self._consume_statement(k + 4)
+            return j
+        # Plain statement: to the ';' at paren/brace depth 0.
+        depth = 0
+        while i < len(self.code):
+            c = self.code[i]
+            if c in "([{":
+                depth += 1
+            elif c in ")]}":
+                depth -= 1
+            elif c == ";" and depth == 0:
+                return i + 1
+            i += 1
+        return i
+
+    # -- markers ------------------------------------------------------------
+
+    def _collect_markers(self) -> None:
+        self.nolint: dict[int, _Nolint] = {}  # line -> suppression
+        self.bounded: dict[int, str] = {}  # line -> reason ('' if missing)
+        self.parallel_context_lines: list[int] = []
+        self.cc_scope_marker = False
+        for idx, comment in enumerate(self.comment_lines):
+            line = idx + 1
+            if not comment:
+                continue
+            m = _NOLINTNEXT_RE.search(comment)
+            if m:
+                self._add_nolint(line + 1, m)
+            else:
+                m = _NOLINT_RE.search(comment)
+                if m:
+                    self._add_nolint(line, m)
+            m = _BOUNDED_RE.search(comment)
+            if m:
+                self.bounded[line] = m.group(1).strip()
+            if _PARALLEL_CONTEXT_RE.search(comment):
+                self.parallel_context_lines.append(line)
+            if _CC_SCOPE_RE.search(comment):
+                self.cc_scope_marker = True
+
+    def _add_nolint(self, line: int, m: re.Match) -> None:
+        codes = frozenset(
+            c.strip() for c in m.group(1).split(",") if c.strip()
+        )
+        self.nolint[line] = _Nolint(codes, bool(m.group(2)))
+
+    # -- structure ----------------------------------------------------------
+
+    def _find_functions(self) -> list[Function]:
+        functions = []
+        for m in _FUNC_RE.finditer(self.code):
+            name = m.group(1).split("::")[-1]
+            if name in _NON_FUNCTION_NAMES:
+                continue
+            body_start = m.end() - 1
+            functions.append(
+                Function(
+                    name=name,
+                    params=m.group(2),
+                    sig_start=m.start(1),
+                    body_start=body_start,
+                    body_end=self._match_brace(body_start),
+                )
+            )
+        functions.sort(key=lambda f: f.sig_start)
+        return functions
+
+    def _attach_parallel_context(self) -> None:
+        for marker_line in self.parallel_context_lines:
+            for f in self.functions:
+                if self.line_of(f.sig_start) >= marker_line:
+                    f.parallel_context = True
+                    break
+
+    def _omp_pragmas(self) -> list[tuple[int, str]]:
+        """(offset, joined pragma text) for every `#pragma omp` directive."""
+        out = []
+        for idx, text in enumerate(self.code_lines):
+            stripped = text.lstrip()
+            if not stripped.startswith("#"):
+                continue
+            if not re.match(r"#\s*pragma\s+omp\b", stripped):
+                continue
+            joined = [stripped]
+            j = idx
+            while _WS_RE.sub("", self.code_lines[j]).endswith("\\") and (
+                j + 1 < len(self.code_lines)
+            ):
+                j += 1
+                joined.append(self.code_lines[j].strip())
+            text = " ".join(p.rstrip("\\").strip() for p in joined)
+            out.append((self.line_starts[idx], text))
+        return out
+
+    def _find_parallel_ranges(self) -> list[tuple[int, int]]:
+        ranges = []
+        for offset, text in self._omp_pragmas():
+            if re.match(r"#\s*pragma\s+omp\s+parallel\b", text):
+                start = self._pragma_extent(offset)
+                ranges.append((start, self._consume_statement(start)))
+        for f in self.functions:
+            if f.parallel_context:
+                ranges.append((f.body_start, f.body_end))
+        return ranges
+
+    def _find_excluded_ranges(self) -> list[tuple[int, int]]:
+        ranges = []
+        for offset, text in self._omp_pragmas():
+            if re.match(r"#\s*pragma\s+omp\s+(critical|single|master)\b", text):
+                start = self._pragma_extent(offset)
+                ranges.append((start, self._consume_statement(start)))
+        return ranges
+
+    def _find_tracked_arrays(self) -> list[tuple[str, int, int]]:
+        """(name, scope_start, scope_end) for every tracked shared array."""
+        tracked = []
+        for f in self.functions:
+            for m in _TRACKED_PARAM_RE.finditer(f.params):
+                if m.group(1):  # const ref: read-only, not tracked
+                    continue
+                tracked.append((m.group(2), f.body_start, f.body_end))
+        sig_starts = {f.sig_start for f in self.functions}
+        for regex in (_LABELS_DECL_RE, _LABELS_ALIAS_RE, _LABELS_INIT_RE):
+            for m in regex.finditer(self.code):
+                if m.start(1) in sig_starts:
+                    continue  # a function returning ComponentLabels, not a decl
+                tracked.append((m.group(1), m.end(), self._scope_end(m.start())))
+        return tracked
+
+    def _scope_end(self, offset: int) -> int:
+        """End of the innermost function body containing offset (end of file
+        for namespace-scope declarations, e.g. class members)."""
+        end = len(self.code)
+        best_start = -1
+        for f in self.functions:
+            if f.body_start <= offset < f.body_end and f.body_start > best_start:
+                best_start = f.body_start
+                end = f.body_end
+        return end
+
+    # -- rules --------------------------------------------------------------
+
+    def _in_ranges(self, offset: int, ranges: list[tuple[int, int]]) -> bool:
+        return any(a <= offset < b for a, b in ranges)
+
+    def _emit(self, offset_or_line: int, code: str, message: str, *, is_line=False):
+        line = offset_or_line if is_line else self.line_of(offset_or_line)
+        self.diags.append(diag.Diagnostic(self.display, line, code, message))
+
+    def check_plain_shared_access(self) -> None:
+        if not self.parallel_ranges:
+            return
+        seen: set[tuple[int, str]] = set()
+        for name, scope_start, scope_end in self.tracked:
+            pattern = re.compile(r"\b" + re.escape(name) + r"\s*\[")
+            for m in pattern.finditer(self.code, scope_start, scope_end):
+                if not self._in_ranges(m.start(), self.parallel_ranges):
+                    continue
+                if self._in_ranges(m.start(), self.excluded_ranges):
+                    continue
+                if self._is_blessed_subscript(m.start()):
+                    continue
+                line = self.line_of(m.start())
+                if (line, name) in seen:
+                    continue
+                seen.add((line, name))
+                self._emit(
+                    m.start(),
+                    diag.PLAIN_SHARED_ACCESS,
+                    f"plain subscript of shared array '{name}' inside a "
+                    f"parallel region; use the atomic helpers from "
+                    f"util/parallel.hpp",
+                )
+
+    def _is_blessed_subscript(self, offset: int) -> bool:
+        """True iff the subscript at `offset` is the first argument of an
+        atomic helper call: the non-space text before it must end with
+        ``<helper>(``."""
+        i = offset - 1
+        while i >= 0 and self.code[i].isspace():
+            i -= 1
+        if i < 0 or self.code[i] != "(":
+            return False
+        i -= 1
+        while i >= 0 and self.code[i].isspace():
+            i -= 1
+        end = i + 1
+        while i >= 0 and (self.code[i].isalnum() or self.code[i] == "_"):
+            i -= 1
+        return self.code[i + 1 : end] in ATOMIC_HELPERS
+
+    def check_unbounded_fixpoint(self, cc_scope: bool) -> None:
+        if not (cc_scope or self.cc_scope_marker):
+            return
+        skip_whiles: set[int] = set()  # trailing `while` of do-while loops
+        loops: list[tuple[int, int, int]] = []  # (kw_offset, body_start, body_end)
+
+        for m in re.finditer(r"\bdo\b", self.code):
+            j = self._skip_ws(m.end())
+            if j >= len(self.code) or self.code[j] != "{":
+                continue
+            body_end = self._match_brace(j)
+            k = self._skip_ws(body_end)
+            if re.match(r"while\b", self.code[k:]):
+                skip_whiles.add(k)
+            loops.append((m.start(), j, body_end))
+
+        for m in re.finditer(r"\bwhile\s*\(", self.code):
+            if m.start() in skip_whiles:
+                continue
+            paren_end = self._match_paren(self.code.index("(", m.start()))
+            body_end = self._consume_statement(paren_end)
+            loops.append((m.start(), paren_end, body_end))
+
+        for kw_offset, body_start, body_end in loops:
+            body = self.code[body_start:body_end]
+            if "check_convergence_guard" in body:
+                continue
+            line = self.line_of(kw_offset)
+            reason = self._bounded_waiver_for(line)
+            if reason is None:
+                self._emit(
+                    kw_offset,
+                    diag.UNBOUNDED_FIXPOINT,
+                    "fixpoint loop without check_convergence_guard or a "
+                    "'// lint: bounded(<reason>)' waiver",
+                )
+            elif not reason:
+                self._emit(
+                    kw_offset,
+                    diag.WAIVER_MISSING_REASON,
+                    "'lint: bounded()' waiver needs a reason explaining why "
+                    "the loop terminates",
+                )
+
+    def _bounded_waiver_for(self, loop_line: int) -> str | None:
+        """Reason string of the waiver covering a loop at loop_line, '' when
+        a waiver is present but empty, None when there is no waiver.  Looks
+        at the loop line itself, then upward across comment-only lines."""
+        if loop_line in self.bounded:
+            return self.bounded[loop_line]
+        line = loop_line - 1
+        while line >= 1:
+            if line in self.bounded:
+                return self.bounded[line]
+            code = self.code_lines[line - 1].strip()
+            comment = self.comment_lines[line - 1].strip()
+            if code:  # a code line without a waiver ends the search
+                return None
+            if not comment:  # blank line ends the search
+                return None
+            line -= 1
+        return None
+
+    def check_pvector_by_value(self) -> None:
+        for f in self.functions:
+            # Scan from the signature so member-init lists count as "moved"
+            # too; the parameter list itself never contains std::move(name).
+            body = self.code[f.sig_start : f.body_end]
+            for m in _BYVALUE_PVECTOR_RE.finditer(f.params):
+                name = m.group(1)
+                if re.search(
+                    r"std::move\s*\(\s*" + re.escape(name) + r"\s*\)", body
+                ):
+                    continue  # sink parameter: the copy is intentional
+                self._emit(
+                    f.sig_start,
+                    diag.PVECTOR_BY_VALUE,
+                    f"parameter '{name}' takes a pvector by value; pass by "
+                    f"(const) reference or std::move it into place",
+                )
+
+    def check_atomic_ref(self, exempt: bool) -> None:
+        if exempt:
+            return
+        for m in re.finditer(r"\bstd::atomic_ref\s*<", self.code):
+            self._emit(
+                m.start(),
+                diag.ATOMIC_REF_LOCAL,
+                "raw std::atomic_ref outside util/parallel.hpp; wrap the "
+                "operation in an atomic_* helper",
+            )
+
+    def check_rng_seed(self, exempt: bool) -> None:
+        if exempt:
+            return
+        for m in re.finditer(
+            r"\bstd::random_device\b|\brandom_device\s*\{|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)",
+            self.code,
+        ):
+            self._emit(
+                m.start(),
+                diag.RNG_SEED,
+                "non-deterministic RNG seeding; take seeds from "
+                "util/rng.hpp or the CLI so runs stay reproducible",
+            )
+
+    def check_raw_getenv(self, exempt: bool) -> None:
+        if exempt:
+            return
+        for m in re.finditer(r"\b(?:std::)?getenv\s*\(", self.code):
+            self._emit(
+                m.start(),
+                diag.RAW_GETENV,
+                "raw getenv call; use the typed accessors in util/env.hpp",
+            )
+
+    # -- suppression --------------------------------------------------------
+
+    def apply_suppressions(self) -> list[diag.Diagnostic]:
+        out = []
+        for d in self.diags:
+            sup = self.nolint.get(d.line)
+            if sup is not None and (d.code in sup.codes or "afforest-*" in sup.codes):
+                if not sup.has_reason and not sup.reported_missing:
+                    sup.reported_missing = True
+                    out.append(
+                        diag.Diagnostic(
+                            self.display,
+                            d.line,
+                            diag.WAIVER_MISSING_REASON,
+                            f"NOLINT({d.code}) suppresses a diagnostic but "
+                            f"gives no reason; write 'NOLINT({d.code}): <why>'",
+                        )
+                    )
+                continue
+            out.append(d)
+        out.sort(key=lambda d: (d.line, d.code))
+        return out
+
+
+def _is_cc_scope(path: str) -> bool:
+    norm = path.replace(os.sep, "/")
+    return "/cc/" in norm and norm.endswith(".hpp") and "/src/" in norm
+
+
+def _exempt_suffix(path: str, suffix: str) -> bool:
+    return path.replace(os.sep, "/").endswith(suffix)
+
+
+def analyze_file(path: str, display_path: str | None = None) -> list[diag.Diagnostic]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    return analyze_text(text, path, display_path)
+
+
+def analyze_text(
+    text: str, path: str, display_path: str | None = None
+) -> list[diag.Diagnostic]:
+    fa = FileAnalysis(path, text, display_path)
+    fa.check_plain_shared_access()
+    fa.check_unbounded_fixpoint(cc_scope=_is_cc_scope(path))
+    fa.check_pvector_by_value()
+    fa.check_atomic_ref(exempt=_exempt_suffix(path, "util/parallel.hpp"))
+    fa.check_rng_seed(exempt=_exempt_suffix(path, "util/rng.hpp"))
+    fa.check_raw_getenv(exempt=False)
+    return fa.apply_suppressions()

@@ -1,0 +1,140 @@
+"""A small C++ lexer: separates code from comments and blanks out literals.
+
+The engine works on two parallel views of a source file:
+
+  * ``code_lines``    -- source text with comments and string/char literal
+                         *contents* replaced by spaces (quotes kept), so
+                         structural scans (braces, parens, keywords) never
+                         trip over text inside literals or comments.
+  * ``comment_lines`` -- the comment text present on each physical line
+                         (both // and /* */ forms), used for the marker
+                         grammar (NOLINT, lint: bounded, ...).
+
+Both views preserve line structure exactly: code_lines[i] and
+comment_lines[i] describe physical line i of the input.  Raw string
+literals (R"delim(...)delim") and escape sequences are handled.
+"""
+
+from __future__ import annotations
+
+import re
+
+_RAW_OPEN = re.compile(r'R"([^()\\ \t\n]{0,16})\(')
+
+
+def lex(text: str) -> tuple[list[str], list[str]]:
+    """Returns (code_lines, comment_lines) for the given source text."""
+    code_lines: list[str] = []
+    comment_lines: list[str] = []
+    code: list[str] = []
+    comment: list[str] = []
+
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_close = ""
+    i = 0
+    n = len(text)
+
+    def endline() -> None:
+        code_lines.append("".join(code))
+        comment_lines.append("".join(comment))
+        code.clear()
+        comment.clear()
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            if state == LINE_COMMENT:
+                state = NORMAL
+            endline()
+            i += 1
+            continue
+
+        if state == NORMAL:
+            nxt = text[i + 1] if i + 1 < n else ""
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                code.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                code.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                m = None
+                if i >= 1 and text[i - 1] == "R":
+                    m = _RAW_OPEN.match(text, i - 1)
+                if m:
+                    raw_close = ")" + m.group(1) + '"'
+                    state = RAW
+                    code.append('"')
+                    i = m.end()
+                    continue
+                state = STRING
+                code.append('"')
+                i += 1
+                continue
+            if c == "'":
+                # Digit separator (1'000'000), not a char literal.
+                if (
+                    i >= 1
+                    and text[i - 1].isdigit()
+                    and i + 1 < n
+                    and text[i + 1].isdigit()
+                ):
+                    code.append("'")
+                    i += 1
+                    continue
+                state = CHAR
+                code.append("'")
+                i += 1
+                continue
+            code.append(c)
+            i += 1
+            continue
+
+        if state == LINE_COMMENT:
+            comment.append(c)
+            code.append(" ")
+            i += 1
+            continue
+
+        if state == BLOCK_COMMENT:
+            if c == "*" and i + 1 < n and text[i + 1] == "/":
+                state = NORMAL
+                code.append("  ")
+                i += 2
+                continue
+            comment.append(c)
+            code.append(" ")
+            i += 1
+            continue
+
+        if state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\" and i + 1 < n:
+                code.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+                code.append(quote)
+                i += 1
+                continue
+            code.append(" ")
+            i += 1
+            continue
+
+        # RAW string: scan for the close delimiter; newlines keep structure.
+        if text.startswith(raw_close, i):
+            state = NORMAL
+            code.append(" " * (len(raw_close) - 1) + '"')
+            i += len(raw_close)
+            continue
+        code.append(" ")
+        i += 1
+
+    endline()
+    return code_lines, comment_lines

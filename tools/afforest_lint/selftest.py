@@ -1,0 +1,60 @@
+"""Self-test runner: lints the fixture corpus and compares diagnostics
+against ``// BAD(<code>)`` markers.
+
+Every fixture line that should produce diagnostics carries one marker per
+expected code; files with no markers must lint clean.  The comparison is
+exact and bidirectional per (line, code): a missing diagnostic fails the
+run just like an unexpected one, so the corpus pins both the positive and
+the negative behavior of every rule.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from . import engine
+from .lexer import lex
+
+_BAD_RE = re.compile(r"BAD\(([a-z*-]+)\)")
+
+
+def expected_diagnostics(path: str) -> set[tuple[int, str]]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    _, comment_lines = lex(text)
+    expected = set()
+    for idx, comment in enumerate(comment_lines):
+        for m in _BAD_RE.finditer(comment):
+            expected.add((idx + 1, m.group(1)))
+    return expected
+
+
+def run_selftest(corpus_dir: str) -> tuple[int, list[str]]:
+    """Returns (failure_count, report_lines)."""
+    failures = 0
+    report: list[str] = []
+    fixtures = sorted(
+        os.path.join(corpus_dir, name)
+        for name in os.listdir(corpus_dir)
+        if name.endswith((".hpp", ".cpp", ".h", ".cc"))
+    )
+    if not fixtures:
+        return 1, [f"selftest: no fixtures found in {corpus_dir}"]
+
+    for path in fixtures:
+        expected = expected_diagnostics(path)
+        actual = {(d.line, d.code) for d in engine.analyze_file(path)}
+        name = os.path.basename(path)
+        missing = sorted(expected - actual)
+        unexpected = sorted(actual - expected)
+        if not missing and not unexpected:
+            report.append(f"PASS {name} ({len(expected)} expected diagnostics)")
+            continue
+        failures += 1
+        report.append(f"FAIL {name}")
+        for line, code in missing:
+            report.append(f"  expected but not emitted: line {line}: {code}")
+        for line, code in unexpected:
+            report.append(f"  emitted but not expected: line {line}: {code}")
+    return failures, report
