@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count (default 15)");
   cl.describe("graph", "suite graph (default web)");
   cl.describe("trials", "timing trials (default 5)");
+  bench::JsonReporter json(cl, "ablation");
   if (!bench::standard_preamble(cl, "Ablations: rounds, compress, sampling"))
     return 0;
   const int scale = static_cast<int>(cl.get_int("scale", 15));
@@ -76,6 +77,12 @@ int main(int argc, char** argv) {
       table.add_row({TextTable::fmt_int(r),
                      TextTable::fmt(t1.median_s * 1e3, 2),
                      TextTable::fmt(t2.median_s * 1e3, 2)});
+      json.add(graph_name, "afforest",
+               {{"scale", scale}, {"trials", trials},
+                {"neighbor_rounds", r}, {"skip_largest", true}}, t1);
+      json.add(graph_name, "afforest-noskip",
+               {{"scale", scale}, {"trials", trials},
+                {"neighbor_rounds", r}, {"skip_largest", false}}, t2);
     }
     table.print(std::cout);
   }
@@ -101,6 +108,12 @@ int main(int argc, char** argv) {
                    TextTable::fmt_int(depth_with)});
     table.add_row({"no interleave", TextTable::fmt(t_without.median_s * 1e3, 2),
                    TextTable::fmt_int(depth_without)});
+    json.add(graph_name, "afforest-noskip",
+             {{"scale", scale}, {"trials", trials},
+              {"max_tree_depth", depth_with}}, t_with);
+    json.add(graph_name, "afforest-no-interleave",
+             {{"scale", scale}, {"trials", trials},
+              {"max_tree_depth", depth_without}}, t_without);
     table.print(std::cout);
   }
 
@@ -112,11 +125,17 @@ int main(int argc, char** argv) {
     const auto t_nbr = bench::time_trials([&] { afforest_cc(g); }, trials);
     table.add_row({"neighbor rounds (2)",
                    TextTable::fmt(t_nbr.median_s * 1e3, 2)});
+    json.add(graph_name, "afforest",
+             {{"scale", scale}, {"trials", trials},
+              {"sampling", "neighbor-rounds"}}, t_nbr);
     for (double p : {0.05, 0.1, 0.25}) {
       const auto t = bench::time_trials(
           [&] { afforest_uniform_sampling(g, p); }, trials);
       table.add_row({"uniform p=" + TextTable::fmt(p, 2),
                      TextTable::fmt(t.median_s * 1e3, 2)});
+      json.add(graph_name, "afforest-uniform",
+               {{"scale", scale}, {"trials", trials},
+                {"sampling", "uniform"}, {"sample_p", p}}, t);
     }
     table.print(std::cout);
   }
@@ -140,6 +159,10 @@ int main(int argc, char** argv) {
       table.add_row({TextTable::fmt_int(samples),
                      sampled == exact ? "yes" : "no",
                      TextTable::fmt(t.median_s * 1e3, 2)});
+      json.add(graph_name, "afforest",
+               {{"scale", scale}, {"trials", trials},
+                {"sample_count", samples},
+                {"found_giant", sampled == exact}}, t);
     }
     table.print(std::cout);
   }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count (default 15)");
   cl.describe("degree", "regular degree d (default 16)");
+  bench::JsonReporter json(cl, "claim1_sampling");
   if (!bench::standard_preamble(
           cl, "Claim 1 (SecIV-B): giant component under p=(1+eps)/d sampling"))
     return 0;
@@ -44,6 +45,14 @@ int main(int argc, char** argv) {
                    TextTable::fmt(static_cast<double>(sampled.size()) /
                                       static_cast<double>(n), 2),
                    TextTable::fmt(s.largest_fraction, 3)});
+    json.add("regular", "uniform-edge-sample",
+             {{"scale", scale},
+              {"degree", d},
+              {"eps", eps},
+              {"p", p},
+              {"sampled_edges", static_cast<std::int64_t>(sampled.size())},
+              {"giant_fraction", s.largest_fraction}},
+             TrialSummary{});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: giant fraction collapses for eps<0, grows "

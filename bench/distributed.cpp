@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count (default 15)");
   cl.describe("trials", "timing trials per cell (default 3)");
+  bench::JsonReporter json(cl, "distributed");
   if (!bench::standard_preamble(
           cl, "distributed simulation: communication vs rank count"))
     return 0;
@@ -40,6 +41,14 @@ int main(int argc, char** argv) {
                      TextTable::fmt_int(stats.quotient_vertices),
                      TextTable::fmt_int(stats.quotient_edges),
                      TextTable::fmt(t.median_s * 1e3, 2)});
+      json.add(entry.name, "partitioned-cc",
+               {{"scale", scale},
+                {"trials", trials},
+                {"ranks", parts},
+                {"boundary_edges", stats.boundary_edges},
+                {"quotient_vertices", stats.quotient_vertices},
+                {"quotient_edges", stats.quotient_edges}},
+               t);
     }
     table.print(std::cout);
     std::cout << '\n';

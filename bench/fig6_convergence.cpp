@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count (default 14)");
   cl.describe("graph", "suite graph to analyze (default web)");
   cl.describe("batches", "batches for row/random strategies (default 20)");
+  bench::JsonReporter json(cl, "fig6_convergence");
   if (!bench::standard_preamble(
           cl, "Fig 6a/6b: linkage & coverage vs processed edges by strategy"))
     return 0;
@@ -38,10 +39,18 @@ int main(int argc, char** argv) {
     opts.num_batches = batches;
     const auto pts = measure_convergence(g, opts);
     TextTable table({"% edges", "linkage", "coverage"});
-    for (const auto& p : pts)
+    for (const auto& p : pts) {
       table.add_row({TextTable::fmt(p.pct_edges_processed, 1),
                      TextTable::fmt(p.linkage, 4),
                      TextTable::fmt(p.coverage, 4)});
+      json.add(graph_name, std::string("strategy-") + to_string(strategy),
+               {{"scale", scale},
+                {"batches", batches},
+                {"pct_edges_processed", p.pct_edges_processed},
+                {"linkage", p.linkage},
+                {"coverage", p.coverage}},
+               TrialSummary{});
+    }
     std::cout << "strategy: " << to_string(strategy) << "\n";
     table.print(std::cout);
     std::cout << '\n';

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count (default 14)");
   cl.describe("trials", "timing trials per point (default 5)");
   cl.describe("max-degree-log2", "largest average degree = 2^k (default 7)");
+  bench::JsonReporter json(cl, "fig6c_degree_sweep");
   if (!bench::standard_preamble(
           cl, "Fig 6c: runtime vs average degree (Kronecker sweep)"))
     return 0;
@@ -41,6 +42,11 @@ int main(int argc, char** argv) {
       const auto summary =
           bench::time_trials([&] { algo.run(g); }, trials);
       row.push_back(TextTable::fmt(summary.median_s * 1e3, 2));
+      json.add("kron", algo.name,
+               {{"scale", scale},
+                {"edges_per_node", edges_per_node},
+                {"trials", trials}},
+               summary);
     }
     table.add_row(std::move(row));
   }

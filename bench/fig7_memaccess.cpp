@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count (default 12, as in the paper)");
   cl.describe("edge-scale", "log2 of edge count (default 19)");
   cl.describe("buckets", "heat-map resolution (default 64)");
+  bench::JsonReporter json(cl, "fig7_memaccess");
   if (!bench::standard_preamble(cl,
                                 "Fig 7: pi memory access pattern by phase"))
     return 0;
@@ -64,6 +65,14 @@ int main(int argc, char** argv) {
                      TextTable::fmt(m.sequential_fraction, 3),
                      TextTable::fmt_int(m.footprint),
                      TextTable::fmt(m.gini_concentration, 3)});
+    json.add("urand", name,
+             {{"scale", scale},
+              {"edge_scale", edge_scale},
+              {"total_accesses", m.total_accesses},
+              {"sequential_fraction", m.sequential_fraction},
+              {"footprint", m.footprint},
+              {"gini_concentration", m.gini_concentration}},
+             TrialSummary{});
   };
   add_metrics("sv", sv);
   add_metrics("afforest-noskip", aff_ns);

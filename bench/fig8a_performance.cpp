@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count per graph (default 15)");
   cl.describe("trials", "timing trials per algorithm (default 7; paper 16)");
   cl.describe("verify", "verify every result against union-find (default true)");
+  bench::JsonReporter json(cl, "fig8a_performance");
   if (!bench::standard_preamble(
           cl, "Fig 8a: CC runtime across algorithms and graph families"))
     return 0;
@@ -43,6 +44,13 @@ int main(int argc, char** argv) {
       const auto summary = bench::time_trials([&] { algo.run(g); }, trials);
       if (algo.name == "sv") sv_median = summary.median_s;
       results.emplace_back(algo.name, summary);
+      if (json.collect()) {
+        // Counters ride on a separate armed pass so the timed trials above
+        // stay untouched by telemetry.
+        json.add(entry.name, algo.name,
+                 {{"scale", scale}, {"trials", trials}}, summary,
+                 bench::measure_counters([&] { algo.run(g); }));
+      }
     }
     for (const auto& [name, summary] : results) {
       const bool ok =

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   cl.describe("graph", "suite graph (default web)");
   cl.describe("trials", "timing trials per point (default 5)");
   cl.describe("max-threads", "largest thread count (default hw threads)");
+  bench::JsonReporter json(cl, "fig8b_scaling");
   if (!bench::standard_preamble(cl, "Fig 8b: strong scaling on the web graph"))
     return 0;
   const int scale = static_cast<int>(cl.get_int("scale", 15));
@@ -51,6 +52,9 @@ int main(int argc, char** argv) {
       if (t == 1) base_ms[i] = ms;
       row.push_back(TextTable::fmt(ms, 2) + " (" +
                     TextTable::fmt(base_ms[i] / ms, 2) + "x)");
+      json.add(graph_name, algo.name,
+               {{"scale", scale}, {"threads", t}, {"trials", trials}},
+               summary);
     }
     table.add_row(std::move(row));
   }

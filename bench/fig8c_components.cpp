@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count (default 15)");
   cl.describe("degree", "average degree of each component (default 8)");
   cl.describe("trials", "timing trials per point (default 5)");
+  bench::JsonReporter json(cl, "fig8c_components");
   if (!bench::standard_preamble(
           cl, "Fig 8c: runtime vs component fraction (urand-mix sweep)"))
     return 0;
@@ -45,6 +46,12 @@ int main(int argc, char** argv) {
       const auto& algo = cc_algorithm(name);
       const auto summary = bench::time_trials([&] { algo.run(g); }, trials);
       row.push_back(TextTable::fmt(summary.median_s * 1e3, 2));
+      json.add("component-mix", algo.name,
+               {{"scale", scale},
+                {"degree", degree},
+                {"fraction", f},
+                {"trials", trials}},
+               summary);
     }
     table.add_row(std::move(row));
   }

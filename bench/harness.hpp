@@ -3,13 +3,19 @@
 // percentiles) and common CLI plumbing.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "analysis/telemetry.hpp"
 #include "util/cli.hpp"
 #include "util/env.hpp"
+#include "util/json_writer.hpp"
 #include "util/platform.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -36,6 +42,9 @@ inline double watchdog_budget_seconds() {
 inline TrialSummary time_trials(const std::function<void()>& fn, int trials,
                                 double budget_seconds =
                                     watchdog_budget_seconds()) {
+  // "At least one trial always runs": a non-positive count previously
+  // skipped the loop entirely and handed summarize_trials an empty sample.
+  trials = std::max(1, trials);
   std::vector<double> seconds;
   seconds.reserve(static_cast<std::size_t>(trials));
   double elapsed = 0.0;
@@ -74,5 +83,236 @@ inline void warn_unknown_flags(const CommandLine& cl) {
   for (const auto& f : cl.unknown_flags())
     std::cerr << "warning: unknown flag --" << f << " ignored\n";
 }
+
+// ---- machine-readable output (--json) -------------------------------------
+// Every benchmark binary can mirror its human-readable tables into one JSON
+// document per run (schema "afforest-bench-1"; glossary and refresh
+// procedure in docs/BENCHMARKING.md).  scripts/bench_compare.py consumes
+// these files, and the perf-smoke CI job diffs them against
+// results/baseline.json.
+
+/// One typed benchmark parameter (scale, trials, threads, ...).  The
+/// implicit constructors let call sites write
+///   {{"scale", 15}, {"family", "kron"}, {"verify", true}}.
+struct Param {
+  enum class Kind { kString, kInt, kDouble, kBool };
+
+  Param(std::string name_, const char* v)
+      : name(std::move(name_)), kind(Kind::kString), s(v) {}
+  Param(std::string name_, std::string v)
+      : name(std::move(name_)), kind(Kind::kString), s(std::move(v)) {}
+  Param(std::string name_, std::int64_t v)
+      : name(std::move(name_)), kind(Kind::kInt), i(v) {}
+  Param(std::string name_, int v)
+      : name(std::move(name_)), kind(Kind::kInt), i(v) {}
+  Param(std::string name_, double v)
+      : name(std::move(name_)), kind(Kind::kDouble), d(v) {}
+  Param(std::string name_, bool v)
+      : name(std::move(name_)), kind(Kind::kBool), b(v) {}
+
+  std::string name;
+  Kind kind;
+  std::string s;
+  std::int64_t i = 0;
+  double d = 0;
+  bool b = false;
+};
+
+/// One benchmark measurement: a (graph, algorithm) pair with its trial
+/// summary and, when telemetry was captured for the run, the kernel
+/// counters/phase times/peak RSS.
+struct JsonRecord {
+  std::string graph;
+  std::string algorithm;
+  std::vector<Param> params;
+  TrialSummary trials;
+  bool has_telemetry = false;
+  telemetry::Report report;
+};
+
+/// Runs `fn` once with telemetry armed (fresh counters) and returns the
+/// captured report.  Used for the counters attached to JSON records: the
+/// instrumented pass is separate from the timed trials, so arming the
+/// counters can never skew the timings it annotates.
+inline telemetry::Report measure_counters(const std::function<void()>& fn) {
+  const telemetry::ScopedEnable scoped(/*fresh=*/true);
+  fn();
+  return telemetry::capture();
+}
+
+/// Serializes a full run (host/build preamble + records) as the
+/// "afforest-bench-1" schema.  Exposed separately from JsonReporter so
+/// tests can validate the document without touching the filesystem.
+inline std::string render_json(const std::string& experiment,
+                               const std::vector<JsonRecord>& records) {
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("afforest-bench-1");
+  w.key("experiment").value(experiment);
+
+  w.key("host").begin_object();
+  w.key("summary").value(platform_summary());
+  w.key("hardware_threads").value(std::int64_t{hardware_threads()});
+  w.key("omp_threads").value(std::int64_t{num_threads()});
+  w.end_object();
+
+  w.key("build").begin_object();
+#ifdef __VERSION__
+  w.key("compiler").value(std::string(__VERSION__));
+#else
+  w.key("compiler").value("unknown");
+#endif
+#ifdef NDEBUG
+  w.key("assertions").value(false);
+#else
+  w.key("assertions").value(true);
+#endif
+  w.key("telemetry_compiled_in").value(telemetry::compiled_in());
+  w.end_object();
+
+  w.key("records").begin_array();
+  for (const JsonRecord& r : records) {
+    w.begin_object();
+    w.key("graph").value(r.graph);
+    w.key("algorithm").value(r.algorithm);
+    w.key("params").begin_object();
+    for (const Param& p : r.params) {
+      w.key(p.name);
+      switch (p.kind) {
+        case Param::Kind::kString: w.value(p.s); break;
+        case Param::Kind::kInt: w.value(p.i); break;
+        case Param::Kind::kDouble: w.value(p.d); break;
+        case Param::Kind::kBool: w.value(p.b); break;
+      }
+    }
+    w.end_object();
+    w.key("trials").begin_object();
+    w.key("median_s").value(r.trials.median_s);
+    w.key("p25_s").value(r.trials.p25_s);
+    w.key("p75_s").value(r.trials.p75_s);
+    w.key("min_s").value(r.trials.min_s);
+    w.key("max_s").value(r.trials.max_s);
+    w.key("count").value(static_cast<std::uint64_t>(r.trials.trials));
+    w.end_object();
+    if (r.has_telemetry) {
+      const telemetry::Counters& c = r.report.counters;
+      w.key("counters").begin_object();
+      w.key("link_calls").value(c.link_calls);
+      w.key("link_retries").value(c.link_retries);
+      w.key("link_retry_peak").value(c.link_retry_peak);
+      w.key("cas_attempts").value(c.cas_attempts);
+      w.key("cas_failures").value(c.cas_failures);
+      w.key("compress_calls").value(c.compress_calls);
+      w.key("compress_hops").value(c.compress_hops);
+      w.key("phase3_vertices_skipped").value(c.phase3_vertices_skipped);
+      w.key("phase3_edges_skipped").value(c.phase3_edges_skipped);
+      w.key("iterations").value(c.iterations);
+      w.key("sv_hooks_fired").value(c.sv_hooks_fired);
+      w.key("lp_label_updates").value(c.lp_label_updates);
+      w.end_object();
+      w.key("phases").begin_array();
+      for (const telemetry::PhaseSample& ph : r.report.phases) {
+        w.begin_object();
+        w.key("name").value(ph.name);
+        w.key("seconds").value(ph.seconds);
+        w.key("count").value(ph.count);
+        w.end_object();
+      }
+      w.end_array();
+      w.key("peak_rss_bytes").value(r.report.peak_rss_bytes);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+/// Writes the document to `path`; returns false (with a stderr note) on
+/// I/O failure so benchmark teardown never throws.
+inline bool emit_json(const std::string& path, const std::string& experiment,
+                      const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "json: cannot open " << path << " for writing\n";
+    return false;
+  }
+  out << render_json(experiment, records) << '\n';
+  if (!out) {
+    std::cerr << "json: write to " << path << " failed\n";
+    return false;
+  }
+  return true;
+}
+
+/// --json plumbing for a benchmark binary: declares the flag, collects
+/// records, and writes the document on flush().  When --json is absent the
+/// reporter is inert (collect() returns false → callers skip the extra
+/// counter pass entirely).
+class JsonReporter {
+ public:
+  JsonReporter(CommandLine& cl, std::string experiment)
+      : experiment_(std::move(experiment)) {
+    cl.describe("json",
+                "write machine-readable results (afforest-bench-1 schema) "
+                "to this path");
+    path_ = cl.get_string("json", "");
+  }
+
+  /// True when --json was given and records should be collected.
+  [[nodiscard]] bool collect() const { return !path_.empty(); }
+
+  void add(JsonRecord record) {
+    if (collect()) records_.push_back(std::move(record));
+  }
+
+  /// Convenience: time-summary-only record.
+  void add(const std::string& graph, const std::string& algorithm,
+           std::vector<Param> params, const TrialSummary& trials) {
+    JsonRecord r;
+    r.graph = graph;
+    r.algorithm = algorithm;
+    r.params = std::move(params);
+    r.trials = trials;
+    add(std::move(r));
+  }
+
+  /// Convenience: record with a telemetry report attached.
+  void add(const std::string& graph, const std::string& algorithm,
+           std::vector<Param> params, const TrialSummary& trials,
+           telemetry::Report report) {
+    JsonRecord r;
+    r.graph = graph;
+    r.algorithm = algorithm;
+    r.params = std::move(params);
+    r.trials = trials;
+    r.has_telemetry = true;
+    r.report = std::move(report);
+    add(std::move(r));
+  }
+
+  /// Writes the file (no-op without --json).  Returns true on success or
+  /// when inert.
+  bool flush() {
+    if (!collect()) return true;
+    if (flushed_) return true;
+    flushed_ = true;
+    const bool ok = emit_json(path_, experiment_, records_);
+    if (ok)
+      std::cout << "json: wrote " << records_.size() << " record(s) to "
+                << path_ << "\n";
+    return ok;
+  }
+
+  ~JsonReporter() { flush(); }
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+ private:
+  std::string experiment_;
+  std::string path_;
+  std::vector<JsonRecord> records_;
+  bool flushed_ = false;
+};
 
 }  // namespace afforest::bench

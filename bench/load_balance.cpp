@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count (default 15)");
   cl.describe("trials", "timing trials per cell (default 5)");
+  bench::JsonReporter json(cl, "load_balance");
   if (!bench::standard_preamble(
           cl, "load-balancing: vertex vs chunk scheduling vs edge list"))
     return 0;
@@ -31,17 +32,26 @@ int main(int argc, char** argv) {
       const auto& algo = cc_algorithm("afforest");
       const auto t = bench::time_trials([&] { algo.run(g); }, trials);
       table.add_row({"vertex-parallel", TextTable::fmt(t.median_s * 1e3, 2)});
+      json.add(name, "afforest",
+               {{"scale", scale}, {"trials", trials},
+                {"scheduler", "vertex-parallel"}}, t);
     }
     for (std::int64_t chunk : {16, 64, 256, 1024}) {
       const auto t = bench::time_trials(
           [&] { afforest_balanced(g, {}, chunk); }, trials);
       table.add_row({"chunked (" + std::to_string(chunk) + ")",
                      TextTable::fmt(t.median_s * 1e3, 2)});
+      json.add(name, "afforest-balanced",
+               {{"scale", scale}, {"trials", trials},
+                {"scheduler", "chunked"}, {"chunk", chunk}}, t);
     }
     {
       const auto& algo = cc_algorithm("sv-edgelist");
       const auto t = bench::time_trials([&] { algo.run(g); }, trials);
       table.add_row({"edge-list SV", TextTable::fmt(t.median_s * 1e3, 2)});
+      json.add(name, "sv-edgelist",
+               {{"scale", scale}, {"trials", trials},
+                {"scheduler", "edge-list"}}, t);
     }
     table.print(std::cout);
     std::cout << '\n';

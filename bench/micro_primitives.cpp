@@ -2,8 +2,18 @@
 // substrate: link on pre-merged vs fresh trees, compress on shallow vs deep
 // forests, sample_frequent_element, CSR build, and full algorithm runs on a
 // fixed graph.
+//
+// Custom main (instead of benchmark_main) so the binary shares the harness
+// convention: --json <path> mirrors every benchmark's per-iteration real
+// time into an afforest-bench-1 document alongside google-benchmark's
+// normal console output.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
 #include "cc/afforest.hpp"
 #include "cc/registry.hpp"
 #include "graph/builder.hpp"
@@ -95,4 +105,71 @@ BENCHMARK_CAPTURE(BM_FullAlgorithm, afforest_noskip, "afforest-noskip");
 BENCHMARK_CAPTURE(BM_FullAlgorithm, sv, "sv");
 BENCHMARK_CAPTURE(BM_FullAlgorithm, dobfs, "dobfs");
 
+// Console reporter that additionally collects each run as a JsonRecord
+// (graph="micro", algorithm=benchmark name, median = per-iteration real
+// seconds).  google-benchmark reports one aggregate Run per benchmark by
+// default, so min/p25/p75/max collapse onto the same value.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      const double per_iter_s =
+          r.iterations > 0
+              ? r.real_accumulated_time / static_cast<double>(r.iterations)
+              : 0.0;
+      TrialSummary t;
+      t.median_s = t.p25_s = t.p75_s = t.min_s = t.max_s = per_iter_s;
+      t.trials = 1;
+      bench::JsonRecord rec;
+      rec.graph = "micro";
+      rec.algorithm = r.benchmark_name();
+      rec.params = {
+          {"iterations",
+           static_cast<std::int64_t>(r.iterations)},
+          {"items_per_second",
+           r.counters.find("items_per_second") != r.counters.end()
+               ? static_cast<double>(r.counters.at("items_per_second"))
+               : 0.0}};
+      rec.trials = t;
+      records.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<bench::JsonRecord> records;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Extract --json <path> / --json=<path> before handing the rest to
+  // google-benchmark (which rejects unknown flags).
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);
+  int bench_argc = static_cast<int>(args.size()) - 1;
+
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty() &&
+      !afforest::bench::emit_json(json_path, "micro_primitives",
+                                  reporter.records))
+    return 1;
+  return 0;
+}

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count (default 15)");
   cl.describe("trials", "timing trials per cell (default 7)");
+  bench::JsonReporter json(cl, "nodeid_width");
   if (!bench::standard_preamble(cl, "NodeID width ablation: int32 vs int64"))
     return 0;
   const int scale = static_cast<int>(cl.get_int("scale", 15));
@@ -50,6 +51,12 @@ int main(int argc, char** argv) {
     table.add_row({"afforest", TextTable::fmt(t32.median_s * 1e3, 2),
                    TextTable::fmt(t64.median_s * 1e3, 2),
                    TextTable::fmt(t64.median_s / t32.median_s, 2) + "x"});
+    json.add("kron", "afforest",
+             {{"scale", scale}, {"trials", trials}, {"node_id_bits", 32}},
+             t32);
+    json.add("kron", "afforest",
+             {{"scale", scale}, {"trials", trials}, {"node_id_bits", 64}},
+             t64);
   }
   {
     const auto t32 =
@@ -59,6 +66,12 @@ int main(int argc, char** argv) {
     table.add_row({"sv", TextTable::fmt(t32.median_s * 1e3, 2),
                    TextTable::fmt(t64.median_s * 1e3, 2),
                    TextTable::fmt(t64.median_s / t32.median_s, 2) + "x"});
+    json.add("kron", "sv",
+             {{"scale", scale}, {"trials", trials}, {"node_id_bits", 32}},
+             t32);
+    json.add("kron", "sv",
+             {{"scale", scale}, {"trials", trials}, {"node_id_bits", 64}},
+             t64);
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: int64 costs up to ~2x on memory-bound "

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count (default 14)");
   cl.describe("trials", "timing trials per cell (default 5)");
   cl.describe("graph", "suite graph (default kron)");
+  bench::JsonReporter json(cl, "ordering");
   if (!bench::standard_preamble(cl, "ordering ablation: vertex numbering vs "
                                     "runtime"))
     return 0;
@@ -52,6 +53,9 @@ int main(int argc, char** argv) {
       const auto t =
           bench::time_trials([&] { entry.run(variant.graph); }, trials);
       row.push_back(TextTable::fmt(t.median_s * 1e3, 2));
+      json.add(graph_name, algo,
+               {{"scale", scale}, {"trials", trials},
+                {"ordering", variant.name}}, t);
     }
     table.add_row(std::move(row));
   }

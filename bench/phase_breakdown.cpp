@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   cl.describe("scale", "log2 of vertex count per graph (default 15)");
   cl.describe("trials", "runs per graph, minimum-of reported (default 5)");
   cl.describe("csv", "emit CSV instead of the text table");
+  bench::JsonReporter json(cl, "phase_breakdown");
   if (!bench::standard_preamble(cl, "Afforest phase-time breakdown"))
     return 0;
   const int scale = static_cast<int>(cl.get_int("scale", 15));
@@ -43,6 +44,22 @@ int main(int argc, char** argv) {
                    TextTable::fmt(best.total_s() * 1e3, 3),
                    TextTable::fmt(100.0 * best.final_link_s /
                                       std::max(1e-12, best.total_s()), 1)});
+    if (json.collect()) {
+      json.add(entry.name, "afforest-timed",
+               {{"scale", scale},
+                {"trials", trials},
+                {"init_s", best.init_s},
+                {"sampling_s", best.sampling_s},
+                {"compress_s", best.compress_s},
+                {"find_component_s", best.find_component_s},
+                {"final_link_s", best.final_link_s},
+                {"total_s", best.total_s()}},
+               TrialSummary{},
+               bench::measure_counters([&] {
+                 AfforestPhaseTimes times;
+                 afforest_timed(g, times);
+               }));
+    }
   }
   if (csv)
     table.print_csv(std::cout);

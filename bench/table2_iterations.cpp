@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace afforest;
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count per graph (default 14)");
+  bench::JsonReporter json(cl, "table2_iterations");
   if (!bench::standard_preamble(
           cl, "Table II: iterations and component-tree depth, SV vs Afforest"))
     return 0;
@@ -31,6 +32,16 @@ int main(int argc, char** argv) {
                    TextTable::fmt_int(sv.max_tree_depth),
                    TextTable::fmt(aff.avg_local_iterations(), 3),
                    TextTable::fmt_int(aff.max_tree_depth)});
+    json.add(entry.name, "sv",
+             {{"scale", scale},
+              {"iterations", sv.iterations},
+              {"max_tree_depth", sv.max_tree_depth}},
+             TrialSummary{});
+    json.add(entry.name, "afforest",
+             {{"scale", scale},
+              {"avg_local_iterations", aff.avg_local_iterations()},
+              {"max_tree_depth", aff.max_tree_depth}},
+             TrialSummary{});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: Afforest avg iters ~1.0 on every family; "

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace afforest;
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count per graph (default 14)");
+  bench::JsonReporter json(cl, "table3_graphs");
   if (!bench::standard_preamble(cl, "Table III: graph suite statistics"))
     return 0;
   const int scale = static_cast<int>(cl.get_int("scale", 14));
@@ -34,6 +35,16 @@ int main(int argc, char** argv) {
                    TextTable::fmt(100.0 * comp.largest_fraction, 1),
                    TextTable::fmt_int(approximate_diameter(g)),
                    entry.description});
+    json.add(entry.name, "suite-stats",
+             {{"scale", scale},
+              {"num_nodes", deg.num_nodes},
+              {"num_edges", deg.num_edges},
+              {"average_degree", deg.average_degree},
+              {"max_degree", deg.max_degree},
+              {"components", comp.num_components},
+              {"largest_fraction", comp.largest_fraction},
+              {"approx_diameter", approximate_diameter(g)}},
+             TrialSummary{});
   }
   table.print(std::cout);
   return 0;

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace afforest;
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count per graph (default 15)");
+  bench::JsonReporter json(cl, "work_stats");
   if (!bench::standard_preamble(
           cl, "edge-work accounting: sampled / final / skipped per graph"))
     return 0;
@@ -30,6 +31,14 @@ int main(int argc, char** argv) {
          TextTable::fmt_int(stats.skipped_edges),
          TextTable::fmt(100.0 * stats.skip_fraction(g.num_stored_edges()), 1),
          TextTable::fmt_int(stats.skipped_vertices)});
+    json.add(entry.name, "afforest",
+             {{"scale", scale},
+              {"stored_edges", g.num_stored_edges()},
+              {"sampled_edges", stats.sampled_edges},
+              {"final_edges", stats.final_edges},
+              {"skipped_edges", stats.skipped_edges},
+              {"skipped_vertices", stats.skipped_vertices}},
+             TrialSummary{});
   }
   table.print(std::cout);
   std::cout << "\nexpected shape: giant-component graphs (urand, web, road) "

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   CommandLine cl(argc, argv);
   cl.describe("scale", "log2 of vertex count (default 14)");
   cl.describe("trials", "timing trials (default 5)");
+  bench::JsonReporter json(cl, "worstcase");
   if (!bench::standard_preamble(cl, "SecV-A worst cases: link & compress"))
     return 0;
   const int scale = static_cast<int>(cl.get_int("scale", 14));
@@ -42,6 +43,11 @@ int main(int argc, char** argv) {
                    TextTable::fmt(static_cast<double>(iters) /
                                       static_cast<double>(edges.size()), 3)});
     table.print(std::cout);
+    json.add("adversarial-star", "link-serial",
+             {{"scale", scale},
+              {"edges", static_cast<std::int64_t>(edges.size())},
+              {"link_loop_iterations", iters}},
+             TrialSummary{});
   }
 
   std::cout << "\n[2] compress on linear-depth chain vs depth-1 forest\n";
@@ -62,6 +68,10 @@ int main(int argc, char** argv) {
     table.add_row({"linear-depth chain", TextTable::fmt(deep.median_s * 1e3, 3)});
     table.add_row({"depth-1 forest", TextTable::fmt(shallow.median_s * 1e3, 3)});
     table.print(std::cout);
+    json.add("linear-depth-chain", "compress-all",
+             {{"scale", scale}, {"trials", trials}}, deep);
+    json.add("depth-1-forest", "compress-all",
+             {{"scale", scale}, {"trials", trials}}, shallow);
   }
 
   std::cout << "\n[3] full Afforest on the adversarial star\n";
@@ -74,6 +84,11 @@ int main(int argc, char** argv) {
                    TextTable::fmt_int(stats.max_tree_depth),
                    labels_equivalent(labels, union_find_cc(g)) ? "yes" : "NO"});
     table.print(std::cout);
+    json.add("adversarial-star", "afforest",
+             {{"scale", scale},
+              {"avg_local_iterations", stats.avg_local_iterations()},
+              {"max_tree_depth", stats.max_tree_depth}},
+             TrialSummary{});
   }
   std::cout << "\nexpected shape: serial adversarial order costs >1 "
                "iters/edge; interleaved compress keeps the full algorithm "

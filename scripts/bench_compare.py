@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Compare two afforest-bench-1 JSON documents and flag median regressions.
+
+Used by the perf-smoke CI job (see .github/workflows/ci.yml and
+docs/BENCHMARKING.md): a candidate run is diffed against the checked-in
+results/baseline.json and the job fails when any matched record's median
+regresses past the threshold.
+
+Matching: records pair up by (graph, algorithm, params); records that only
+exist on one side are reported but are not failures (suite drift is handled
+by refreshing the baseline, not by failing every PR).  Records without
+timing data (trials.count == 0, used by metric-only experiments) are
+ignored.
+
+Modes:
+  absolute  compare raw medians.  Right when baseline and candidate ran on
+            the same machine (e.g. A/B of one commit locally).
+  ratio     divide each record's median by the median of the anchor
+            algorithm on the same graph within the same document, then
+            compare the ratios.  This cancels machine speed, so a baseline
+            recorded on one host remains meaningful on another — the mode
+            the CI job uses.
+
+Exit codes: 0 = no regression, 1 = regression found, 2 = usage/data error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "afforest-bench-1"
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"bench_compare: {path}: unexpected schema "
+            f"{doc.get('schema')!r} (want {SCHEMA!r})")
+    if not isinstance(doc.get("records"), list):
+        raise SystemExit(f"bench_compare: {path}: missing records[]")
+    return doc
+
+
+def record_key(rec):
+    params = rec.get("params", {})
+    return (
+        rec.get("graph", ""),
+        rec.get("algorithm", ""),
+        tuple(sorted((k, json.dumps(v)) for k, v in params.items())),
+    )
+
+
+def timed_records(doc):
+    """key -> median seconds, for records that carry real timing data."""
+    out = {}
+    for rec in doc["records"]:
+        trials = rec.get("trials", {})
+        if trials.get("count", 0) <= 0:
+            continue
+        median = trials.get("median_s", 0.0)
+        if not isinstance(median, (int, float)) or median <= 0.0:
+            continue
+        out[record_key(rec)] = float(median)
+    return out
+
+
+def anchor_medians(doc, anchor):
+    """graph -> anchor algorithm's median within this document."""
+    out = {}
+    for rec in doc["records"]:
+        if rec.get("algorithm") != anchor:
+            continue
+        trials = rec.get("trials", {})
+        if trials.get("count", 0) <= 0:
+            continue
+        median = trials.get("median_s", 0.0)
+        if isinstance(median, (int, float)) and median > 0.0:
+            # Keep the first anchor record per graph (parameter sweeps may
+            # time the anchor more than once; any one fixes the scale).
+            out.setdefault(rec.get("graph", ""), float(median))
+    return out
+
+
+def normalize(medians, anchors):
+    out = {}
+    for key, median in medians.items():
+        graph = key[0]
+        anchor = anchors.get(graph)
+        if anchor is None or anchor <= 0.0:
+            continue
+        out[key] = median / anchor
+    return out
+
+
+def describe_key(key):
+    graph, algorithm, params = key
+    if params:
+        plist = ", ".join(f"{k}={v}" for k, v in params)
+        return f"{graph}/{algorithm} ({plist})"
+    return f"{graph}/{algorithm}"
+
+
+def compare(baseline, candidate, threshold, min_seconds, baseline_raw=None):
+    """Returns (regressions, improvements, missing, added) lists."""
+    regressions, improvements = [], []
+    missing = [k for k in baseline if k not in candidate]
+    added = [k for k in candidate if k not in baseline]
+    for key, base in baseline.items():
+        cand = candidate.get(key)
+        if cand is None:
+            continue
+        # Sub-millisecond medians are timer noise at smoke scales; judge
+        # them by the raw baseline time even in ratio mode.
+        raw = (baseline_raw or {}).get(key, base)
+        if raw < min_seconds:
+            continue
+        if base <= 0.0 or not math.isfinite(cand / base):
+            continue
+        change = cand / base - 1.0
+        if change > threshold:
+            regressions.append((key, base, cand, change))
+        elif change < -threshold:
+            improvements.append((key, base, cand, change))
+    regressions.sort(key=lambda r: -r[3])
+    improvements.sort(key=lambda r: r[3])
+    return regressions, improvements, missing, added
+
+
+def run_compare(args):
+    base_doc = load_doc(args.baseline)
+    cand_doc = load_doc(args.candidate)
+    base_raw = timed_records(base_doc)
+    cand_raw = timed_records(cand_doc)
+    if not base_raw:
+        raise SystemExit(
+            f"bench_compare: {args.baseline} has no timed records")
+    if not cand_raw:
+        raise SystemExit(
+            f"bench_compare: {args.candidate} has no timed records")
+
+    if args.mode == "ratio":
+        base_anchor = anchor_medians(base_doc, args.anchor)
+        cand_anchor = anchor_medians(cand_doc, args.anchor)
+        if not base_anchor or not cand_anchor:
+            raise SystemExit(
+                f"bench_compare: anchor algorithm {args.anchor!r} absent "
+                "from one of the documents (needed for --mode ratio)")
+        base = normalize(base_raw, base_anchor)
+        cand = normalize(cand_raw, cand_anchor)
+    else:
+        base, cand = base_raw, cand_raw
+
+    regressions, improvements, missing, added = compare(
+        base, cand, args.threshold, args.min_seconds, baseline_raw=base_raw)
+
+    unit = "x-vs-anchor" if args.mode == "ratio" else "s"
+    for key, b, c, change in regressions:
+        print(f"REGRESSION {describe_key(key)}: {b:.6g}{unit} -> "
+              f"{c:.6g}{unit} (+{100 * change:.1f}%)")
+    for key, b, c, change in improvements:
+        print(f"improvement {describe_key(key)}: {b:.6g}{unit} -> "
+              f"{c:.6g}{unit} ({100 * change:.1f}%)")
+    for key in missing:
+        print(f"note: baseline-only record {describe_key(key)}")
+    for key in added:
+        print(f"note: candidate-only record {describe_key(key)}")
+    print(f"compared {sum(1 for k in base if k in cand)} record(s), "
+          f"{len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s) "
+          f"[mode={args.mode}, threshold={100 * args.threshold:.0f}%]")
+    return 1 if regressions else 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: synthetic documents through the full pipeline.
+
+
+def _doc(records):
+    return {"schema": SCHEMA, "experiment": "selftest",
+            "host": {}, "build": {}, "records": records}
+
+
+def _rec(graph, algo, median, count=3, params=None):
+    return {
+        "graph": graph, "algorithm": algo, "params": params or {},
+        "trials": {"median_s": median, "p25_s": median, "p75_s": median,
+                   "min_s": median, "max_s": median, "count": count},
+    }
+
+
+def self_test():
+    failures = []
+
+    def check(name, cond):
+        print(("PASS " if cond else "FAIL ") + name)
+        if not cond:
+            failures.append(name)
+
+    base = _doc([
+        _rec("kron", "afforest", 0.10),
+        _rec("kron", "sv", 0.50),
+        _rec("kron", "serial-uf", 0.20),
+        _rec("road", "afforest", 0.30),
+        _rec("road", "serial-uf", 0.30),
+        _rec("road", "stats-only", 0.0, count=0),
+    ])
+
+    # Identical documents: no regression in either mode.
+    b = timed_records(base)
+    check("identity/absolute",
+          compare(b, b, 0.25, 0.0)[0] == [])
+    nb = normalize(b, anchor_medians(base, "serial-uf"))
+    check("identity/ratio", compare(nb, nb, 0.25, 0.0)[0] == [])
+    check("metric-only records ignored",
+          all(k[1] != "stats-only" for k in b))
+
+    # Injected 2x slowdown on one algorithm: caught in both modes.
+    slow = _doc([
+        _rec("kron", "afforest", 0.20),
+        _rec("kron", "sv", 0.50),
+        _rec("kron", "serial-uf", 0.20),
+        _rec("road", "afforest", 0.30),
+        _rec("road", "serial-uf", 0.30),
+    ])
+    s = timed_records(slow)
+    reg_abs = compare(b, s, 0.25, 0.0)[0]
+    check("2x slowdown caught (absolute)",
+          [r[0][:2] for r in reg_abs] == [("kron", "afforest")])
+    ns = normalize(s, anchor_medians(slow, "serial-uf"))
+    reg_ratio = compare(nb, ns, 0.25, 0.0)[0]
+    check("2x slowdown caught (ratio)",
+          [r[0][:2] for r in reg_ratio] == [("kron", "afforest")])
+
+    # A uniformly 2x slower machine: absolute mode screams, ratio is quiet.
+    half = _doc([_rec(r["graph"], r["algorithm"],
+                      r["trials"]["median_s"] * 2.0)
+                 for r in base["records"] if r["trials"]["count"] > 0])
+    h = timed_records(half)
+    check("slow machine trips absolute", len(compare(b, h, 0.25, 0.0)[0]) > 0)
+    nh = normalize(h, anchor_medians(half, "serial-uf"))
+    check("slow machine quiet in ratio", compare(nb, nh, 0.25, 0.0)[0] == [])
+
+    # min-seconds floor suppresses noise-scale records.
+    tiny_b = {("g", "a", ()): 1e-5}
+    tiny_c = {("g", "a", ()): 5e-5}
+    check("min-seconds floor",
+          compare(tiny_b, tiny_c, 0.25, 1e-3)[0] == [])
+
+    # Params participate in matching.
+    pb = timed_records(_doc([_rec("g", "a", 0.1, params={"threads": 1})]))
+    pc = timed_records(_doc([_rec("g", "a", 0.9, params={"threads": 2})]))
+    check("params split records", compare(pb, pc, 0.25, 0.0)[0] == [])
+
+    print(f"self-test: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", help="baseline afforest-bench-1 JSON")
+    parser.add_argument("--candidate", help="candidate afforest-bench-1 JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative median regression that fails the "
+                             "comparison (default 0.25 = 25%%)")
+    parser.add_argument("--mode", choices=("absolute", "ratio"),
+                        default="absolute",
+                        help="absolute medians or anchor-normalized ratios")
+    parser.add_argument("--anchor", default="serial-uf",
+                        help="anchor algorithm for --mode ratio "
+                             "(default serial-uf)")
+    parser.add_argument("--min-seconds", type=float, default=1e-3,
+                        help="ignore records whose baseline median is below "
+                             "this many seconds (timer noise; default 1e-3)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in synthetic checks and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.candidate:
+        parser.error("--baseline and --candidate are required "
+                     "(or use --self-test)")
+    return run_compare(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SystemExit as e:
+        if isinstance(e.code, str):
+            print(e.code, file=sys.stderr)
+            sys.exit(2)
+        raise

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Perf smoke: run the pinned small-graph suite and compare against the
+# checked-in baseline (results/baseline.json).  Exits non-zero when any
+# algorithm's anchor-normalized median regresses by more than the
+# threshold (see scripts/bench_compare.py and docs/BENCHMARKING.md).
+#
+# Usage: scripts/perf_smoke.sh [build-dir] [output.json]
+#
+# The suite is deliberately pinned — fig8a (all algorithms x all suite
+# graphs) at scale 16, 15 trials — so candidate runs are comparable
+# record-for-record with the baseline.  The OpenMP thread count is read
+# from the baseline document itself (host.omp_threads) so the candidate
+# always replays the baseline's configuration.  Comparison runs in ratio
+# mode (each median divided by serial-uf's median on the same graph),
+# which cancels raw machine speed.  Records whose baseline median is
+# under 2 ms are skipped as timer noise (back-to-back runs showed >25%
+# swings below that), and a failing comparison is retried once with a
+# fresh run — real regressions are deterministic, scheduler noise is not.
+# Refresh the baseline with scripts/perf_smoke.sh --refresh-baseline
+# after an intentional perf change.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REFRESH=0
+if [[ "${1:-}" == "--refresh-baseline" ]]; then
+  REFRESH=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+OUT="${2:-${BUILD_DIR}/perf_smoke.json}"
+BASELINE="results/baseline.json"
+
+# Pinned suite parameters — change them together with the baseline.
+SCALE=16
+TRIALS=15
+THRESHOLD="${AFFOREST_PERF_THRESHOLD:-0.25}"
+MIN_SECONDS="${AFFOREST_PERF_MIN_SECONDS:-2e-3}"
+
+BIN="${BUILD_DIR}/bench/bench_fig8a_performance"
+if [[ ! -x "$BIN" ]]; then
+  echo "perf_smoke: $BIN not built (cmake --build $BUILD_DIR --target bench_fig8a_performance)" >&2
+  exit 2
+fi
+
+if [[ "$REFRESH" == 1 ]]; then
+  THREADS="${AFFOREST_PERF_THREADS:-2}"
+else
+  if [[ ! -f "$BASELINE" ]]; then
+    echo "perf_smoke: $BASELINE missing (run with --refresh-baseline first)" >&2
+    exit 2
+  fi
+  THREADS="$(python3 -c "
+import json, sys
+print(json.load(open(sys.argv[1]))['host'].get('omp_threads', 2))
+" "$BASELINE")"
+fi
+
+run_suite() {
+  echo "perf_smoke: running pinned suite (scale=$SCALE trials=$TRIALS threads=$THREADS)"
+  OMP_NUM_THREADS="$THREADS" "$BIN" \
+    --scale "$SCALE" --trials "$TRIALS" --json "$1" >/dev/null
+}
+
+compare() {
+  python3 scripts/bench_compare.py \
+    --baseline "$BASELINE" --candidate "$1" \
+    --mode ratio --anchor serial-uf \
+    --threshold "$THRESHOLD" --min-seconds "$MIN_SECONDS"
+}
+
+run_suite "$OUT"
+
+if [[ "$REFRESH" == 1 ]]; then
+  mkdir -p "$(dirname "$BASELINE")"
+  cp "$OUT" "$BASELINE"
+  echo "perf_smoke: baseline refreshed at $BASELINE"
+  exit 0
+fi
+
+if compare "$OUT"; then
+  exit 0
+fi
+echo "perf_smoke: regression reported; retrying once to rule out noise"
+run_suite "$OUT"
+compare "$OUT"

@@ -18,7 +18,9 @@ for bench in "$BUILD_DIR"/bench/bench_*; do
   [[ -x "$bench" && -f "$bench" ]] || continue
   name=$(basename "$bench")
   echo "== $name"
-  "$bench" | tee "$RESULTS_DIR/$name.txt"
+  # Every binary also mirrors its records into machine-readable JSON
+  # (schema afforest-bench-1, see docs/BENCHMARKING.md).
+  "$bench" --json "$RESULTS_DIR/$name.json" | tee "$RESULTS_DIR/$name.txt"
   echo
 done
-echo "all experiment outputs written to $RESULTS_DIR/"
+echo "all experiment outputs written to $RESULTS_DIR/ (text + JSON)"

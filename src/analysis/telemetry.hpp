@@ -1,0 +1,362 @@
+// Performance telemetry: cheap, thread-local-aggregated counters for the
+// CC kernels' hot paths, plus per-phase wall times and a peak-RSS probe.
+//
+// The paper's evaluation (§V–§VI) is built on per-phase observations —
+// Table II's iteration counts, Fig 6's linkage/coverage, Fig 7's access
+// patterns, Fig 8's phase budgets — and ConnectIt-style frameworks show
+// that a sampling-based CC implementation lives or dies by systematic
+// measurement.  This header is the single collection point: kernels call
+// the `on_*` hooks, orchestration code opens `ScopedPhase` scopes, and the
+// bench harness snapshots a `Report` into its machine-readable output
+// (docs/BENCHMARKING.md has the counter glossary).
+//
+// Cost discipline (the "zero-overhead-when-off" contract):
+//   * compile switch — building with -DAFFOREST_TELEMETRY=OFF (CMake
+//     option; defines AFFOREST_TELEMETRY_DISABLED) turns enabled() into a
+//     compile-time `false`, so every hook and its feeding arithmetic is
+//     dead code the optimizer deletes.
+//   * runtime switch — in telemetry-compiled builds (the default) the
+//     counters stay dormant behind one relaxed atomic-bool load per hook;
+//     set_enabled(true) or the AFFOREST_TELEMETRY environment variable
+//     arms them.
+//   * when armed, every increment lands in a cache-line-aligned
+//     thread-local block (no cross-thread contention); the fields are
+//     relaxed atomics so snapshot()/reset() from another thread is
+//     race-free under TSan without any barrier assumptions about the
+//     OpenMP runtime.
+//
+// Thread-local blocks are heap-allocated once per thread and intentionally
+// never freed: they must outlive the thread so a snapshot taken after a
+// worker exits reads valid memory.  The "leak" is bounded by the number of
+// distinct threads the process ever creates.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/platform.hpp"
+#include "util/timer.hpp"
+
+namespace afforest::telemetry {
+
+/// True when the counters are compiled into this build (the CMake
+/// AFFOREST_TELEMETRY option, default ON).
+inline constexpr bool compiled_in() {
+#ifdef AFFOREST_TELEMETRY_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() {
+  // Armed at first query from the environment so `AFFOREST_TELEMETRY=1
+  // ./bench_...` works without touching the binary's flags.
+  static std::atomic<bool> flag{env::is_set("AFFOREST_TELEMETRY")};
+  return flag;
+}
+}  // namespace detail
+
+/// Runtime switch: true iff counters are compiled in AND armed.
+inline bool enabled() {
+  if constexpr (!compiled_in()) return false;
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) {
+  if constexpr (compiled_in())
+    detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Aggregated view of every counter, summed over all thread blocks.
+/// Field semantics are documented in docs/BENCHMARKING.md's glossary.
+struct Counters {
+  std::uint64_t link_calls = 0;        ///< link() invocations
+  std::uint64_t link_retries = 0;      ///< extra climbing passes in link()
+  std::uint64_t link_retry_peak = 0;   ///< deepest single-call retry chain
+  std::uint64_t cas_attempts = 0;      ///< root-hook CAS attempts in link()
+  std::uint64_t cas_failures = 0;      ///< lost CAS races in link()
+  std::uint64_t compress_calls = 0;    ///< compress() invocations
+  std::uint64_t compress_hops = 0;     ///< total pointer-jump hops
+  std::uint64_t phase3_vertices_skipped = 0;  ///< §IV-D skip: vertices
+  std::uint64_t phase3_edges_skipped = 0;     ///< §IV-D skip: edges
+  std::uint64_t iterations = 0;        ///< outer fixpoint iterations (SV/LP)
+  std::uint64_t sv_hooks_fired = 0;    ///< successful SV hook stores
+  std::uint64_t lp_label_updates = 0;  ///< LP label improvements
+};
+
+namespace detail {
+
+struct alignas(kCacheLineBytes) ThreadCounters {
+  std::atomic<std::uint64_t> link_calls{0};
+  std::atomic<std::uint64_t> link_retries{0};
+  std::atomic<std::uint64_t> link_retry_peak{0};
+  std::atomic<std::uint64_t> cas_attempts{0};
+  std::atomic<std::uint64_t> cas_failures{0};
+  std::atomic<std::uint64_t> compress_calls{0};
+  std::atomic<std::uint64_t> compress_hops{0};
+  std::atomic<std::uint64_t> phase3_vertices_skipped{0};
+  std::atomic<std::uint64_t> phase3_edges_skipped{0};
+  std::atomic<std::uint64_t> iterations{0};
+  std::atomic<std::uint64_t> sv_hooks_fired{0};
+  std::atomic<std::uint64_t> lp_label_updates{0};
+};
+
+struct BlockRegistry {
+  std::mutex mu;
+  std::vector<ThreadCounters*> blocks;
+};
+
+inline BlockRegistry& registry() {
+  static BlockRegistry r;
+  return r;
+}
+
+/// The calling thread's counter block (registered on first use, leaked by
+/// design — see the header comment).
+inline ThreadCounters& local() {
+  thread_local ThreadCounters* block = [] {
+    auto* b = new ThreadCounters();
+    BlockRegistry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.blocks.push_back(b);
+    return b;
+  }();
+  return *block;
+}
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+inline void add(std::atomic<std::uint64_t>& field, std::uint64_t delta) {
+  if (delta != 0) field.fetch_add(delta, kRelaxed);
+}
+
+}  // namespace detail
+
+// ---- hot-path hooks -------------------------------------------------------
+// Kernels accumulate into stack locals and call these once per primitive
+// invocation; each hook is a relaxed-load branch when dormant and a handful
+// of uncontended relaxed adds when armed.
+
+inline void on_link(std::uint64_t retries, std::uint64_t cas_attempts,
+                    std::uint64_t cas_failures) {
+  if (!enabled()) return;
+  detail::ThreadCounters& b = detail::local();
+  b.link_calls.fetch_add(1, detail::kRelaxed);
+  detail::add(b.link_retries, retries);
+  detail::add(b.cas_attempts, cas_attempts);
+  detail::add(b.cas_failures, cas_failures);
+  // Owner-exclusive peak update: only this thread writes its block, so a
+  // plain compare-then-store on the relaxed atomic is sufficient.
+  if (retries > b.link_retry_peak.load(detail::kRelaxed))
+    b.link_retry_peak.store(retries, detail::kRelaxed);
+}
+
+inline void on_compress(std::uint64_t hops) {
+  if (!enabled()) return;
+  detail::ThreadCounters& b = detail::local();
+  b.compress_calls.fetch_add(1, detail::kRelaxed);
+  detail::add(b.compress_hops, hops);
+}
+
+inline void on_phase3_skip(std::uint64_t edges_skipped) {
+  if (!enabled()) return;
+  detail::ThreadCounters& b = detail::local();
+  b.phase3_vertices_skipped.fetch_add(1, detail::kRelaxed);
+  detail::add(b.phase3_edges_skipped, edges_skipped);
+}
+
+/// One outer fixpoint iteration (SV hook+shortcut round, LP sweep, ...).
+inline void add_iterations(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().iterations, n);
+}
+
+inline void add_sv_hooks_fired(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().sv_hooks_fired, n);
+}
+
+inline void add_lp_label_updates(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().lp_label_updates, n);
+}
+
+// ---- aggregation ----------------------------------------------------------
+
+/// Sums every thread block.  Safe to call concurrently with running
+/// kernels (relaxed reads) — values are then a momentary lower bound.
+inline Counters snapshot() {
+  Counters total;
+  if constexpr (!compiled_in()) return total;
+  detail::BlockRegistry& r = detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const detail::ThreadCounters* b : r.blocks) {
+    total.link_calls += b->link_calls.load(detail::kRelaxed);
+    total.link_retries += b->link_retries.load(detail::kRelaxed);
+    total.link_retry_peak =
+        std::max(total.link_retry_peak, b->link_retry_peak.load(detail::kRelaxed));
+    total.cas_attempts += b->cas_attempts.load(detail::kRelaxed);
+    total.cas_failures += b->cas_failures.load(detail::kRelaxed);
+    total.compress_calls += b->compress_calls.load(detail::kRelaxed);
+    total.compress_hops += b->compress_hops.load(detail::kRelaxed);
+    total.phase3_vertices_skipped +=
+        b->phase3_vertices_skipped.load(detail::kRelaxed);
+    total.phase3_edges_skipped += b->phase3_edges_skipped.load(detail::kRelaxed);
+    total.iterations += b->iterations.load(detail::kRelaxed);
+    total.sv_hooks_fired += b->sv_hooks_fired.load(detail::kRelaxed);
+    total.lp_label_updates += b->lp_label_updates.load(detail::kRelaxed);
+  }
+  return total;
+}
+
+// ---- per-phase wall time --------------------------------------------------
+
+/// Accumulated wall time for one named phase: seconds summed over `count`
+/// scope entries (insertion-ordered, so reports read in execution order).
+struct PhaseSample {
+  std::string name;
+  double seconds = 0;
+  std::uint64_t count = 0;
+};
+
+namespace detail {
+struct PhaseTable {
+  std::mutex mu;
+  std::vector<PhaseSample> rows;
+};
+inline PhaseTable& phase_table() {
+  static PhaseTable t;
+  return t;
+}
+}  // namespace detail
+
+/// Accumulates `seconds` under `name`.  Phases are recorded from the
+/// serial orchestration code between parallel regions, so the mutex is
+/// uncontended in practice.
+inline void record_phase(std::string_view name, double seconds) {
+  if (!enabled()) return;
+  detail::PhaseTable& t = detail::phase_table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  for (PhaseSample& row : t.rows) {
+    if (row.name == name) {
+      row.seconds += seconds;
+      ++row.count;
+      return;
+    }
+  }
+  t.rows.push_back({std::string(name), seconds, 1});
+}
+
+inline std::vector<PhaseSample> phases() {
+  if constexpr (!compiled_in()) return {};
+  detail::PhaseTable& t = detail::phase_table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  return t.rows;
+}
+
+/// RAII phase stopwatch; no-op when telemetry is dormant.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name)
+      : active_(enabled()), name_(name) {
+    if (active_) timer_.start();
+  }
+  ~ScopedPhase() {
+    if (active_) {
+      timer_.stop();
+      record_phase(name_, timer_.seconds());
+    }
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  bool active_;
+  std::string_view name_;
+  Timer timer_;
+};
+
+// ---- process probes -------------------------------------------------------
+
+/// Peak resident set size (VmHWM) in bytes; 0 when /proc is unavailable.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::uint64_t kb = 0;
+      for (const char c : line)
+        if (c >= '0' && c <= '9') kb = kb * 10 + static_cast<std::uint64_t>(c - '0');
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+// ---- lifecycle ------------------------------------------------------------
+
+/// Zeroes every counter block and clears the phase table.  Call between
+/// measured runs; concurrent kernel updates during a reset are lost, not
+/// racy (all fields are atomics).
+inline void reset() {
+  if constexpr (!compiled_in()) return;
+  {
+    detail::BlockRegistry& r = detail::registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    for (detail::ThreadCounters* b : r.blocks) {
+      b->link_calls.store(0, detail::kRelaxed);
+      b->link_retries.store(0, detail::kRelaxed);
+      b->link_retry_peak.store(0, detail::kRelaxed);
+      b->cas_attempts.store(0, detail::kRelaxed);
+      b->cas_failures.store(0, detail::kRelaxed);
+      b->compress_calls.store(0, detail::kRelaxed);
+      b->compress_hops.store(0, detail::kRelaxed);
+      b->phase3_vertices_skipped.store(0, detail::kRelaxed);
+      b->phase3_edges_skipped.store(0, detail::kRelaxed);
+      b->iterations.store(0, detail::kRelaxed);
+      b->sv_hooks_fired.store(0, detail::kRelaxed);
+      b->lp_label_updates.store(0, detail::kRelaxed);
+    }
+  }
+  detail::PhaseTable& t = detail::phase_table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  t.rows.clear();
+}
+
+/// Everything a reporting layer needs from one measured run.
+struct Report {
+  Counters counters;
+  std::vector<PhaseSample> phases;
+  std::uint64_t peak_rss_bytes = 0;
+};
+
+inline Report capture() {
+  return Report{snapshot(), phases(), peak_rss_bytes()};
+}
+
+/// RAII arm/disarm: enables telemetry for one scope, restoring the prior
+/// state on exit (tests and the bench counter pass use this).
+class ScopedEnable {
+ public:
+  explicit ScopedEnable(bool fresh = true) : previous_(enabled()) {
+    set_enabled(true);
+    if (fresh) reset();
+  }
+  ~ScopedEnable() { set_enabled(previous_); }
+  ScopedEnable(const ScopedEnable&) = delete;
+  ScopedEnable& operator=(const ScopedEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace afforest::telemetry

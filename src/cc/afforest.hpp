@@ -32,6 +32,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "analysis/telemetry.hpp"
 #include "cc/common.hpp"
 #include "graph/csr_graph.hpp"
 #include "util/parallel.hpp"
@@ -55,6 +56,10 @@ template <typename NodeID_>
 void link(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
   NodeID_ p1 = atomic_load(comp[u]);
   NodeID_ p2 = atomic_load(comp[v]);
+  // Telemetry tallies live in registers and are published once per call
+  // (telemetry.hpp's zero-overhead contract keeps the dormant cost to one
+  // relaxed flag load).
+  std::uint64_t retries = 0, cas_attempts = 0, cas_failures = 0;
   // lint: bounded(each retry strictly descends a finite acyclic parent chain; Lemma 5)
   while (p1 != p2) {
     const NodeID_ high = std::max(p1, p2);
@@ -62,11 +67,17 @@ void link(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
     const NodeID_ p_high = atomic_load(comp[high]);
     // Already linked by another thread, or we win the CAS on the root.
     if (p_high == low) break;
-    if (p_high == high && compare_and_swap(comp[high], high, low)) break;
+    if (p_high == high) {
+      ++cas_attempts;
+      if (compare_and_swap(comp[high], high, low)) break;
+      ++cas_failures;
+    }
     // Lost the race or high was not a root: climb one level and retry.
+    ++retries;
     p1 = atomic_load(comp[atomic_load(comp[high])]);
     p2 = atomic_load(comp[low]);
   }
+  telemetry::on_link(retries, cas_attempts, cas_failures);
 }
 
 /// Compresses v's path so comp[v] points directly at its root (Fig 2b).
@@ -80,12 +91,15 @@ template <typename NodeID_>
 void compress(NodeID_ v, pvector<NodeID_>& comp) {
   NodeID_ p = atomic_load(comp[v]);
   NodeID_ gp = atomic_load(comp[p]);
+  std::uint64_t hops = 0;
   // lint: bounded(pointer jumping strictly shortens the path to the root; Theorem 2)
   while (p != gp) {
     atomic_store(comp[v], gp);
     p = gp;
     gp = atomic_load(comp[p]);
+    ++hops;
   }
+  telemetry::on_compress(hops);
 }
 
 /// Runs compress on every vertex in parallel (Theorem 2).
@@ -151,8 +165,15 @@ void link_remaining(const CSRGraph<NodeID_>& g, pvector<NodeID_>& comp,
   const bool directed = g.directed();
 #pragma omp parallel for schedule(dynamic, 1024)
   for (std::int64_t v = 0; v < n; ++v) {
-    if (should_skip(static_cast<NodeID_>(v), comp, opts, c)) continue;
     const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
+    if (should_skip(static_cast<NodeID_>(v), comp, opts, c)) {
+      // Telemetry quantifies §IV-D directly: edges the skip avoided are
+      // the vertex's remaining out-neighborhood (the in-neighborhood is
+      // handled from the other endpoint, as in Theorem 3's argument).
+      telemetry::on_phase3_skip(
+          deg > rounds ? static_cast<std::uint64_t>(deg - rounds) : 0);
+      continue;
+    }
     for (OffsetT k = rounds; k < deg; ++k)
       link(static_cast<NodeID_>(v),
            g.neighbor(static_cast<NodeID_>(v), k), comp);
@@ -170,33 +191,63 @@ template <typename NodeID_>
 ComponentLabels<NodeID_> afforest_cc(const CSRGraph<NodeID_>& g,
                                   AfforestOptions opts = {}) {
   const std::int64_t n = g.num_nodes();
-  ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
+  ComponentLabels<NodeID_> comp;
+  {
+    const telemetry::ScopedPhase phase("afforest.init");
+    comp = identity_labels<NodeID_>(n);
+  }
 
   // Phase 1: neighbor-round subgraph sampling (Fig 5 lines 2–9).
   const std::int32_t rounds =
       std::max(std::int32_t{0}, opts.neighbor_rounds);
   for (std::int32_t r = 0; r < rounds; ++r) {
+    {
+      const telemetry::ScopedPhase phase("afforest.sampling");
 #pragma omp parallel for schedule(dynamic, 16384)
-    for (std::int64_t v = 0; v < n; ++v) {
-      if (r < g.out_degree(static_cast<NodeID_>(v))) {
-        link(static_cast<NodeID_>(v),
-             g.neighbor(static_cast<NodeID_>(v), r), comp);
+      for (std::int64_t v = 0; v < n; ++v) {
+        if (r < g.out_degree(static_cast<NodeID_>(v))) {
+          link(static_cast<NodeID_>(v),
+               g.neighbor(static_cast<NodeID_>(v), r), comp);
+        }
       }
     }
+    const telemetry::ScopedPhase phase("afforest.compress");
     compress_all(comp);
   }
 
   // Phase 2: identify the giant intermediate component (Fig 5 line 10).
   NodeID_ c = 0;
   if (opts.skip_largest && n > 0) {
+    const telemetry::ScopedPhase phase("afforest.find_largest");
     c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
   }
 
   // Phase 3: link remaining edges, skipping vertices inside c.
-  link_remaining(g, comp, rounds, opts, c);
+  {
+    const telemetry::ScopedPhase phase("afforest.final_link");
+    link_remaining(g, comp, rounds, opts, c);
+  }
 
-  compress_all(comp);
+  {
+    const telemetry::ScopedPhase phase("afforest.compress");
+    compress_all(comp);
+  }
   return comp;
+}
+
+/// Acceptance threshold for uniform edge sampling: an edge whose 64-bit
+/// hash is <= the threshold is linked during the sampling phase.  The
+/// mapping saturates at both ends: sample_p >= 1.0 yields max() (every
+/// edge links — the old unsaturated cast computed sample_p * 2^64, which
+/// does not fit in uint64 and is UB per [conv.fpint]), sample_p <= 0.0
+/// yields 0.
+inline std::uint64_t uniform_sample_threshold(double sample_p) {
+  const double max_u64 =
+      static_cast<double>(std::numeric_limits<std::uint64_t>::max());
+  const double scaled = sample_p * max_u64;
+  if (scaled >= max_u64) return std::numeric_limits<std::uint64_t>::max();
+  if (scaled <= 0.0) return 0;
+  return static_cast<std::uint64_t>(scaled);
 }
 
 /// Afforest with UNIFORM edge sampling instead of neighbor rounds — the
@@ -214,9 +265,9 @@ ComponentLabels<NodeID_> afforest_uniform_sampling(const CSRGraph<NodeID_>& g,
   const std::int64_t n = g.num_nodes();
   ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
 
-  // Phase 1: link a uniform random subset of edges.
-  const auto threshold = static_cast<std::uint64_t>(
-      sample_p * static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+  // Phase 1: link a uniform random subset of edges (saturating threshold;
+  // see uniform_sample_threshold for the p >= 1.0 UB this avoids).
+  const std::uint64_t threshold = uniform_sample_threshold(sample_p);
 #pragma omp parallel for schedule(dynamic, 4096)
   for (std::int64_t v = 0; v < n; ++v) {
     for (NodeID_ w : g.out_neigh(static_cast<NodeID_>(v))) {

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 
+#include "analysis/telemetry.hpp"
 #include "cc/afforest.hpp"
 #include "cc/common.hpp"
 #include "graph/csr_graph.hpp"
@@ -40,6 +41,7 @@ ComponentLabels<NodeID_> afforest_timed(const CSRGraph<NodeID_>& g,
   ComponentLabels<NodeID_> comp = identity_labels<NodeID_>(n);
   t.stop();
   times.init_s = t.seconds();
+  telemetry::record_phase("afforest.init", t.seconds());
 
   const std::int32_t rounds = std::max(std::int32_t{0}, opts.neighbor_rounds);
   for (std::int32_t r = 0; r < rounds; ++r) {
@@ -52,10 +54,12 @@ ComponentLabels<NodeID_> afforest_timed(const CSRGraph<NodeID_>& g,
     }
     t.stop();
     times.sampling_s += t.seconds();
+    telemetry::record_phase("afforest.sampling", t.seconds());
     t.start();
     compress_all(comp);
     t.stop();
     times.compress_s += t.seconds();
+    telemetry::record_phase("afforest.compress", t.seconds());
   }
 
   NodeID_ c = 0;
@@ -64,6 +68,7 @@ ComponentLabels<NodeID_> afforest_timed(const CSRGraph<NodeID_>& g,
     c = sample_frequent_element(comp, opts.sample_count, opts.sample_seed);
     t.stop();
     times.find_component_s = t.seconds();
+    telemetry::record_phase("afforest.find_largest", t.seconds());
   }
 
   // Phase 3 is the exact production loop (link_remaining), so the timed
@@ -72,11 +77,13 @@ ComponentLabels<NodeID_> afforest_timed(const CSRGraph<NodeID_>& g,
   link_remaining(g, comp, rounds, opts, c);
   t.stop();
   times.final_link_s = t.seconds();
+  telemetry::record_phase("afforest.final_link", t.seconds());
 
   t.start();
   compress_all(comp);
   t.stop();
   times.compress_s += t.seconds();
+  telemetry::record_phase("afforest.compress", t.seconds());
   return comp;
 }
 

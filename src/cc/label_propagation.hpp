@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "analysis/telemetry.hpp"
 #include "cc/common.hpp"
 #include "cc/guards.hpp"
 #include "graph/csr_graph.hpp"
@@ -40,19 +41,29 @@ ComponentLabels<NodeID_> label_propagation(
     change = false;
     ++num_iter;
     check_convergence_guard("label_propagation", num_iter, ceiling);
-    // Jacobi iterations are race-free with plain accesses: comp is
-    // read-only until the swap below, and next[u] is written only by the
-    // thread that owns u.  Each access carries its own waiver so a future
-    // edit that breaks the double-buffer pattern re-triggers the lint.
-#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
-    for (std::int64_t u = 0; u < n; ++u) {
-      NodeID_ lowest = comp[u];  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
-      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
-        lowest = std::min(lowest, comp[v]);  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
-      next[u] = lowest;  // NOLINT(afforest-plain-shared-access): owner-exclusive write, only thread owning u writes next[u]
-      if (lowest != comp[u]) change = true;  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
+    std::int64_t updates = 0;
+    {
+      const telemetry::ScopedPhase phase("lp.iterate");
+      // Jacobi iterations are race-free with plain accesses: comp is
+      // read-only until the swap below, and next[u] is written only by the
+      // thread that owns u.  Each access carries its own waiver so a future
+      // edit that breaks the double-buffer pattern re-triggers the lint.
+#pragma omp parallel for reduction(|| : change) reduction(+ : updates) \
+    schedule(dynamic, 16384)
+      for (std::int64_t u = 0; u < n; ++u) {
+        NodeID_ lowest = comp[u];  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
+        for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u)))
+          lowest = std::min(lowest, comp[v]);  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
+        next[u] = lowest;  // NOLINT(afforest-plain-shared-access): owner-exclusive write, only thread owning u writes next[u]
+        if (lowest != comp[u]) {  // NOLINT(afforest-plain-shared-access): comp is read-only during a Jacobi iteration
+          change = true;
+          ++updates;
+        }
+      }
+      comp.swap(next);
     }
-    comp.swap(next);
+    telemetry::add_iterations(1);
+    telemetry::add_lp_label_updates(static_cast<std::uint64_t>(updates));
   }
   if (out_iterations != nullptr) *out_iterations = num_iter;
   return comp;
@@ -80,18 +91,25 @@ ComponentLabels<NodeID_> label_propagation_frontier(
     ++num_iter;
     check_convergence_guard("label_propagation_frontier", num_iter, ceiling);
     std::int64_t next_size = 0;
-#pragma omp parallel for schedule(dynamic, 4096)
-    for (std::int64_t i = 0; i < current_size; ++i) {
-      const NodeID_ u = current[i];
-      const NodeID_ my = atomic_load(comp[u]);
-      for (NodeID_ v : g.out_neigh(u)) {
-        if (my < atomic_load(comp[v]) && atomic_fetch_min(comp[v], my)) {
-          std::uint8_t expected = 0;
-          if (compare_and_swap(queued[v], expected, std::uint8_t{1}))
-            next[fetch_and_add(next_size, std::int64_t{1})] = v;
+    std::int64_t updates = 0;
+    {
+      const telemetry::ScopedPhase phase("lp.frontier");
+#pragma omp parallel for reduction(+ : updates) schedule(dynamic, 4096)
+      for (std::int64_t i = 0; i < current_size; ++i) {
+        const NodeID_ u = current[i];
+        const NodeID_ my = atomic_load(comp[u]);
+        for (NodeID_ v : g.out_neigh(u)) {
+          if (my < atomic_load(comp[v]) && atomic_fetch_min(comp[v], my)) {
+            ++updates;
+            std::uint8_t expected = 0;
+            if (compare_and_swap(queued[v], expected, std::uint8_t{1}))
+              next[fetch_and_add(next_size, std::int64_t{1})] = v;
+          }
         }
       }
     }
+    telemetry::add_iterations(1);
+    telemetry::add_lp_label_updates(static_cast<std::uint64_t>(updates));
     current.swap(next);
     current_size = next_size;
     if (current_size > 0) queued.fill(0);

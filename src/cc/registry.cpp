@@ -1,6 +1,7 @@
 #include "cc/registry.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "cc/afforest.hpp"
 #include "cc/bfs_cc.hpp"
@@ -15,8 +16,45 @@
 
 namespace afforest {
 
+namespace {
+
+TelemetrySink*& sink_slot() {
+  static TelemetrySink* sink = nullptr;
+  return sink;
+}
+
+/// Wrap a registry lambda so a dispatch feeds the installed sink.  The
+/// telemetry reset/capture pair only runs when a sink is attached AND
+/// telemetry is armed, so plain dispatches keep their exact former cost.
+CCFunction with_sink(std::string name, CCFunction fn) {
+  return [name = std::move(name),
+          fn = std::move(fn)](const Graph& g) -> ComponentLabels<std::int32_t> {
+    TelemetrySink* sink = sink_slot();
+    if (sink == nullptr || !telemetry::enabled()) return fn(g);
+    telemetry::reset();
+    ComponentLabels<std::int32_t> labels = fn(g);
+    sink->consume(name, telemetry::capture());
+    return labels;
+  };
+}
+
+std::vector<AlgorithmEntry> wrap_all(std::vector<AlgorithmEntry> raw) {
+  for (auto& e : raw) e.run = with_sink(e.name, std::move(e.run));
+  return raw;
+}
+
+}  // namespace
+
+TelemetrySink* set_telemetry_sink(TelemetrySink* sink) {
+  TelemetrySink* previous = sink_slot();
+  sink_slot() = sink;
+  return previous;
+}
+
+TelemetrySink* telemetry_sink() { return sink_slot(); }
+
 const std::vector<AlgorithmEntry>& cc_algorithms() {
-  static const std::vector<AlgorithmEntry> algorithms = {
+  static const std::vector<AlgorithmEntry> algorithms = wrap_all({
       {"afforest", "Afforest with neighbor sampling + component skipping",
        [](const Graph& g) { return afforest_cc(g); }},
       {"afforest-noskip", "Afforest without large-component skipping",
@@ -56,7 +94,7 @@ const std::vector<AlgorithmEntry>& cc_algorithms() {
        [](const Graph& g) { return rem_cc_parallel(g); }},
       {"serial-uf", "serial union-find reference",
        [](const Graph& g) { return union_find_cc(g); }},
-  };
+  });
   return algorithms;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/telemetry.hpp"
 #include "cc/common.hpp"
 #include "graph/csr_graph.hpp"
 
@@ -20,6 +21,29 @@ struct AlgorithmEntry {
   std::string description;
   CCFunction run;
 };
+
+/// Receives a per-run telemetry report after each registry dispatch.  Wire
+/// one in with set_telemetry_sink to collect kernel counters (CAS traffic,
+/// compress hops, phase-3 skips, phase timings) without touching the
+/// algorithm call sites — bench/harness.hpp uses this to attach counters to
+/// its JSON records.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void consume(const std::string& algorithm,
+                       const telemetry::Report& report) = 0;
+};
+
+/// Install `sink` (may be null to detach); returns the previous sink so
+/// callers can restore it.  When a sink is installed and telemetry is
+/// enabled, every AlgorithmEntry::run dispatched through the registry
+/// resets the counters, runs the algorithm, and hands the captured report
+/// to the sink.  Not thread-safe against concurrent dispatches: install
+/// the sink before timing loops start.
+TelemetrySink* set_telemetry_sink(TelemetrySink* sink);
+
+/// Currently installed sink (null if none).
+TelemetrySink* telemetry_sink();
 
 /// All registered algorithms, in the order the paper's figures list them.
 const std::vector<AlgorithmEntry>& cc_algorithms();

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "analysis/telemetry.hpp"
 #include "cc/afforest.hpp"
 #include "cc/common.hpp"
 #include "cc/guards.hpp"
@@ -61,17 +62,30 @@ ComponentLabels<NodeID_> shiloach_vishkin(
     change = false;
     ++num_iter;
     check_convergence_guard("shiloach_vishkin", num_iter, ceiling);
-    // reduction(||) rather than a shared flag: unsynchronized stores to a
-    // shared `change` from inside the region are a write-write race.
-#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
-    for (std::int64_t u = 0; u < n; ++u) {
-      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
-        if (sv_hook_edge(static_cast<NodeID_>(u), v, comp)) change = true;
+    std::int64_t hooks = 0;
+    {
+      const telemetry::ScopedPhase phase("sv.hook");
+      // reduction(||) rather than a shared flag: unsynchronized stores to a
+      // shared `change` from inside the region are a write-write race.
+#pragma omp parallel for reduction(|| : change) reduction(+ : hooks) \
+    schedule(dynamic, 16384)
+      for (std::int64_t u = 0; u < n; ++u) {
+        for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+          if (sv_hook_edge(static_cast<NodeID_>(u), v, comp)) {
+            change = true;
+            ++hooks;
+          }
+        }
       }
     }
-    // Shortcut = full path compression; compress() is the atomic-access
-    // formulation shared with Afforest.
-    compress_all(comp);
+    {
+      const telemetry::ScopedPhase phase("sv.shortcut");
+      // Shortcut = full path compression; compress() is the atomic-access
+      // formulation shared with Afforest.
+      compress_all(comp);
+    }
+    telemetry::add_iterations(1);
+    telemetry::add_sv_hooks_fired(static_cast<std::uint64_t>(hooks));
   }
   if (out_iterations != nullptr) *out_iterations = num_iter;
   return comp;
@@ -97,44 +111,59 @@ ComponentLabels<NodeID_> shiloach_vishkin_original(
     ++num_iter;
     check_convergence_guard("shiloach_vishkin_original", num_iter, ceiling);
     changed.fill(0);
-    // Conditional hook (higher root onto lower), marking modified roots.
-    // Label reads are atomic (they race with sibling hooks) and the
-    // iteration flag folds through reduction(||) — see sv_hook_edge.
-#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
-    for (std::int64_t u = 0; u < n; ++u) {
-      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+    std::int64_t hooks = 0;
+    {
+      const telemetry::ScopedPhase phase("sv.hook");
+      // Conditional hook (higher root onto lower), marking modified roots.
+      // Label reads are atomic (they race with sibling hooks) and the
+      // iteration flag folds through reduction(||) — see sv_hook_edge.
+#pragma omp parallel for reduction(|| : change) reduction(+ : hooks) \
+    schedule(dynamic, 16384)
+      for (std::int64_t u = 0; u < n; ++u) {
+        for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+          const NodeID_ comp_u = atomic_load(comp[u]);
+          const NodeID_ comp_v = atomic_load(comp[v]);
+          if (comp_u == comp_v) continue;
+          const NodeID_ high_comp = std::max(comp_u, comp_v);
+          const NodeID_ low_comp = std::min(comp_u, comp_v);
+          if (high_comp == atomic_load(comp[high_comp])) {
+            change = true;
+            ++hooks;
+            atomic_store(comp[high_comp], low_comp);
+            atomic_store(changed[high_comp], std::uint8_t{1});
+            atomic_store(changed[low_comp], std::uint8_t{1});
+          }
+        }
+      }
+    }
+    {
+      const telemetry::ScopedPhase phase("sv.stagnant");
+      // Stagnant-root hook: a root untouched above may hook onto ANY
+      // neighboring tree (even a higher-labeled one would break Invariant 1,
+      // so we keep the lower-only rule but drop the direction condition on
+      // which endpoint initiates — sufficient to merge stalled stars).
+#pragma omp parallel for reduction(|| : change) reduction(+ : hooks) \
+    schedule(dynamic, 16384)
+      for (std::int64_t u = 0; u < n; ++u) {
         const NodeID_ comp_u = atomic_load(comp[u]);
-        const NodeID_ comp_v = atomic_load(comp[v]);
-        if (comp_u == comp_v) continue;
-        const NodeID_ high_comp = std::max(comp_u, comp_v);
-        const NodeID_ low_comp = std::min(comp_u, comp_v);
-        if (high_comp == atomic_load(comp[high_comp])) {
-          change = true;
-          atomic_store(comp[high_comp], low_comp);
-          atomic_store(changed[high_comp], std::uint8_t{1});
-          atomic_store(changed[low_comp], std::uint8_t{1});
+        if (atomic_load(changed[comp_u]) != 0) continue;
+        for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
+          const NodeID_ comp_v = atomic_load(comp[v]);
+          if (comp_v < comp_u && comp_u == atomic_load(comp[comp_u])) {
+            change = true;
+            ++hooks;
+            atomic_store(comp[comp_u], comp_v);
+            break;
+          }
         }
       }
     }
-    // Stagnant-root hook: a root untouched above may hook onto ANY
-    // neighboring tree (even a higher-labeled one would break Invariant 1,
-    // so we keep the lower-only rule but drop the direction condition on
-    // which endpoint initiates — sufficient to merge stalled stars).
-#pragma omp parallel for reduction(|| : change) schedule(dynamic, 16384)
-    for (std::int64_t u = 0; u < n; ++u) {
-      const NodeID_ comp_u = atomic_load(comp[u]);
-      if (atomic_load(changed[comp_u]) != 0) continue;
-      for (NodeID_ v : g.out_neigh(static_cast<NodeID_>(u))) {
-        const NodeID_ comp_v = atomic_load(comp[v]);
-        if (comp_v < comp_u && comp_u == atomic_load(comp[comp_u])) {
-          change = true;
-          atomic_store(comp[comp_u], comp_v);
-          break;
-        }
-      }
+    {
+      const telemetry::ScopedPhase phase("sv.shortcut");
+      compress_all(comp);
     }
-    // Shortcut.
-    compress_all(comp);
+    telemetry::add_iterations(1);
+    telemetry::add_sv_hooks_fired(static_cast<std::uint64_t>(hooks));
   }
   if (out_iterations != nullptr) *out_iterations = num_iter;
   return comp;
@@ -156,11 +185,24 @@ ComponentLabels<NodeID_> shiloach_vishkin_edgelist(
     change = false;
     ++num_iter;
     check_convergence_guard("shiloach_vishkin_edgelist", num_iter, ceiling);
-#pragma omp parallel for reduction(|| : change) schedule(static)
-    for (std::int64_t i = 0; i < ne; ++i) {
-      if (sv_hook_edge(edges[i].u, edges[i].v, comp)) change = true;
+    std::int64_t hooks = 0;
+    {
+      const telemetry::ScopedPhase phase("sv.hook");
+#pragma omp parallel for reduction(|| : change) reduction(+ : hooks) \
+    schedule(static)
+      for (std::int64_t i = 0; i < ne; ++i) {
+        if (sv_hook_edge(edges[i].u, edges[i].v, comp)) {
+          change = true;
+          ++hooks;
+        }
+      }
     }
-    compress_all(comp);
+    {
+      const telemetry::ScopedPhase phase("sv.shortcut");
+      compress_all(comp);
+    }
+    telemetry::add_iterations(1);
+    telemetry::add_sv_hooks_fired(static_cast<std::uint64_t>(hooks));
   }
   if (out_iterations != nullptr) *out_iterations = num_iter;
   return comp;

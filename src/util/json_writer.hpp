@@ -1,0 +1,168 @@
+// Minimal streaming JSON emitter for the benchmark harness's
+// machine-readable output (docs/BENCHMARKING.md documents the schema).
+//
+// Deliberately tiny: objects/arrays are opened and closed explicitly,
+// commas are inserted automatically, strings are escaped per RFC 8259,
+// and doubles round-trip (max_digits10).  There is no parser — the
+// consumer is scripts/bench_compare.py, which uses Python's json module.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace afforest::json {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+inline std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trip formatting for a double.  NaN/inf (not valid JSON)
+/// are emitted as null.
+inline std::string format_double(double v) {
+  if (v != v || v > std::numeric_limits<double>::max() ||
+      v < std::numeric_limits<double>::lowest())
+    return "null";
+  char buf[64];
+  // %.17g always round-trips; try the shorter %.15g first.
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Streaming writer.  Usage:
+///   Writer w;
+///   w.begin_object();
+///   w.key("name").value("kron");
+///   w.key("trials").begin_array();
+///   w.value(1.5).value(2.5);
+///   w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+/// Misuse (a key outside an object, mismatched end_*) is a logic error the
+/// writer surfaces by producing obviously malformed output in debug use —
+/// it never throws, so benchmark teardown paths cannot fail through it.
+class Writer {
+ public:
+  Writer& begin_object() {
+    element();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+  Writer& end_object() {
+    pop();
+    out_ += '}';
+    return *this;
+  }
+  Writer& begin_array() {
+    element();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+  Writer& end_array() {
+    pop();
+    out_ += ']';
+    return *this;
+  }
+
+  Writer& key(std::string_view name) {
+    element();
+    out_ += '"';
+    out_ += escape(name);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+  }
+
+  Writer& value(std::string_view v) {
+    element();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+  }
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(const std::string& v) { return value(std::string_view(v)); }
+  Writer& value(double v) {
+    element();
+    out_ += format_double(v);
+    return *this;
+  }
+  Writer& value(std::uint64_t v) {
+    element();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(std::int64_t v) {
+    element();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool v) {
+    element();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  Writer& null() {
+    element();
+    out_ += "null";
+    return *this;
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separating comma unless this is the first element of the
+  /// current container or the immediate continuation of a key.
+  void element() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+  void pop() {
+    pending_key_ = false;
+    if (!first_.empty()) first_.pop_back();
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_key_ = false;
+};
+
+}  // namespace afforest::json

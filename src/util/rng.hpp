@@ -6,6 +6,7 @@
 // `most_frequent_element` sampling (paper Fig 5, line 10).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -36,6 +37,18 @@ class Xoshiro256 {
   explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
     SplitMix64 sm(seed);
     for (auto& s : state_) s = sm.next();
+  }
+
+  /// Restores a generator from a previously captured state() — stream
+  /// checkpointing, and the handle the split-regression tests use to build
+  /// parents that differ in exactly one state word.
+  explicit Xoshiro256(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  }
+
+  /// Full generator state, in word order.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
   }
 
   static constexpr result_type min() { return 0; }
@@ -79,10 +92,18 @@ class Xoshiro256 {
 
   /// Jump-equivalent stream split: derives an independent generator for a
   /// worker indexed by `stream`, so parallel generation stays deterministic
-  /// regardless of thread scheduling.
+  /// regardless of thread scheduling.  The SplitMix seed chain folds in all
+  /// four state words — seeding from state_[0] alone made two parents that
+  /// differ only in state_[1..3] (e.g. generators that had advanced by a
+  /// different number of steps) emit identical child streams.
   [[nodiscard]] Xoshiro256 split(std::uint64_t stream) const {
     SplitMix64 sm(state_[0] ^ (stream * 0xA24BAED4963EE407ULL));
-    Xoshiro256 out(sm.next());
+    std::uint64_t folded = sm.next();
+    for (int i = 1; i < 4; ++i) {
+      SplitMix64 fold(folded ^ state_[i]);
+      folded = fold.next();
+    }
+    Xoshiro256 out(folded);
     return out;
   }
 

@@ -2,6 +2,7 @@
 // topologies, plus its documented label convention and edge cases.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "cc/afforest.hpp"
@@ -165,6 +166,42 @@ TEST_P(UniformSamplingTest, MatchesReferenceAcrossSamplingRates) {
 
 INSTANTIATE_TEST_SUITE_P(Rates, UniformSamplingTest,
                          ::testing::Values(0.0, 0.05, 0.25, 0.5, 1.0));
+
+TEST(AfforestUniformSampling, ThresholdSaturatesAtFullSampling) {
+  // Regression: sample_p >= 1.0 used to cast sample_p * 2^64 to uint64,
+  // which is UB ([conv.fpint]) — under -O3 the result could collapse to 0
+  // and silently sample NOTHING in phase 1.  The saturated threshold must
+  // accept every possible edge hash, i.e. p=1.0 links every edge.
+  EXPECT_EQ(uniform_sample_threshold(1.0),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(uniform_sample_threshold(1.5),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(uniform_sample_threshold(100.0),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(uniform_sample_threshold(0.0), 0u);
+  EXPECT_EQ(uniform_sample_threshold(-0.25), 0u);
+  // Monotone in between, and ~p·2^64 at the midpoint.
+  EXPECT_LT(uniform_sample_threshold(0.25), uniform_sample_threshold(0.75));
+  EXPECT_NEAR(static_cast<double>(uniform_sample_threshold(0.5)),
+              0.5 * static_cast<double>(std::numeric_limits<std::uint64_t>::max()),
+              1e13);
+  // Every edge-hash value passes the p=1.0 acceptance predicate — the
+  // "links every edge" guarantee phase 1 relies on.
+  SplitMix64 hash(0xFEEDFACE);
+  for (int i = 0; i < 4096; ++i)
+    ASSERT_LE(hash.next(), uniform_sample_threshold(1.0));
+}
+
+TEST(AfforestUniformSampling, OversamplingProbabilityStaysCorrect) {
+  // p > 1.0 (saturated) must behave exactly like p = 1.0: the previous
+  // cast was UB for any p >= 1.0, so this doubles as the UBSan regression.
+  for (const double p : {1.0, 2.0, 64.0}) {
+    const Graph g = make_suite_graph("urand", 10);
+    EXPECT_TRUE(labels_equivalent(afforest_uniform_sampling(g, p),
+                                  union_find_cc(g)))
+        << "p=" << p;
+  }
+}
 
 TEST(AfforestUniformSampling, DeterministicForSeed) {
   const Graph g = make_suite_graph("kron", 10);

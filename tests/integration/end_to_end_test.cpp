@@ -55,8 +55,12 @@ TEST_F(EndToEndTest, EdgeListFileFeedsEveryAlgorithm) {
   write_edge_list(path("g.el"), edges);
   const Graph loaded = load_graph(path("g.el"));
   EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  // Compare within `loaded`: the .el format infers num_nodes from the
+  // largest endpoint, so trailing isolated vertices of `g` (possible in
+  // any random family) are not representable and the label arrays for
+  // `g` and `loaded` can legitimately differ in length.
   EXPECT_TRUE(labels_equivalent(cc_algorithm("afforest").run(loaded),
-                                union_find_cc(g)));
+                                union_find_cc(loaded)));
 }
 
 TEST_F(EndToEndTest, RoundTripPreservesComponentStructure) {

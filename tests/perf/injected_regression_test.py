@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""ctest driver: bench_compare must flag a doctored 2x slowdown.
+
+Takes the checked-in baseline, doubles every 'afforest' timing quantile in
+a temp copy, and asserts scripts/bench_compare.py exits 1 (regression) in
+ratio mode — the exact configuration the perf-smoke CI job runs with.
+Also asserts the doctored comparison names afforest, not some other
+algorithm, so the match keys stay honest.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: injected_regression_test.py <bench_compare.py> "
+              "<baseline.json>", file=sys.stderr)
+        return 2
+    compare, baseline = sys.argv[1], sys.argv[2]
+
+    with open(baseline, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    doctored = 0
+    for rec in doc["records"]:
+        if rec.get("algorithm") == "afforest":
+            for k in ("median_s", "p25_s", "p75_s", "min_s", "max_s"):
+                rec["trials"][k] *= 2.0
+            doctored += 1
+    if doctored == 0:
+        print("FAIL: baseline has no afforest records to doctor")
+        return 1
+
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as tmp:
+        json.dump(doc, tmp)
+        candidate = tmp.name
+
+    proc = subprocess.run(
+        [sys.executable, compare, "--baseline", baseline,
+         "--candidate", candidate, "--mode", "ratio",
+         "--threshold", "0.25", "--min-seconds", "2e-3"],
+        capture_output=True, text=True)
+    print(proc.stdout, end="")
+
+    if proc.returncode != 1:
+        print(f"FAIL: expected exit 1 (regression), got {proc.returncode}")
+        return 1
+    if "REGRESSION" not in proc.stdout or "afforest" not in proc.stdout:
+        print("FAIL: regression report does not mention afforest")
+        return 1
+    print("PASS: injected 2x afforest slowdown detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

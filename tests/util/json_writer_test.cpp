@@ -1,0 +1,122 @@
+// JSON writer tests: RFC 8259 escaping, double round-tripping, comma and
+// nesting discipline.  The writer backs the bench harness's --json output,
+// so malformed text here would silently poison the perf-smoke pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/json_writer.hpp"
+
+namespace afforest::json {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(escape("kron-16"), "kron-16");
+  EXPECT_EQ(escape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslash) {
+  EXPECT_EQ(escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape("c:\\tmp"), "c:\\\\tmp");
+}
+
+TEST(JsonEscape, EscapesNamedControlCharacters) {
+  EXPECT_EQ(escape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(JsonEscape, EscapesOtherControlCharactersAsUnicode) {
+  EXPECT_EQ(escape(std::string("x\x01y", 3)), "x\\u0001y");
+  EXPECT_EQ(escape(std::string("\x1f", 1)), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone) {
+  // Multi-byte UTF-8 (here: e-acute) is valid in JSON strings unescaped.
+  EXPECT_EQ(escape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonFormatDouble, IntegersStayShort) {
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(42.0), "42");
+  EXPECT_EQ(format_double(-3.0), "-3");
+}
+
+TEST(JsonFormatDouble, RoundTripsExactly) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 2.2250738585072014e-308,
+                         123456.789012345, -0.000123456789}) {
+    const std::string text = format_double(v);
+    EXPECT_EQ(std::stod(text), v) << "text: " << text;
+  }
+}
+
+TEST(JsonFormatDouble, NonFiniteBecomesNull) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  Writer w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+  Writer a;
+  a.begin_array().end_array();
+  EXPECT_EQ(a.str(), "[]");
+}
+
+TEST(JsonWriter, CommasBetweenObjectMembers) {
+  Writer w;
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value("x");
+  w.key("c").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true})");
+}
+
+TEST(JsonWriter, CommasBetweenArrayElements) {
+  Writer w;
+  w.begin_array();
+  w.value(1).value(2).value(3);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, NestedContainersKeepCommaDiscipline) {
+  Writer w;
+  w.begin_object();
+  w.key("records").begin_array();
+  w.begin_object().key("g").value("kron").end_object();
+  w.begin_object().key("g").value("road").end_object();
+  w.end_array();
+  w.key("n").value(2);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"records":[{"g":"kron"},{"g":"road"}],"n":2})");
+}
+
+TEST(JsonWriter, ValueTypesRenderCorrectly) {
+  Writer w;
+  w.begin_object();
+  w.key("u").value(std::uint64_t{18446744073709551615ULL});
+  w.key("i").value(std::int64_t{-42});
+  w.key("d").value(1.5);
+  w.key("b").value(false);
+  w.key("z").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"u":18446744073709551615,"i":-42,"d":1.5,"b":false,"z":null})");
+}
+
+TEST(JsonWriter, KeysAreEscaped) {
+  Writer w;
+  w.begin_object();
+  w.key("we\"ird").value(1);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"we\"ird":1})");
+}
+
+}  // namespace
+}  // namespace afforest::json

@@ -87,6 +87,43 @@ TEST(Xoshiro256, SplitStreamsAreIndependentAndDeterministic) {
   EXPECT_EQ(s1_again.next(), s1_copy.next());
 }
 
+TEST(Xoshiro256, StateRoundTripsThroughConstructor) {
+  Xoshiro256 a(99);
+  a.next();
+  a.next();
+  Xoshiro256 b(a.state());
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SplitMixesAllFourStateWords) {
+  // Regression: split() used to seed the child from state_[0] alone, so
+  // two parents that differed only in state_[1..3] handed every worker
+  // identical "independent" streams.  Each state word must now perturb
+  // the child.
+  const Xoshiro256 base(7);
+  const auto words = base.state();
+  for (int w = 1; w < 4; ++w) {
+    auto tweaked = words;
+    tweaked[w] ^= 0xDEADBEEFULL;
+    Xoshiro256 parent_a(words), parent_b(tweaked);
+    Xoshiro256 child_a = parent_a.split(3);
+    Xoshiro256 child_b = parent_b.split(3);
+    EXPECT_NE(child_a.next(), child_b.next())
+        << "child stream ignores parent state word " << w;
+  }
+}
+
+TEST(Xoshiro256, SplitStreamValuesArePinned) {
+  // Golden values for the post-fix derivation: the generator suite's
+  // block-parallel generators (kronecker, uniform) consume these streams,
+  // so a silent change here would silently change every generated graph.
+  // Refresh procedure: docs/BENCHMARKING.md ("Baseline refresh").
+  Xoshiro256 root(42);
+  EXPECT_EQ(root.split(0).next(), 1678253153170778783ULL);
+  EXPECT_EQ(root.split(1).next(), 13476142359399101553ULL);
+  EXPECT_EQ(root.split(2).next(), 4722625694318003040ULL);
+}
+
 TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
   static_assert(Xoshiro256::min() == 0);
   static_assert(Xoshiro256::max() ==
