@@ -45,15 +45,13 @@ int main(int argc, char** argv) {
                    TextTable::fmt(100.0 * best.final_link_s /
                                       std::max(1e-12, best.total_s()), 1)});
     if (json.collect()) {
+      // params holds only true inputs (bench_compare.py keys records on
+      // (graph, algorithm, params), so measured values here would make
+      // every record unmatchable between runs).  Per-phase wall times
+      // travel in the telemetry `phases` array instead — afforest_timed
+      // records each phase via telemetry::record_phase.
       json.add(entry.name, "afforest-timed",
-               {{"scale", scale},
-                {"trials", trials},
-                {"init_s", best.init_s},
-                {"sampling_s", best.sampling_s},
-                {"compress_s", best.compress_s},
-                {"find_component_s", best.find_component_s},
-                {"final_link_s", best.final_link_s},
-                {"total_s", best.total_s()}},
+               {{"scale", scale}, {"trials", trials}},
                TrialSummary{},
                bench::measure_counters([&] {
                  AfforestPhaseTimes times;

@@ -81,9 +81,15 @@ def anchor_medians(doc, anchor):
             continue
         median = trials.get("median_s", 0.0)
         if isinstance(median, (int, float)) and median > 0.0:
-            # Keep the first anchor record per graph (parameter sweeps may
-            # time the anchor more than once; any one fixes the scale).
-            out.setdefault(rec.get("graph", ""), float(median))
+            # Parameter sweeps may time the anchor more than once per
+            # graph; pick the minimum median so the choice is a
+            # deterministic function of the records rather than of
+            # document order (first-seen could pair baseline and
+            # candidate anchors from different configurations).
+            graph = rec.get("graph", "")
+            prev = out.get(graph)
+            if prev is None or float(median) < prev:
+                out[graph] = float(median)
     return out
 
 
@@ -256,6 +262,17 @@ def self_test():
     pb = timed_records(_doc([_rec("g", "a", 0.1, params={"threads": 1})]))
     pc = timed_records(_doc([_rec("g", "a", 0.9, params={"threads": 2})]))
     check("params split records", compare(pb, pc, 0.25, 0.0)[0] == [])
+
+    # Multiple anchor records per graph: the pick is the minimum median,
+    # independent of document order, so baseline and candidate always
+    # normalize against the same anchor configuration.
+    dup_a = _doc([_rec("g", "serial-uf", 0.4, params={"threads": 1}),
+                  _rec("g", "serial-uf", 0.2, params={"threads": 2})])
+    dup_b = _doc([_rec("g", "serial-uf", 0.2, params={"threads": 2}),
+                  _rec("g", "serial-uf", 0.4, params={"threads": 1})])
+    check("anchor pick order-independent",
+          anchor_medians(dup_a, "serial-uf")
+          == anchor_medians(dup_b, "serial-uf") == {"g": 0.2})
 
     print(f"self-test: {len(failures)} failure(s)")
     return 1 if failures else 0

@@ -72,6 +72,17 @@ compare() {
 run_suite "$OUT"
 
 if [[ "$REFRESH" == 1 ]]; then
+  # The baseline anchors CI's release binaries: a debug-flavored document
+  # (assertions compiled in) would skew every anchor-normalized ratio.
+  ASSERTS="$(python3 -c "
+import json, sys
+print(json.load(open(sys.argv[1]))['build'].get('assertions'))
+" "$OUT")"
+  if [[ "$ASSERTS" != "False" ]]; then
+    echo "perf_smoke: refusing to refresh $BASELINE from an assertions-enabled build" >&2
+    echo "perf_smoke: rebuild with CMAKE_BUILD_TYPE=Release (build.assertions must be false)" >&2
+    exit 2
+  fi
   mkdir -p "$(dirname "$BASELINE")"
   cp "$OUT" "$BASELINE"
   echo "perf_smoke: baseline refreshed at $BASELINE"

@@ -165,15 +165,22 @@ void link_remaining(const CSRGraph<NodeID_>& g, pvector<NodeID_>& comp,
   const bool directed = g.directed();
 #pragma omp parallel for schedule(dynamic, 1024)
   for (std::int64_t v = 0; v < n; ++v) {
-    const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
     if (should_skip(static_cast<NodeID_>(v), comp, opts, c)) {
       // Telemetry quantifies §IV-D directly: edges the skip avoided are
       // the vertex's remaining out-neighborhood (the in-neighborhood is
       // handled from the other endpoint, as in Theorem 3's argument).
-      telemetry::on_phase3_skip(
-          deg > rounds ? static_cast<std::uint64_t>(deg - rounds) : 0);
+      // The degree load lives behind enabled() so dormant runs keep the
+      // skip branch free of offset-array reads — this is the hottest
+      // path on giant-component graphs and the zero-overhead-when-off
+      // contract must hold here.
+      if (telemetry::enabled()) {
+        const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
+        telemetry::on_phase3_skip(
+            deg > rounds ? static_cast<std::uint64_t>(deg - rounds) : 0);
+      }
       continue;
     }
+    const OffsetT deg = g.out_degree(static_cast<NodeID_>(v));
     for (OffsetT k = rounds; k < deg; ++k)
       link(static_cast<NodeID_>(v),
            g.neighbor(static_cast<NodeID_>(v), k), comp);
