@@ -1,0 +1,68 @@
+// Standalone demo of the serving layer: streams a uniform-random edge list
+// into a QueryEngine batch by batch and prints how the published snapshot
+// evolves (epoch, component count, size of vertex 0's component), then
+// answers a handful of point queries against the final snapshot.
+//
+// This is the smallest end-to-end tour of src/serve — the benchmark driver
+// (bench/serving) is the instrumented version with mixed reader threads.
+#include <cstdint>
+#include <iostream>
+
+#include "graph/generators/uniform.hpp"
+#include "serve/query_batch.hpp"
+#include "serve/query_engine.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  using NodeID = std::int32_t;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count (default 12)");
+  cl.describe("degree", "average degree of the streamed graph (default 4)");
+  cl.describe("batch", "edges applied per publish (default 1024)");
+  cl.describe("seed", "edge-stream RNG seed (default 42)");
+  if (cl.help_requested()) {
+    cl.print_help("serve: streaming connectivity demo");
+    return 0;
+  }
+  const int scale = static_cast<int>(cl.get_int("scale", 12));
+  const int degree = static_cast<int>(cl.get_int("degree", 4));
+  const std::int64_t batch = cl.get_int("batch", 1024);
+  const auto seed = static_cast<std::uint64_t>(cl.get_int("seed", 42));
+  for (const auto& f : cl.unknown_flags())
+    std::cerr << "warning: unknown flag --" << f << " ignored\n";
+  if (batch <= 0) {
+    std::cerr << "serve: --batch must be positive\n";
+    return 2;
+  }
+
+  const std::int64_t n = std::int64_t{1} << scale;
+  const std::int64_t m = n * degree;
+  const auto edges = generate_uniform_edges<NodeID>(n, m, seed);
+  serve::QueryEngine<NodeID> engine(n);
+
+  std::cout << "serving " << m << " edges over " << n << " vertices, "
+            << batch << " per publish\n";
+  for (std::int64_t start = 0; start < m; start += batch) {
+    const auto count =
+        static_cast<std::size_t>(std::min(batch, m - start));
+    engine.apply_batch(edges.data() + start, count);
+    engine.publish();
+    const auto view = engine.acquire();
+    std::cout << "epoch " << view.epoch() << ": edges " << (start + static_cast<std::int64_t>(count))
+              << "/" << m << ", components " << view.component_count()
+              << ", |comp(0)| " << view.component_size(0) << "\n";
+  }
+
+  serve::QueryBatch<NodeID> queries;
+  for (NodeID v = 0; v < 4 && v < n; ++v)
+    queries.add(0, static_cast<NodeID>((v * n) / 4));
+  engine.answer(queries);
+  std::cout << "\npoint queries @ epoch " << queries.epoch << ":\n";
+  for (std::size_t i = 0; i < queries.count(); ++i)
+    std::cout << "  connected(" << queries.u[i] << ", " << queries.v[i]
+              << ") = " << (queries.connected[i] ? "yes" : "no")
+              << "  comp=" << queries.component[i]
+              << " size=" << queries.component_size[i] << "\n";
+  return 0;
+}

@@ -209,6 +209,9 @@ inline std::string render_json(const std::string& experiment,
       w.key("iterations").value(c.iterations);
       w.key("sv_hooks_fired").value(c.sv_hooks_fired);
       w.key("lp_label_updates").value(c.lp_label_updates);
+      w.key("serve_queries_served").value(c.serve_queries_served);
+      w.key("serve_snapshot_swaps").value(c.serve_snapshot_swaps);
+      w.key("serve_edges_ingested").value(c.serve_edges_ingested);
       w.end_object();
       w.key("phases").begin_array();
       for (const telemetry::PhaseSample& ph : r.report.phases) {

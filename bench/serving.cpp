@@ -1,0 +1,338 @@
+// Mixed read/write serving workload over src/serve's QueryEngine.
+//
+// One writer thread streams a uniform-random edge list into the engine in
+// batches (apply_batch + publish per batch) while R reader threads issue
+// SoA query batches against the published snapshots.  The read fraction
+// sets how many queries ride alongside the edge stream
+// (queries = edges * f / (1 - f)), the key sampler sets which vertices the
+// queries touch (uniform or Zipfian, the YCSB-style skew), and the batch
+// sweep varies the write-batch size — the knob that trades snapshot
+// freshness against publish amortization.
+//
+// Reported per batch size: ingest wall time, query throughput, and
+// query-batch latency quantiles (p50/p95/p99).  With --json the run emits
+// afforest-bench-1 records in two groups:
+//
+//   * graph "serve-urand" — a "serial-uf" anchor plus "serve-query-steady"
+//     (a query batch answered against the final snapshot, no concurrent
+//     writer).  Compute-bound, so its anchor-normalized ratio is stable
+//     across machines: this is the record the perf-smoke gate tracks.
+//   * graph "serve-urand-mixed" — the mixed-phase "serve-ingest" /
+//     "serve-query" records.  Their wall times depend on how the scheduler
+//     interleaves writer and readers (core-count-sensitive), so they carry
+//     no anchor and ratio-mode comparison reports them as notes instead of
+//     gating on them.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "cc/union_find.hpp"
+#include "graph/generators/uniform.hpp"
+#include "serve/query_batch.hpp"
+#include "serve/query_engine.hpp"
+#include "serve/workload.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using afforest::EdgeList;
+using afforest::Timer;
+using afforest::Xoshiro256;
+using NodeID = std::int32_t;
+
+struct MixConfig {
+  std::int64_t num_nodes = 0;
+  std::int64_t edge_batch = 1024;
+  std::int64_t query_batch = 256;
+  int readers = 2;
+  double read_fraction = 0.9;
+  afforest::serve::Skew skew = afforest::serve::Skew::kUniform;
+  double theta = 0.99;
+  std::uint64_t seed = 42;
+};
+
+struct MixResult {
+  double wall_s = 0;                     ///< whole mixed phase
+  double ingest_s = 0;                   ///< writer thread's portion
+  std::vector<double> batch_latencies_s; ///< one sample per query batch
+  std::uint64_t queries = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t epoch_violations = 0;    ///< should stay 0 (monotone epochs)
+  std::int64_t components = 0;           ///< final component count
+};
+
+/// Runs one full mixed phase: writer streams `edges` in batches, readers
+/// issue query batches until the target query count is served.
+MixResult run_mixed(const EdgeList<NodeID>& edges, const MixConfig& cfg) {
+  afforest::serve::QueryEngine<NodeID> engine(cfg.num_nodes);
+  const std::int64_t m = static_cast<std::int64_t>(edges.size());
+
+  // read fraction f over total operations: queries = edges * f / (1 - f).
+  const double f = std::clamp(cfg.read_fraction, 0.0, 0.99);
+  const auto target_queries =
+      static_cast<std::uint64_t>(static_cast<double>(m) * f / (1.0 - f));
+
+  const afforest::serve::KeySampler sampler(
+      cfg.skew, static_cast<std::uint64_t>(cfg.num_nodes), cfg.theta);
+  const Xoshiro256 root_rng(cfg.seed);
+
+  MixResult result;
+  result.edges = static_cast<std::uint64_t>(m);
+  std::atomic<std::uint64_t> queries_served{0};
+  std::atomic<std::uint64_t> epoch_violations{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(std::max(cfg.readers, 1)));
+
+  Timer wall;
+  wall.start();
+
+  std::thread writer([&] {
+    Timer t;
+    t.start();
+    for (std::int64_t start = 0; start < m; start += cfg.edge_batch) {
+      const auto count = static_cast<std::size_t>(
+          std::min(cfg.edge_batch, m - start));
+      engine.apply_batch(edges.data() + start, count);
+      engine.publish();
+    }
+    if (m == 0) engine.publish();  // at least one epoch turn per phase
+    t.stop();
+    result.ingest_s = t.seconds();
+  });
+
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(static_cast<std::size_t>(cfg.readers));
+  for (int r = 0; r < cfg.readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Xoshiro256 rng = root_rng.split(static_cast<std::uint64_t>(r) + 1);
+      afforest::serve::QueryBatch<NodeID> batch;
+      std::uint64_t last_epoch = 0;
+      while (queries_served.fetch_add(
+                 static_cast<std::uint64_t>(cfg.query_batch)) <
+             target_queries) {
+        batch.clear();
+        for (std::int64_t i = 0; i < cfg.query_batch; ++i)
+          batch.add(static_cast<NodeID>(sampler.next(rng)),
+                    static_cast<NodeID>(sampler.next(rng)));
+        Timer t;
+        t.start();
+        engine.answer(batch);
+        t.stop();
+        latencies[static_cast<std::size_t>(r)].push_back(t.seconds());
+        if (batch.epoch < last_epoch) epoch_violations.fetch_add(1);
+        last_epoch = batch.epoch;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : reader_threads) t.join();
+  wall.stop();
+
+  result.wall_s = wall.seconds();
+  result.queries = 0;
+  for (const auto& per_reader : latencies) {
+    result.queries += static_cast<std::uint64_t>(per_reader.size()) *
+                      static_cast<std::uint64_t>(cfg.query_batch);
+    result.batch_latencies_s.insert(result.batch_latencies_s.end(),
+                                    per_reader.begin(), per_reader.end());
+  }
+  result.epoch_violations = epoch_violations.load();
+  result.components = engine.component_count();
+  return result;
+}
+
+std::vector<std::int64_t> parse_batch_sizes(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty())
+    throw std::invalid_argument("--batch-sizes parsed to an empty list");
+  for (const std::int64_t b : out)
+    if (b <= 0)
+      throw std::invalid_argument("--batch-sizes entries must be positive");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count (default 14)");
+  cl.describe("trials", "mixed-phase repetitions per batch size (default 3)");
+  cl.describe("degree", "average degree of the streamed graph (default 8)");
+  cl.describe("read-fraction",
+              "fraction of operations that are queries (default 0.9)");
+  cl.describe("skew", "query key distribution: uniform | zipfian");
+  cl.describe("theta", "zipfian skew parameter in (0,1) (default 0.99)");
+  cl.describe("readers", "number of query threads (default 2)");
+  cl.describe("query-batch", "queries per QueryBatch (default 256)");
+  cl.describe("batch-sizes",
+              "comma-separated write-batch sweep (default 256,1024,4096)");
+  cl.describe("steady-queries",
+              "steady-state throughput batch size (default 65536; 0 skips)");
+  cl.describe("seed", "workload RNG seed (default 42)");
+  bench::JsonReporter json(cl, "serving");
+  if (!bench::standard_preamble(
+          cl, "Serving: mixed read/write connectivity workload"))
+    return 0;
+  const int scale = static_cast<int>(cl.get_int("scale", 14));
+  const int trials = static_cast<int>(cl.get_int("trials", 3));
+  const int degree = static_cast<int>(cl.get_int("degree", 8));
+  const double read_fraction = cl.get_double("read-fraction", 0.9);
+  const std::string skew_str = cl.get_string("skew", "uniform");
+  const double theta = cl.get_double("theta", 0.99);
+  const int readers = static_cast<int>(cl.get_int("readers", 2));
+  const std::int64_t query_batch = cl.get_int("query-batch", 256);
+  const std::string batch_csv = cl.get_string("batch-sizes", "256,1024,4096");
+  const std::int64_t steady_queries = cl.get_int("steady-queries", 1 << 16);
+  const auto seed = static_cast<std::uint64_t>(cl.get_int("seed", 42));
+  bench::warn_unknown_flags(cl);
+
+  serve::Skew skew;
+  std::vector<std::int64_t> batch_sizes;
+  try {
+    skew = serve::parse_skew(skew_str);
+    batch_sizes = parse_batch_sizes(batch_csv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "serving: " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::int64_t n = std::int64_t{1} << scale;
+  const std::int64_t m = n * degree;
+  const EdgeList<NodeID> edges = generate_uniform_edges<NodeID>(n, m, seed);
+  const std::string graph = "serve-urand";
+  const std::string mixed_graph = "serve-urand-mixed";
+  std::cout << "graph=" << graph << " V=" << n << " E=" << m
+            << " read_fraction=" << read_fraction << " skew="
+            << serve::skew_name(skew) << " readers=" << readers << "\n\n";
+
+  // Ratio-mode anchor: serial union-find over the same edge list.  Kept on
+  // the same graph name so bench_compare can normalize serving records
+  // without reference to the fig8a suite.
+  const auto anchor_summary = bench::time_trials(
+      [&] { union_find_cc(edges, n); }, trials);
+  if (json.collect())
+    json.add(graph, "serial-uf", {{"scale", scale}, {"trials", trials}},
+             anchor_summary);
+
+  TextTable table({"batch", "ingest ms", "wall ms", "queries", "kq/s",
+                   "lat p50 us", "lat p95 us", "lat p99 us", "comps"});
+  for (const std::int64_t batch : batch_sizes) {
+    MixConfig cfg;
+    cfg.num_nodes = n;
+    cfg.edge_batch = batch;
+    cfg.query_batch = query_batch;
+    cfg.readers = readers;
+    cfg.read_fraction = read_fraction;
+    cfg.skew = skew;
+    cfg.theta = theta;
+    cfg.seed = seed;
+
+    std::vector<double> ingest_times;
+    std::vector<double> all_latencies;
+    MixResult last;
+    for (int t = 0; t < std::max(1, trials); ++t) {
+      last = run_mixed(edges, cfg);
+      ingest_times.push_back(last.ingest_s);
+      all_latencies.insert(all_latencies.end(),
+                           last.batch_latencies_s.begin(),
+                           last.batch_latencies_s.end());
+      if (last.epoch_violations != 0) {
+        std::cerr << "serving: FATAL: observed " << last.epoch_violations
+                  << " epoch monotonicity violation(s)\n";
+        return 1;
+      }
+    }
+
+    const double qps =
+        last.wall_s > 0 ? static_cast<double>(last.queries) / last.wall_s : 0;
+    table.add_row(
+        {std::to_string(batch), TextTable::fmt(median(ingest_times) * 1e3, 2),
+         TextTable::fmt(last.wall_s * 1e3, 2), std::to_string(last.queries),
+         TextTable::fmt(qps / 1e3, 1),
+         TextTable::fmt(percentile(all_latencies, 50) * 1e6, 1),
+         TextTable::fmt(percentile(all_latencies, 95) * 1e6, 1),
+         TextTable::fmt(percentile(all_latencies, 99) * 1e6, 1),
+         std::to_string(last.components)});
+
+    if (json.collect()) {
+      const std::vector<bench::Param> params = {
+          {"scale", scale},
+          {"trials", trials},
+          {"batch", batch},
+          {"query_batch", query_batch},
+          {"readers", readers},
+          {"read_fraction", read_fraction},
+          {"skew", serve::skew_name(skew)},
+          {"theta", theta}};
+      // One armed pass captures the serving counters (queries served,
+      // snapshot swaps, edges ingested) and the serve.compact phase time;
+      // the timed phases above run with telemetry dark.
+      const telemetry::Report report =
+          bench::measure_counters([&] { run_mixed(edges, cfg); });
+      json.add(mixed_graph, "serve-ingest", params,
+               summarize_trials(ingest_times), report);
+      json.add(mixed_graph, "serve-query", params,
+               summarize_trials(all_latencies), report);
+    }
+  }
+  table.print(std::cout);
+
+  // Steady-state query throughput: one big batch answered against the final
+  // snapshot with no concurrent writer.  Compute-bound, so this is the
+  // anchor-normalized record the perf-smoke gate tracks.
+  if (steady_queries > 0) {
+    serve::QueryEngine<NodeID> engine(n);
+    engine.apply_batch(edges);
+    engine.publish();
+    const serve::KeySampler sampler(
+        skew, static_cast<std::uint64_t>(n), theta);
+    Xoshiro256 rng = Xoshiro256(seed).split(0xBEEF);
+    serve::QueryBatch<NodeID> batch;
+    for (std::int64_t i = 0; i < steady_queries; ++i)
+      batch.add(static_cast<NodeID>(sampler.next(rng)),
+                static_cast<NodeID>(sampler.next(rng)));
+    const TrialSummary steady =
+        bench::time_trials([&] { engine.answer(batch); }, trials);
+    const double mqps = steady.median_s > 0
+                            ? static_cast<double>(steady_queries) /
+                                  steady.median_s / 1e6
+                            : 0;
+    std::cout << "\nsteady-state (no writer): " << steady_queries
+              << " queries in " << TextTable::fmt(steady.median_s * 1e3, 2)
+              << " ms median (" << TextTable::fmt(mqps, 1) << " Mq/s)\n";
+    if (json.collect()) {
+      const telemetry::Report report =
+          bench::measure_counters([&] { engine.answer(batch); });
+      json.add(graph, "serve-query-steady",
+               {{"scale", scale},
+                {"trials", trials},
+                {"steady_queries", steady_queries},
+                {"skew", serve::skew_name(skew)},
+                {"theta", theta}},
+               steady, report);
+    }
+  }
+  std::cout << "\nexpected shape: larger write batches amortize publishes "
+               "(lower ingest time) at the cost of staler snapshots; query "
+               "latency stays flat because reads never block on the "
+               "writer.\n";
+  return 0;
+}

@@ -91,6 +91,9 @@ struct Counters {
   std::uint64_t iterations = 0;        ///< outer fixpoint iterations (SV/LP)
   std::uint64_t sv_hooks_fired = 0;    ///< successful SV hook stores
   std::uint64_t lp_label_updates = 0;  ///< LP label improvements
+  std::uint64_t serve_queries_served = 0;  ///< serving-layer queries answered
+  std::uint64_t serve_snapshot_swaps = 0;  ///< serving-layer snapshot publishes
+  std::uint64_t serve_edges_ingested = 0;  ///< serving-layer edges applied
 };
 
 namespace detail {
@@ -108,6 +111,9 @@ struct alignas(kCacheLineBytes) ThreadCounters {
   std::atomic<std::uint64_t> iterations{0};
   std::atomic<std::uint64_t> sv_hooks_fired{0};
   std::atomic<std::uint64_t> lp_label_updates{0};
+  std::atomic<std::uint64_t> serve_queries_served{0};
+  std::atomic<std::uint64_t> serve_snapshot_swaps{0};
+  std::atomic<std::uint64_t> serve_edges_ingested{0};
 };
 
 struct BlockRegistry {
@@ -190,6 +196,25 @@ inline void add_lp_label_updates(std::uint64_t n) {
   detail::add(detail::local().lp_label_updates, n);
 }
 
+// Serving-layer hooks (src/serve/query_engine.hpp).  Queries are tallied
+// once per answered batch (single-query helpers count 1), so the hot read
+// path pays one relaxed-bool load per batch, not per query.
+
+inline void on_queries_served(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().serve_queries_served, n);
+}
+
+inline void on_snapshot_swap() {
+  if (!enabled()) return;
+  detail::local().serve_snapshot_swaps.fetch_add(1, detail::kRelaxed);
+}
+
+inline void on_edges_ingested(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().serve_edges_ingested, n);
+}
+
 // ---- aggregation ----------------------------------------------------------
 
 /// Sums every thread block.  Safe to call concurrently with running
@@ -214,6 +239,12 @@ inline Counters snapshot() {
     total.iterations += b->iterations.load(detail::kRelaxed);
     total.sv_hooks_fired += b->sv_hooks_fired.load(detail::kRelaxed);
     total.lp_label_updates += b->lp_label_updates.load(detail::kRelaxed);
+    total.serve_queries_served +=
+        b->serve_queries_served.load(detail::kRelaxed);
+    total.serve_snapshot_swaps +=
+        b->serve_snapshot_swaps.load(detail::kRelaxed);
+    total.serve_edges_ingested +=
+        b->serve_edges_ingested.load(detail::kRelaxed);
   }
   return total;
 }
@@ -325,6 +356,9 @@ inline void reset() {
       b->iterations.store(0, detail::kRelaxed);
       b->sv_hooks_fired.store(0, detail::kRelaxed);
       b->lp_label_updates.store(0, detail::kRelaxed);
+      b->serve_queries_served.store(0, detail::kRelaxed);
+      b->serve_snapshot_swaps.store(0, detail::kRelaxed);
+      b->serve_edges_ingested.store(0, detail::kRelaxed);
     }
   }
   detail::PhaseTable& t = detail::phase_table();

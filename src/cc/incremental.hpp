@@ -17,6 +17,7 @@
 
 #include "cc/afforest.hpp"
 #include "cc/common.hpp"
+#include "cc/guards.hpp"
 #include "util/parallel.hpp"
 #include "util/pvector.hpp"
 
@@ -36,8 +37,27 @@ class IncrementalCC {
   void add_edge(NodeID_ u, NodeID_ v) { link(u, v, comp_); }
 
   /// True iff u and v are currently connected.  Read-only traversal.
+  ///
+  /// Linearizable under concurrent add_edge via validated retry (the
+  /// Jayanti–Tarjan sameSet protocol): the naive `root(u) == root(v)`
+  /// comparison can report FALSE for a connected pair when a concurrent
+  /// link hooks u's root after the first walk but before the second — a
+  /// transient that breaks connectivity monotonicity (observed connected,
+  /// then "disconnected").  Here unequal roots only count once ru is
+  /// re-validated as still a root; otherwise a merge raced the walks and
+  /// we retry.  Retries terminate: a failed validation means ru gained a
+  /// parent p < ru (Invariant 1), so successive ru values strictly
+  /// decrease — at most num_nodes() retries, enforced by the guard.
   [[nodiscard]] bool connected(NodeID_ u, NodeID_ v) const {
-    return root(u) == root(v);
+    std::int64_t retries = 0;
+    for (;;) {
+      const NodeID_ ru = root(u);
+      const NodeID_ rv = root(v);
+      if (ru == rv) return true;
+      if (atomic_load(comp_[ru]) == ru) return false;
+      check_convergence_guard("incremental.connected", ++retries,
+                              num_nodes() + 1);
+    }
   }
 
   /// Representative (current root) of v's component.  NOTE: roots are

@@ -1,0 +1,58 @@
+// SoA query batch for the serving layer.
+//
+// Readers amortize snapshot acquisition and the telemetry hook over a whole
+// batch: QueryEngine::answer() pins one snapshot, fills every output column
+// in parallel, and stamps the batch with the snapshot's epoch so callers can
+// reason about which prefix of the update stream their answers reflect.
+//
+// Structure-of-arrays on purpose: the answer loop streams through four dense
+// arrays instead of hopping across an array of structs, the same locality
+// argument the paper makes for label arrays (§IV-A) applied to the query
+// plane.
+#pragma once
+
+#include <cstdint>
+
+#include "util/pvector.hpp"
+
+namespace afforest::serve {
+
+/// A batch of connectivity queries.  Each entry i asks about the pair
+/// (u[i], v[i]); point queries (component_of / component_size) read the
+/// per-u outputs and may pass v == u.  Outputs are (re)sized by
+/// QueryEngine::answer(); input columns are untouched, so a batch can be
+/// re-answered against later snapshots to observe epoch progress.
+template <typename NodeID_ = std::int32_t>
+struct QueryBatch {
+  // inputs
+  pvector<NodeID_> u;
+  pvector<NodeID_> v;
+
+  // outputs, all indexed like u/v
+  pvector<std::uint8_t> connected;      ///< 1 iff u[i] and v[i] share a component
+  pvector<NodeID_> component;           ///< component_of(u[i]) (min vertex id)
+  pvector<std::int64_t> component_size; ///< |component of u[i]|
+
+  /// Epoch of the snapshot that answered this batch; every entry of one
+  /// batch is answered against the same snapshot.
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] std::size_t count() const { return u.size(); }
+  [[nodiscard]] bool empty() const { return u.empty(); }
+
+  void add(NodeID_ uu, NodeID_ vv) {
+    u.push_back(uu);
+    v.push_back(vv);
+  }
+
+  void clear() {
+    u.clear();
+    v.clear();
+    connected.clear();
+    component.clear();
+    component_size.clear();
+    epoch = 0;
+  }
+};
+
+}  // namespace afforest::serve

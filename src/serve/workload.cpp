@@ -1,0 +1,71 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace afforest::serve {
+
+Skew parse_skew(const std::string& name) {
+  if (name == "uniform") return Skew::kUniform;
+  if (name == "zipfian") return Skew::kZipfian;
+  throw std::invalid_argument("unknown skew '" + name +
+                              "' (expected uniform or zipfian)");
+}
+
+const char* skew_name(Skew skew) {
+  switch (skew) {
+    case Skew::kUniform: return "uniform";
+    case Skew::kZipfian: return "zipfian";
+  }
+  return "?";
+}
+
+namespace {
+
+// Generalized harmonic number zeta(n, theta) = sum_{i=1..n} 1 / i^theta.
+// O(n) but runs once per generator; scale-20 setup is a few milliseconds.
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  if (!(theta > 0.0 && theta < 1.0))
+    throw std::invalid_argument("zipfian theta must be in (0, 1)");
+  // Degenerate domains still construct so callers can treat n uniformly;
+  // next() short-circuits for them.
+  const std::uint64_t effective = n_ == 0 ? 1 : n_;
+  zetan_ = zeta(effective, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(effective), 1.0 - theta_)) /
+         (1.0 - zeta(2, theta_) / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfianGenerator::next(Xoshiro256& rng) const {
+  if (n_ <= 1) return 0;
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_theta_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  // Floating-point edge: u -> 1 can land exactly on n_.
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+KeySampler::KeySampler(Skew skew, std::uint64_t n, double theta)
+    : skew_(skew), n_(n), zipf_(n, theta) {}
+
+std::uint64_t KeySampler::next(Xoshiro256& rng) const {
+  if (n_ == 0) return 0;
+  if (skew_ == Skew::kUniform) return rng.next_bounded(n_);
+  return zipf_.next(rng);
+}
+
+}  // namespace afforest::serve

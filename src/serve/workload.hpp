@@ -1,0 +1,79 @@
+// Key-skew models for the serving workload driver.
+//
+// The mixed read/write benchmark (bench/serving.cpp) needs to pick which
+// vertices its queries touch.  Real query traffic is rarely uniform — a few
+// entities are looked up far more often than the rest — so alongside a
+// uniform sampler we provide a Zipfian one, using the classic Gray et al.
+// "Quickly Generating Billion-Record Synthetic Databases" rejection-free
+// method (the same construction YCSB uses).  theta = 0.99 matches the YCSB
+// default and produces the familiar heavy skew.
+//
+// Everything is driven by the repository's deterministic Xoshiro256 RNG so
+// workloads replay bit-for-bit across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace afforest::serve {
+
+/// Which popularity distribution the workload draws keys from.
+enum class Skew {
+  kUniform,  ///< every vertex equally likely
+  kZipfian,  ///< rank-frequency power law (Gray's method, YCSB-style)
+};
+
+/// Parses "uniform" / "zipfian" (case-sensitive, as typed on the CLI).
+/// Throws std::invalid_argument on anything else so benchmark drivers fail
+/// fast instead of silently benchmarking the wrong distribution.
+Skew parse_skew(const std::string& name);
+
+/// Inverse of parse_skew, for banners and JSON params.
+const char* skew_name(Skew skew);
+
+/// Zipfian rank sampler over [0, n): rank 0 is the hottest key, with
+/// P(rank = k) proportional to 1 / (k+1)^theta.  Construction is O(n) (one
+/// pass to compute the generalized harmonic number zeta(n, theta)); each
+/// draw is O(1) with no rejection loop.
+class ZipfianGenerator {
+ public:
+  /// theta must be in (0, 1); 0.99 is the YCSB default.  n == 0 is allowed
+  /// (draws return 0) so empty-graph edge cases don't need special casing
+  /// in callers.
+  explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+  /// Draws a rank in [0, n) (0 when n == 0).
+  std::uint64_t next(Xoshiro256& rng) const;
+
+  [[nodiscard]] std::uint64_t n() const { return n_; }
+  [[nodiscard]] double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;   // zeta(n, theta)
+  double alpha_;   // 1 / (1 - theta)
+  double eta_;     // Gray's eta term
+  double half_pow_theta_;  // pow(0.5, theta), hoisted out of next()
+};
+
+/// Unified draw interface for the benchmark driver: uniform or Zipfian over
+/// the vertex id space [0, n).
+class KeySampler {
+ public:
+  KeySampler(Skew skew, std::uint64_t n, double theta = 0.99);
+
+  /// Next key in [0, n) (0 when n == 0).
+  std::uint64_t next(Xoshiro256& rng) const;
+
+  [[nodiscard]] Skew skew() const { return skew_; }
+
+ private:
+  Skew skew_;
+  std::uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace afforest::serve

@@ -28,7 +28,9 @@ bool counters_all_zero(const telemetry::Counters& c) {
          c.cas_attempts == 0 && c.cas_failures == 0 && c.compress_calls == 0 &&
          c.compress_hops == 0 && c.phase3_vertices_skipped == 0 &&
          c.phase3_edges_skipped == 0 && c.iterations == 0 &&
-         c.sv_hooks_fired == 0 && c.lp_label_updates == 0;
+         c.sv_hooks_fired == 0 && c.lp_label_updates == 0 &&
+         c.serve_queries_served == 0 && c.serve_snapshot_swaps == 0 &&
+         c.serve_edges_ingested == 0;
 }
 
 TEST(Telemetry, DormantByDefaultCountsNothing) {
@@ -120,6 +122,21 @@ TEST(Telemetry, SvAndLpCountersFire) {
     EXPECT_GT(c.iterations, 0u);
     EXPECT_GT(c.lp_label_updates, 0u);
   }
+}
+
+TEST(Telemetry, ServingCountersFireAndAggregate) {
+  if (!telemetry::compiled_in()) GTEST_SKIP() << "telemetry compiled out";
+  const telemetry::ScopedEnable armed;
+  telemetry::on_queries_served(3);
+  telemetry::on_queries_served(2);
+  telemetry::on_snapshot_swap();
+  telemetry::on_edges_ingested(17);
+  const telemetry::Counters c = telemetry::snapshot();
+  EXPECT_EQ(c.serve_queries_served, 5u);
+  EXPECT_EQ(c.serve_snapshot_swaps, 1u);
+  EXPECT_EQ(c.serve_edges_ingested, 17u);
+  telemetry::reset();
+  EXPECT_TRUE(counters_all_zero(telemetry::snapshot()));
 }
 
 TEST(Telemetry, LabelsUnaffectedByArming) {

@@ -90,6 +90,9 @@ TEST(RenderJson, TelemetryReportAddsCountersPhasesAndRss) {
   rec.has_telemetry = true;
   rec.report.counters.link_calls = 7;
   rec.report.counters.cas_failures = 2;
+  rec.report.counters.serve_queries_served = 11;
+  rec.report.counters.serve_snapshot_swaps = 4;
+  rec.report.counters.serve_edges_ingested = 9;
   rec.report.phases.push_back({"afforest.sampling", 0.125, 3});
   rec.report.peak_rss_bytes = 4096;
   const std::string text = bench::render_json("unit", {rec});
@@ -97,6 +100,9 @@ TEST(RenderJson, TelemetryReportAddsCountersPhasesAndRss) {
   EXPECT_NE(text.find("\"counters\":"), std::string::npos);
   EXPECT_NE(text.find("\"link_calls\":7"), std::string::npos);
   EXPECT_NE(text.find("\"cas_failures\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"serve_queries_served\":11"), std::string::npos);
+  EXPECT_NE(text.find("\"serve_snapshot_swaps\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"serve_edges_ingested\":9"), std::string::npos);
   EXPECT_NE(text.find("\"phases\":"), std::string::npos);
   EXPECT_NE(text.find("\"afforest.sampling\""), std::string::npos);
   EXPECT_NE(text.find("\"peak_rss_bytes\":4096"), std::string::npos);

@@ -1,0 +1,109 @@
+// Linearizability-style consistency checks for IncrementalCC: concurrent
+// add_edge and connected() threads.
+//
+// connected() uses validated retry (see incremental.hpp): unequal roots
+// only count as "disconnected" after re-validating that u's root is still
+// a root.  Without that validation the naive two-walk compare can observe
+// a pair connected and LATER report it disconnected when a link lands
+// between the walks — the exact regression these tests pin down.
+//
+// std::thread (not OpenMP) so the TSan preset observes the interleavings
+// (libgomp is not TSan-instrumented; see docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cc/incremental.hpp"
+#include "cc/union_find.hpp"
+#include "graph/generators/uniform.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+
+TEST(IncrementalLinearizability, MonotoneUnderConcurrentAddEdge) {
+  const std::int64_t n = 1 << 9;
+  const auto edges = generate_uniform_edges<NodeID>(n, 4 * n, /*seed=*/29);
+  const int kWriters = 2;
+  const int kReaders = 2;
+
+  IncrementalCC<NodeID> cc(n);
+  std::atomic<int> writers_done{0};
+  std::atomic<int> violations{0};
+
+  // Probe pairs drawn from the edge list — all eventually connected, so
+  // every pair exercises the connected->stays-connected property.
+  std::vector<std::pair<NodeID, NodeID>> probes;
+  {
+    Xoshiro256 rng(77);
+    for (int i = 0; i < 24; ++i) {
+      const auto& e = edges[rng.next_bounded(edges.size())];
+      probes.emplace_back(e.u, e.v);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  const std::size_t per =
+      (edges.size() + static_cast<std::size_t>(kWriters) - 1) /
+      static_cast<std::size_t>(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * per;
+    const std::size_t end = std::min(edges.size(), begin + per);
+    threads.emplace_back([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i)
+        cc.add_edge(edges[i].u, edges[i].v);
+      writers_done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      std::vector<bool> seen(probes.size(), false);
+      bool done = false;
+      while (!done) {
+        done = writers_done.load(std::memory_order_acquire) == kWriters;
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          const bool conn = cc.connected(probes[i].first, probes[i].second);
+          if (seen[i] && !conn) violations.fetch_add(1);
+          if (conn) seen[i] = true;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(violations.load(), 0)
+      << "connected() reported a previously-connected pair disconnected";
+
+  // Final-state agreement with the serial union-find oracle.
+  const auto truth = union_find_cc(edges, n);
+  const auto labels = cc.labels();
+  ASSERT_EQ(labels.size(), truth.size());
+  for (std::int64_t v = 0; v < n; ++v)
+    ASSERT_EQ(labels[v], truth[v]) << "vertex " << v;
+
+  // Every probe was an edge, so all must be connected at the end.
+  for (const auto& [u, v] : probes) EXPECT_TRUE(cc.connected(u, v));
+}
+
+TEST(IncrementalLinearizability, SerialSemanticsUnchanged) {
+  // The validated-retry rewrite must not change single-threaded behavior.
+  IncrementalCC<NodeID> cc(5);
+  EXPECT_FALSE(cc.connected(0, 4));
+  EXPECT_TRUE(cc.connected(2, 2));
+  cc.add_edge(0, 1);
+  cc.add_edge(1, 4);
+  EXPECT_TRUE(cc.connected(0, 4));
+  EXPECT_FALSE(cc.connected(0, 3));
+  cc.compact();
+  EXPECT_TRUE(cc.connected(4, 0));
+  EXPECT_EQ(cc.component_count(), 3);
+}
+
+}  // namespace
+}  // namespace afforest

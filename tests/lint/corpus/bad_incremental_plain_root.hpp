@@ -1,0 +1,57 @@
+// Fixture: rule L1 (afforest-plain-shared-access) — the incremental-CC
+// audit pattern (PR 5 satellite).  A root() walk over a label array that a
+// concurrent add_edge mutates must read through atomic_load: a plain load
+// can tear or be hoisted, and the resulting stale root breaks the
+// connectivity-monotonicity guarantee the serving layer documents.  The
+// fixture pins both directions: the plain walk is flagged, the atomic
+// validated-retry walk (what src/cc/incremental.hpp actually ships) is
+// clean.
+#pragma once
+
+#include <cstdint>
+
+namespace afforest {
+
+// The buggy shape: plain subscripts of the shared label array inside a
+// function called from query threads.
+// lint: parallel-context
+template <typename NodeID_>
+NodeID_ plain_root_walk(NodeID_ v, pvector<NodeID_>& comp) {
+  NodeID_ x = comp[v];  // BAD(afforest-plain-shared-access)
+  while (x != comp[x])  // BAD(afforest-plain-shared-access)
+    x = comp[x];  // BAD(afforest-plain-shared-access)
+  return x;
+}
+
+// The buggy shape, query flavor: two plain-walk roots compared without
+// re-validation.
+// lint: parallel-context
+template <typename NodeID_>
+bool plain_connected(NodeID_ u, NodeID_ v, pvector<NodeID_>& comp) {
+  return comp[u] == comp[v];  // BAD(afforest-plain-shared-access)
+}
+
+// The shipped shape: every shared read through atomic_load.  (Bounded
+// retry/validation logic is orthogonal to the access rule and lives in
+// cc/incremental.hpp.)
+// lint: parallel-context
+template <typename NodeID_>
+NodeID_ atomic_root_walk(NodeID_ v, pvector<NodeID_>& comp) {
+  NodeID_ x = atomic_load(comp[v]);
+  while (atomic_load(comp[x]) != x) x = atomic_load(comp[x]);
+  return x;
+}
+
+// lint: parallel-context
+template <typename NodeID_>
+bool atomic_validated_connected(NodeID_ u, NodeID_ v,
+                                pvector<NodeID_>& comp) {
+  for (;;) {
+    const NodeID_ ru = atomic_root_walk(u, comp);
+    const NodeID_ rv = atomic_root_walk(v, comp);
+    if (ru == rv) return true;
+    if (atomic_load(comp[ru]) == ru) return false;
+  }
+}
+
+}  // namespace afforest

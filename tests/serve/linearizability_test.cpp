@@ -1,0 +1,222 @@
+// Linearizability-style consistency checks for the QueryEngine under a
+// real concurrent writer: one std::thread streams edge batches
+// (apply_batch + publish) while reader threads issue point queries and
+// query batches.  The properties asserted are the ones docs/SERVING.md
+// promises:
+//
+//   * snapshot exactness — a batch stamped with epoch e answers every
+//     probe exactly as a serial replay of the first e-1 published edge
+//     batches would (precomputed per-probe first-connected epochs).  This
+//     subsumes connectivity monotonicity (components only merge — Lemma
+//     4's grow-only forest) and catches BOTH failure modes of an
+//     unsynchronized in-place live read: seeing applied-but-unpublished
+//     edges (answers ahead of the stamped epoch) and torn reads during
+//     compaction (connected pairs transiently answered disconnected);
+//   * epoch monotonicity — the epochs stamped onto a reader's successive
+//     batches never decrease;
+//   * final-state agreement — after the writer drains, the engine's labels
+//     equal a serial union-find oracle over the full edge list.
+//
+// The writer paces itself against the reader pool (at least one answered
+// reader batch per published epoch) and yields between apply_batch and
+// publish, so reads genuinely overlap the applied-but-unpublished window
+// even on a single-core host.
+//
+// std::thread (not OpenMP) on purpose: gcc's libgomp is not
+// TSan-instrumented, so these threads are the ones the TSan preset can
+// actually observe (same reasoning as tests/fuzz/schedule_stress_test.cpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cc/incremental.hpp"
+#include "cc/union_find.hpp"
+#include "graph/generators/uniform.hpp"
+#include "serve/query_batch.hpp"
+#include "serve/query_engine.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+using Engine = serve::QueryEngine<NodeID>;
+
+struct Probe {
+  NodeID u;
+  NodeID v;
+};
+
+/// Probe pairs drawn from the edge list (guaranteed to connect eventually)
+/// plus random pairs (may or may not connect).
+std::vector<Probe> make_probes(const EdgeList<NodeID>& edges, std::int64_t n,
+                               std::size_t count, std::uint64_t seed) {
+  std::vector<Probe> probes;
+  probes.reserve(count);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i % 2 == 0 && !edges.empty()) {
+      const auto& e = edges[rng.next_bounded(edges.size())];
+      probes.push_back({e.u, e.v});
+    } else {
+      probes.push_back(
+          {static_cast<NodeID>(rng.next_bounded(
+               static_cast<std::uint64_t>(n))),
+           static_cast<NodeID>(rng.next_bounded(
+               static_cast<std::uint64_t>(n)))});
+    }
+  }
+  return probes;
+}
+
+TEST(ServeLinearizability, MonotoneUnderConcurrentWriter) {
+  const std::int64_t n = 1 << 9;
+  const auto edges = generate_uniform_edges<NodeID>(n, 4 * n, /*seed=*/11);
+  const std::size_t batch_size = 64;
+  const int kReaders = 3;
+  const auto probes = make_probes(edges, n, 32, /*seed=*/5);
+
+  // Ground truth: the epoch at which each probe first becomes connected
+  // (0 = never), from a serial replay of the exact publish cadence.  The
+  // engine starts published at epoch 1 (empty graph); the publish after
+  // batch k advances it to k + 2.
+  std::vector<std::uint64_t> first_epoch(probes.size(), 0);
+  {
+    IncrementalCC<NodeID> replay(n);
+    std::uint64_t epoch = 1;
+    const auto record = [&] {
+      for (std::size_t i = 0; i < probes.size(); ++i)
+        if (first_epoch[i] == 0 && replay.connected(probes[i].u, probes[i].v))
+          first_epoch[i] = epoch;
+    };
+    record();
+    for (std::size_t start = 0; start < edges.size(); start += batch_size) {
+      const std::size_t stop = std::min(start + batch_size, edges.size());
+      for (std::size_t e = start; e < stop; ++e)
+        replay.add_edge(edges[e].u, edges[e].v);
+      ++epoch;
+      record();
+    }
+  }
+
+  Engine engine(n);
+  std::atomic<bool> writer_done{false};
+  std::atomic<std::uint64_t> reader_batches{0};
+  std::atomic<int> violations{0};
+  std::atomic<int> epoch_regressions{0};
+
+  std::thread writer([&] {
+    std::uint64_t k = 0;
+    for (std::size_t start = 0; start < edges.size(); start += batch_size) {
+      // Pace against the reader pool so every epoch overlaps live reads.
+      while (reader_batches.load(std::memory_order_acquire) < k)
+        std::this_thread::yield();
+      engine.apply_batch(edges.data() + start,
+                         std::min(batch_size, edges.size() - start));
+      std::this_thread::yield();  // widen the applied-but-unpublished window
+      engine.publish();
+      ++k;
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      // Readers keep polling until they have seen the writer finish AND
+      // observed one post-completion epoch.
+      std::uint64_t last_epoch = 0;
+      serve::QueryBatch<NodeID> batch;
+      bool saw_final_epoch = false;
+      while (!saw_final_epoch) {
+        const bool done_before =
+            writer_done.load(std::memory_order_acquire);
+        batch.clear();
+        for (const Probe& p : probes) batch.add(p.u, p.v);
+        engine.answer(batch);
+        reader_batches.fetch_add(1, std::memory_order_release);
+        if (batch.epoch < last_epoch) epoch_regressions.fetch_add(1);
+        last_epoch = batch.epoch;
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          const bool expect =
+              first_epoch[i] != 0 && first_epoch[i] <= batch.epoch;
+          if (static_cast<bool>(batch.connected[i]) != expect)
+            violations.fetch_add(1);
+        }
+        if (done_before) saw_final_epoch = true;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(violations.load(), 0)
+      << "a batch's answers disagreed with the serial replay of the "
+         "edge-batch prefix its stamped epoch promises";
+  EXPECT_EQ(epoch_regressions.load(), 0);
+
+  // Final-state agreement with the serial oracle.
+  const auto truth = union_find_cc(edges, n);
+  const auto labels = engine.labels();
+  ASSERT_EQ(labels.size(), truth.size());
+  for (std::int64_t v = 0; v < n; ++v)
+    ASSERT_EQ(labels[v], truth[v]) << "vertex " << v;
+}
+
+TEST(ServeLinearizability, PointQueriesMonotoneUnderWriter) {
+  // Same shape but through the single-query path (connected()), which pins
+  // a fresh snapshot per call — the interleaving the double-buffer
+  // re-check protocol has to survive.
+  const std::int64_t n = 1 << 8;
+  const auto edges = generate_uniform_edges<NodeID>(n, 3 * n, /*seed=*/23);
+  Engine engine(n);
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> violations{0};
+
+  // Probe pairs from the edge list: they all connect eventually.
+  const auto probes = make_probes(edges, n, 16, /*seed=*/3);
+
+  std::thread writer([&] {
+    const std::size_t batch_size = 32;
+    for (std::size_t start = 0; start < edges.size(); start += batch_size) {
+      engine.apply_batch(edges.data() + start,
+                         std::min(batch_size, edges.size() - start));
+      engine.publish();
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      std::vector<bool> seen_connected(probes.size(), false);
+      bool done = false;
+      while (!done) {
+        done = writer_done.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+          const bool conn = engine.connected(probes[i].u, probes[i].v);
+          if (seen_connected[i] && !conn) violations.fetch_add(1);
+          if (conn) seen_connected[i] = true;
+        }
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Final answers agree with the serial oracle for every probe.
+  const auto truth = union_find_cc(edges, n);
+  for (const auto& p : probes)
+    EXPECT_EQ(engine.connected(p.u, p.v), truth[p.u] == truth[p.v]);
+}
+
+}  // namespace
+}  // namespace afforest

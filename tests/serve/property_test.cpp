@@ -1,0 +1,180 @@
+// Property and edge-case tests for the serving layer: degenerate graph
+// sizes, degenerate edges (self-loops, duplicates), queries racing an
+// empty batch, and the component_size bookkeeping invariants that must
+// survive compaction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cc/union_find.hpp"
+#include "graph/generators/uniform.hpp"
+#include "serve/query_batch.hpp"
+#include "serve/query_engine.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+using Engine = serve::QueryEngine<NodeID>;
+
+TEST(ServeProperty, EmptyGraph) {
+  Engine engine(0);
+  EXPECT_EQ(engine.num_nodes(), 0);
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_EQ(engine.component_count(), 0);
+
+  serve::QueryBatch<NodeID> batch;  // no queries to ask, but must not crash
+  engine.answer(batch);
+  EXPECT_EQ(batch.epoch, 1u);
+
+  EdgeList<NodeID> none;
+  engine.apply_batch(none);
+  engine.publish();
+  EXPECT_EQ(engine.epoch(), 2u);
+  // Any vertex id at all is out of range.
+  EXPECT_THROW((void)engine.component_of(0), std::out_of_range);
+}
+
+TEST(ServeProperty, SingleVertexGraph) {
+  Engine engine(1);
+  EXPECT_TRUE(engine.connected(0, 0));
+  EXPECT_EQ(engine.component_of(0), 0);
+  EXPECT_EQ(engine.component_size(0), 1);
+  EXPECT_EQ(engine.component_count(), 1);
+
+  // A self-loop is the only legal edge; it must be a no-op.
+  EdgeList<NodeID> loop;
+  loop.push_back({0, 0});
+  engine.apply_and_publish(loop);
+  EXPECT_EQ(engine.component_count(), 1);
+  EXPECT_EQ(engine.component_size(0), 1);
+}
+
+TEST(ServeProperty, SelfLoopsAreNoOps) {
+  Engine engine(4);
+  EdgeList<NodeID> batch;
+  for (NodeID v = 0; v < 4; ++v) batch.push_back({v, v});
+  engine.apply_and_publish(batch);
+  EXPECT_EQ(engine.component_count(), 4);
+  for (NodeID v = 0; v < 4; ++v) EXPECT_EQ(engine.component_size(v), 1);
+}
+
+TEST(ServeProperty, DuplicateEdgesInOneBatch) {
+  // link() applies each edge independently and idempotently (§III-B), so a
+  // batch that repeats the same edge — including both orientations — must
+  // produce the same partition as the deduplicated batch.
+  Engine engine(4);
+  EdgeList<NodeID> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back({1, 2});
+  for (int i = 0; i < 8; ++i) batch.push_back({2, 1});
+  engine.apply_and_publish(batch);
+  EXPECT_EQ(engine.component_count(), 3);
+  EXPECT_TRUE(engine.connected(1, 2));
+  EXPECT_EQ(engine.component_of(2), 1);
+  EXPECT_EQ(engine.component_size(1), 2);
+  EXPECT_EQ(engine.component_size(0), 1);
+}
+
+TEST(ServeProperty, QueriesRacingEmptyBatches) {
+  // An empty batch still turns the epoch over; concurrent readers must see
+  // identical answers across those no-op publishes.
+  const std::int64_t n = 64;
+  const auto edges = generate_uniform_edges<NodeID>(n, 2 * n, /*seed=*/3);
+  Engine engine(n);
+  engine.apply_and_publish(edges);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> mismatches{0};
+  const auto expected = engine.labels();
+
+  std::thread writer([&] {
+    EdgeList<NodeID> empty;
+    for (int i = 0; i < 200; ++i) {
+      engine.apply_batch(empty);
+      engine.publish();
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    serve::QueryBatch<NodeID> batch;
+    while (!stop.load(std::memory_order_acquire)) {
+      batch.clear();
+      for (NodeID v = 0; v < n; ++v)
+        batch.add(v, static_cast<NodeID>((v + 1) % n));
+      engine.answer(batch);
+      for (NodeID v = 0; v < n; ++v) {
+        const bool want =
+            expected[v] == expected[(v + 1) % n];
+        if (static_cast<bool>(batch.connected[v]) != want)
+          mismatches.fetch_add(1);
+      }
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(mismatches.load(), 0)
+      << "no-op publishes changed query answers";
+}
+
+TEST(ServeProperty, ComponentSizesConsistentAfterCompaction) {
+  const std::int64_t n = 1 << 10;
+  const auto edges = generate_uniform_edges<NodeID>(n, 2 * n, /*seed=*/17);
+  Engine engine(n);
+  const std::size_t batch = 100;
+  for (std::size_t start = 0; start < edges.size(); start += batch) {
+    engine.apply_batch(edges.data() + start,
+                       std::min(batch, edges.size() - start));
+    engine.publish();
+
+    // Invariants at EVERY epoch, not just the final one:
+    //   * sizes partition the vertex set (sum over components == n);
+    //   * each vertex's component_size matches the label histogram.
+    const auto view = engine.acquire();
+    const auto labels = engine.labels();
+    std::vector<std::int64_t> histogram(static_cast<std::size_t>(n), 0);
+    for (std::int64_t v = 0; v < n; ++v)
+      ++histogram[static_cast<std::size_t>(labels[v])];
+    std::int64_t total = 0;
+    for (std::int64_t v = 0; v < n; ++v) {
+      const auto size = view.component_size(static_cast<NodeID>(v));
+      ASSERT_EQ(size, histogram[static_cast<std::size_t>(labels[v])])
+          << "vertex " << v;
+      if (labels[v] == static_cast<NodeID>(v)) total += size;
+    }
+    ASSERT_EQ(total, n) << "component sizes do not partition the graph";
+  }
+
+  // And the final partition matches the oracle.
+  const auto truth = union_find_cc(edges, n);
+  const auto labels = engine.labels();
+  for (std::int64_t v = 0; v < n; ++v) ASSERT_EQ(labels[v], truth[v]);
+}
+
+TEST(ServeProperty, RepublishIsStable) {
+  // publish() with no intervening writes must be idempotent on the
+  // partition: same labels, same sizes, epoch strictly advancing.
+  const std::int64_t n = 128;
+  const auto edges = generate_uniform_edges<NodeID>(n, 2 * n, /*seed=*/9);
+  Engine engine(n);
+  engine.apply_and_publish(edges);
+  const auto before = engine.labels();
+  const auto epoch_before = engine.epoch();
+
+  engine.publish();
+  engine.publish();
+
+  const auto after = engine.labels();
+  EXPECT_EQ(engine.epoch(), epoch_before + 2);
+  for (std::int64_t v = 0; v < n; ++v) ASSERT_EQ(after[v], before[v]);
+  for (std::int64_t v = 0; v < n; ++v)
+    ASSERT_EQ(engine.component_size(static_cast<NodeID>(v)),
+              engine.component_size(before[v]));
+}
+
+}  // namespace
+}  // namespace afforest
