@@ -1,0 +1,75 @@
+// Standalone demo of the decremental serving layer: pushes a uniform-random
+// edge stream through a sliding window (WindowedStream over DynamicCC) and
+// prints, per tick, how the published snapshot evolves and how the expired
+// batch's deletions were classified (certified-free vs tree cuts vs
+// rebuilds), then drains the window to an empty graph.
+//
+// This is the smallest end-to-end tour of the decremental path — the
+// benchmark driver (bench/streaming) is the instrumented version with the
+// perf-gated delete-free pass.  See docs/STREAMING.md.
+#include <cstdint>
+#include <iostream>
+
+#include "graph/generators/uniform.hpp"
+#include "serve/dynamic_cc.hpp"
+#include "serve/windowed_stream.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  using NodeID = std::int32_t;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count (default 12)");
+  cl.describe("degree", "average degree of the streamed graph (default 4)");
+  cl.describe("batch", "edges pushed per tick (default 1024)");
+  cl.describe("window", "resident batches in the window (default 4)");
+  cl.describe("seed", "edge-stream RNG seed (default 42)");
+  if (cl.help_requested()) {
+    cl.print_help("stream: sliding-window decremental connectivity demo");
+    return 0;
+  }
+  const int scale = static_cast<int>(cl.get_int("scale", 12));
+  const int degree = static_cast<int>(cl.get_int("degree", 4));
+  const std::int64_t batch = cl.get_int("batch", 1024);
+  const std::int64_t window = cl.get_int("window", 4);
+  const auto seed = static_cast<std::uint64_t>(cl.get_int("seed", 42));
+  for (const auto& f : cl.unknown_flags())
+    std::cerr << "warning: unknown flag --" << f << " ignored\n";
+  if (batch <= 0 || window <= 0) {
+    std::cerr << "stream: --batch and --window must be positive\n";
+    return 2;
+  }
+
+  const std::int64_t n = std::int64_t{1} << scale;
+  const std::int64_t m = n * degree;
+  const auto edges = generate_uniform_edges<NodeID>(n, m, seed);
+  serve::DynamicCC<NodeID> engine(n);
+  serve::WindowedStream<NodeID> stream(engine,
+                                       static_cast<std::size_t>(window));
+
+  std::cout << "streaming " << m << " edges over " << n << " vertices, "
+            << batch << " per tick, window of " << window << " batches\n";
+  for (std::int64_t start = 0; start < m; start += batch) {
+    const auto count = static_cast<std::size_t>(std::min(batch, m - start));
+    EdgeList<NodeID> tick;
+    for (std::size_t i = 0; i < count; ++i)
+      tick.push_back(edges[static_cast<std::size_t>(start) + i]);
+    const auto expired = stream.push(std::move(tick));
+    const auto view = engine.acquire();
+    std::cout << "epoch " << view.epoch() << ": resident "
+              << stream.resident_batches() << "/" << window << ", edges "
+              << engine.num_edges() << " (" << engine.num_tree_edges()
+              << " tree), components " << view.component_count();
+    if (expired.requested != 0)
+      std::cout << " | expired: " << serve::delete_stats_summary(expired);
+    std::cout << "\n";
+  }
+
+  std::cout << "\ndraining the window...\n";
+  const auto drained = stream.drain();
+  std::cout << "drained: " << serve::delete_stats_summary(drained) << "\n"
+            << "final: edges " << engine.num_edges() << ", components "
+            << engine.component_count() << " (epoch " << engine.epoch()
+            << ")\n";
+  return engine.num_edges() == 0 ? 0 : 1;
+}

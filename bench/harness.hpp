@@ -212,6 +212,9 @@ inline std::string render_json(const std::string& experiment,
       w.key("serve_queries_served").value(c.serve_queries_served);
       w.key("serve_snapshot_swaps").value(c.serve_snapshot_swaps);
       w.key("serve_edges_ingested").value(c.serve_edges_ingested);
+      w.key("dynamic_deletes_free").value(c.dynamic_deletes_free);
+      w.key("dynamic_rebuilds").value(c.dynamic_rebuilds);
+      w.key("dynamic_rebuild_vertices").value(c.dynamic_rebuild_vertices);
       w.end_object();
       w.key("phases").begin_array();
       for (const telemetry::PhaseSample& ph : r.report.phases) {

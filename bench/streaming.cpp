@@ -1,0 +1,234 @@
+// Streaming decremental workload over src/serve's DynamicCC: batched
+// deletions and sliding-window expiry (docs/STREAMING.md).
+//
+// Three phases on a uniform-random stream:
+//
+//   1. ingest — insert the full edge list in batches (forest maintained);
+//   2. delete-free — delete every surviving NON-TREE edge, then re-insert
+//      it, per trial.  By the spanning-forest certificate these deletions
+//      are all O(1)-free and the rebuild path must NEVER fire: the binary
+//      exits nonzero if dynamic_rebuilds != 0 here, and the JSON record's
+//      counter is asserted again by scripts/perf_smoke.sh.  Compute-bound
+//      and steady-state (the delete+reinsert cycle restores the graph), so
+//      this is the anchor-normalized record the perf-smoke gate tracks;
+//   3. window — a WindowedStream pushes batches through a W-batch window
+//      (expiry = deletion, tree cuts and rebuilds included) and then drains
+//      to empty.  Scheduler- and shape-sensitive, so its records ride along
+//      as unanchored notes with the full dynamic_* counter set attached.
+//
+// With --json the run emits afforest-bench-1 records in two groups:
+//   * graph "stream-urand" — "serial-uf" anchor + "stream-delete-free"
+//     (gated; counters must show dynamic_rebuilds == 0);
+//   * graph "stream-urand-window" — "stream-window-tick" and
+//     "stream-window-drain" notes.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "cc/union_find.hpp"
+#include "graph/generators/uniform.hpp"
+#include "serve/dynamic_cc.hpp"
+#include "serve/windowed_stream.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using afforest::EdgeList;
+using afforest::Timer;
+using NodeID = std::int32_t;
+using Engine = afforest::serve::DynamicCC<NodeID>;
+
+/// Slices `edges` into consecutive batches of `batch` edges.
+std::vector<EdgeList<NodeID>> slice_batches(const EdgeList<NodeID>& edges,
+                                            std::size_t batch) {
+  std::vector<EdgeList<NodeID>> out;
+  for (std::size_t start = 0; start < edges.size(); start += batch) {
+    EdgeList<NodeID> b;
+    for (std::size_t i = start; i < std::min(edges.size(), start + batch); ++i)
+      b.push_back(edges[i]);
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace afforest;
+  CommandLine cl(argc, argv);
+  cl.describe("scale", "log2 of vertex count (default 14)");
+  cl.describe("trials", "repetitions per phase (default 3)");
+  cl.describe("degree", "average degree of the streamed graph (default 8)");
+  cl.describe("batch", "edges per stream batch (default 1024)");
+  cl.describe("window", "resident batches in the sliding window (default 4)");
+  cl.describe("seed", "stream RNG seed (default 42)");
+  bench::JsonReporter json(cl, "streaming");
+  if (!bench::standard_preamble(
+          cl, "Streaming: batched deletions + sliding-window expiry"))
+    return 0;
+  const int scale = static_cast<int>(cl.get_int("scale", 14));
+  const int trials = static_cast<int>(cl.get_int("trials", 3));
+  const int degree = static_cast<int>(cl.get_int("degree", 8));
+  const std::int64_t batch = cl.get_int("batch", 1024);
+  const std::int64_t window = cl.get_int("window", 4);
+  const auto seed = static_cast<std::uint64_t>(cl.get_int("seed", 42));
+  bench::warn_unknown_flags(cl);
+  if (batch <= 0 || window <= 0) {
+    std::cerr << "streaming: --batch and --window must be positive\n";
+    return 2;
+  }
+
+  const std::int64_t n = std::int64_t{1} << scale;
+  const std::int64_t m = n * degree;
+  const EdgeList<NodeID> edges = generate_uniform_edges<NodeID>(n, m, seed);
+  const std::string graph = "stream-urand";
+  const std::string window_graph = "stream-urand-window";
+  std::cout << "graph=" << graph << " V=" << n << " E=" << m
+            << " batch=" << batch << " window=" << window << "\n\n";
+
+  // Ratio-mode anchor: serial union-find over the same edge list.
+  const auto anchor_summary =
+      bench::time_trials([&] { union_find_cc(edges, n); }, trials);
+  if (json.collect())
+    json.add(graph, "serial-uf", {{"scale", scale}, {"trials", trials}},
+             anchor_summary);
+
+  // ---- phase 1: ingest (forest maintenance included) ----------------------
+  Engine engine(n);
+  Timer ingest;
+  ingest.start();
+  serve::InsertStats ins_total;
+  for (std::size_t start = 0; start < edges.size();
+       start += static_cast<std::size_t>(batch)) {
+    const auto count = std::min(static_cast<std::size_t>(batch),
+                                edges.size() - start);
+    const auto s = engine.apply_inserts(edges.data() + start, count);
+    ins_total.requested += s.requested;
+    ins_total.duplicates += s.duplicates;
+    ins_total.self_loops += s.self_loops;
+    ins_total.tree_edges += s.tree_edges;
+    engine.publish();
+  }
+  ingest.stop();
+  std::cout << "ingest: " << m << " edges in "
+            << TextTable::fmt(ingest.seconds() * 1e3, 2) << " ms ("
+            << ins_total.tree_edges << " tree, "
+            << engine.num_edges() - engine.num_tree_edges()
+            << " non-tree surviving)\n";
+
+  // ---- phase 2: delete-free (gated; rebuilds MUST stay 0) -----------------
+  const EdgeList<NodeID> free_edges = engine.non_tree_edges();
+  serve::DeleteStats free_stats;
+  const auto delete_free_cycle = [&] {
+    free_stats = engine.apply_deletes(free_edges);
+    engine.apply_inserts(free_edges);  // restore for the next trial
+  };
+  const TrialSummary free_summary =
+      bench::time_trials(delete_free_cycle, trials);
+  std::cout << "delete-free: " << free_edges.size()
+            << " non-tree deletions (+reinsert) in "
+            << TextTable::fmt(free_summary.median_s * 1e3, 2)
+            << " ms median — " << serve::delete_stats_summary(free_stats)
+            << "\n";
+  if (free_stats.rebuild_components != 0 || free_stats.cut_tree_edges != 0) {
+    std::cerr << "streaming: FATAL: non-tree deletions triggered "
+              << free_stats.rebuild_components << " rebuild(s) / "
+              << free_stats.cut_tree_edges
+              << " tree cut(s); the certification is broken\n";
+    return 1;
+  }
+  if (json.collect()) {
+    const telemetry::Report report =
+        bench::measure_counters(delete_free_cycle);
+    if (report.counters.dynamic_rebuilds != 0) {
+      std::cerr << "streaming: FATAL: telemetry counted "
+                << report.counters.dynamic_rebuilds
+                << " rebuild(s) on the delete-free pass\n";
+      return 1;
+    }
+    json.add(graph, "stream-delete-free",
+             {{"scale", scale},
+              {"trials", trials},
+              {"batch", batch},
+              {"free_edges", static_cast<std::int64_t>(free_edges.size())}},
+             free_summary, report);
+  }
+
+  // ---- phase 3: sliding window (expiry = deletion, rebuilds expected) -----
+  const auto batches = slice_batches(edges, static_cast<std::size_t>(batch));
+  const auto run_window = [&](std::vector<double>* tick_samples,
+                              serve::DeleteStats* expired_total,
+                              double* drain_seconds) {
+    Engine w_engine(n);
+    serve::WindowedStream<NodeID> stream(
+        w_engine, static_cast<std::size_t>(window));
+    for (const auto& b : batches) {
+      Timer t;
+      t.start();
+      const auto expired = stream.push(b.clone());
+      t.stop();
+      if (tick_samples != nullptr) tick_samples->push_back(t.seconds());
+      if (expired_total != nullptr) *expired_total += expired;
+    }
+    Timer d;
+    d.start();
+    const auto drained = stream.drain();
+    d.stop();
+    if (expired_total != nullptr) *expired_total += drained;
+    if (drain_seconds != nullptr) *drain_seconds = d.seconds();
+    return w_engine.num_edges();
+  };
+
+  std::vector<double> tick_samples;
+  std::vector<double> drain_samples;
+  serve::DeleteStats expired_total;
+  std::int64_t leftover = 0;
+  for (int t = 0; t < std::max(1, trials); ++t) {
+    double drain_s = 0;
+    leftover = run_window(&tick_samples, t == 0 ? &expired_total : nullptr,
+                          &drain_s);
+    drain_samples.push_back(drain_s);
+  }
+  if (leftover != 0) {
+    std::cerr << "streaming: FATAL: " << leftover
+              << " edge(s) survived a full drain\n";
+    return 1;
+  }
+  TextTable table({"ticks", "tick p50 ms", "tick p95 ms", "drain ms",
+                   "freed", "cut", "rebuilds", "rebuilt verts"});
+  table.add_row({std::to_string(batches.size()),
+                 TextTable::fmt(percentile(tick_samples, 50) * 1e3, 3),
+                 TextTable::fmt(percentile(tick_samples, 95) * 1e3, 3),
+                 TextTable::fmt(median(drain_samples) * 1e3, 2),
+                 std::to_string(expired_total.freed),
+                 std::to_string(expired_total.cut_tree_edges),
+                 std::to_string(expired_total.rebuild_components),
+                 std::to_string(expired_total.rebuild_vertices)});
+  table.print(std::cout);
+
+  if (json.collect()) {
+    const telemetry::Report report = bench::measure_counters(
+        [&] { run_window(nullptr, nullptr, nullptr); });
+    const std::vector<bench::Param> params = {
+        {"scale", scale},
+        {"trials", trials},
+        {"batch", batch},
+        {"window", window},
+        {"ticks", static_cast<std::int64_t>(batches.size())}};
+    json.add(window_graph, "stream-window-tick", params,
+             summarize_trials(tick_samples), report);
+    json.add(window_graph, "stream-window-drain", params,
+             summarize_trials(drain_samples), report);
+  }
+
+  std::cout << "\nexpected shape: non-tree deletions are O(1)-certified "
+               "(rebuilds = 0 on the delete-free pass); window expiry pays "
+               "for rebuilds only when a cut tree edge actually splits a "
+               "component.\n";
+  return 0;
+}

@@ -54,9 +54,21 @@ SERVE_READ_FRACTION=0.9
 SERVE_SKEW=zipfian
 SERVE_STEADY=1048576
 
+# Streaming (decremental) suite.  The gated record is the compute-bound
+# delete-free pass on graph "stream-urand" (own serial-uf anchor): every
+# deletion there is a certified-free non-tree edge, so the bench itself
+# exits nonzero — failing this gate — if the rebuild counter moves.  The
+# sliding-window records land on the anchor-less "stream-urand-window"
+# graph and ride along as notes (rebuild cost depends on window shape).
+STREAM_SCALE=16
+STREAM_TRIALS=5
+STREAM_BATCH=4096
+STREAM_WINDOW=4
+
 BIN="${BUILD_DIR}/bench/bench_fig8a_performance"
 SERVE_BIN="${BUILD_DIR}/bench/bench_serving"
-for bin in "$BIN" "$SERVE_BIN"; do
+STREAM_BIN="${BUILD_DIR}/bench/bench_streaming"
+for bin in "$BIN" "$SERVE_BIN" "$STREAM_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "perf_smoke: $bin not built (cmake --build $BUILD_DIR --target $(basename "$bin"))" >&2
     exit 2
@@ -87,19 +99,34 @@ run_suite() {
     --read-fraction "$SERVE_READ_FRACTION" --skew "$SERVE_SKEW" \
     --steady-queries "$SERVE_STEADY" \
     --json "$1.serving" >/dev/null
+  echo "perf_smoke: running pinned streaming suite (scale=$STREAM_SCALE trials=$STREAM_TRIALS window=$STREAM_WINDOW)"
+  # bench_streaming exits nonzero on its own if the delete-free pass ever
+  # triggers a rebuild — that correctness gate rides inside the perf gate.
+  OMP_NUM_THREADS="$THREADS" "$STREAM_BIN" \
+    --scale "$STREAM_SCALE" --trials "$STREAM_TRIALS" \
+    --batch "$STREAM_BATCH" --window "$STREAM_WINDOW" \
+    --json "$1.streaming" >/dev/null
   # Merge into one afforest-bench-1 document: host/build metadata from the
   # fig8a run (same binary toolchain), records concatenated.
-  python3 - "$1.fig8a" "$1.serving" "$1" <<'PY'
+  python3 - "$1.fig8a" "$1.serving" "$1.streaming" "$1" <<'PY'
 import json, sys
 fig8a = json.load(open(sys.argv[1]))
-serving = json.load(open(sys.argv[2]))
 fig8a["experiment"] = "perf-smoke"
-fig8a["records"].extend(serving["records"])
-with open(sys.argv[3], "w") as f:
+for extra in sys.argv[2:-1]:
+    fig8a["records"].extend(json.load(open(extra))["records"])
+# Belt and braces: the gated streaming record must prove the delete-free
+# pass stayed rebuild-free (the bench also enforces this at runtime).
+for rec in fig8a["records"]:
+    if rec["algorithm"] == "stream-delete-free":
+        rebuilds = rec.get("counters", {}).get("dynamic_rebuilds", 0)
+        if rebuilds != 0:
+            sys.exit(f"perf_smoke: stream-delete-free record reports "
+                     f"{rebuilds} rebuild(s); certification broken")
+with open(sys.argv[-1], "w") as f:
     json.dump(fig8a, f, indent=1)
     f.write("\n")
 PY
-  rm -f "$1.fig8a" "$1.serving"
+  rm -f "$1.fig8a" "$1.serving" "$1.streaming"
 }
 
 compare() {

@@ -94,6 +94,9 @@ struct Counters {
   std::uint64_t serve_queries_served = 0;  ///< serving-layer queries answered
   std::uint64_t serve_snapshot_swaps = 0;  ///< serving-layer snapshot publishes
   std::uint64_t serve_edges_ingested = 0;  ///< serving-layer edges applied
+  std::uint64_t dynamic_deletes_free = 0;  ///< deletions certified free (O(1))
+  std::uint64_t dynamic_rebuilds = 0;      ///< components rebuilt after cuts
+  std::uint64_t dynamic_rebuild_vertices = 0;  ///< vertices relabeled by rebuilds
 };
 
 namespace detail {
@@ -114,6 +117,9 @@ struct alignas(kCacheLineBytes) ThreadCounters {
   std::atomic<std::uint64_t> serve_queries_served{0};
   std::atomic<std::uint64_t> serve_snapshot_swaps{0};
   std::atomic<std::uint64_t> serve_edges_ingested{0};
+  std::atomic<std::uint64_t> dynamic_deletes_free{0};
+  std::atomic<std::uint64_t> dynamic_rebuilds{0};
+  std::atomic<std::uint64_t> dynamic_rebuild_vertices{0};
 };
 
 struct BlockRegistry {
@@ -215,6 +221,23 @@ inline void on_edges_ingested(std::uint64_t n) {
   detail::add(detail::local().serve_edges_ingested, n);
 }
 
+// Decremental-path hooks (src/serve/dynamic_cc.hpp).  Free deletions are
+// tallied once per applied batch; rebuilds once per touched component, so
+// a delete-only pass over non-tree edges shows dynamic_rebuilds == 0 —
+// the invariant the streaming perf gate pins.
+
+inline void on_dynamic_deletes_free(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().dynamic_deletes_free, n);
+}
+
+inline void on_dynamic_rebuild(std::uint64_t vertices) {
+  if (!enabled()) return;
+  detail::ThreadCounters& b = detail::local();
+  b.dynamic_rebuilds.fetch_add(1, detail::kRelaxed);
+  detail::add(b.dynamic_rebuild_vertices, vertices);
+}
+
 // ---- aggregation ----------------------------------------------------------
 
 /// Sums every thread block.  Safe to call concurrently with running
@@ -245,6 +268,10 @@ inline Counters snapshot() {
         b->serve_snapshot_swaps.load(detail::kRelaxed);
     total.serve_edges_ingested +=
         b->serve_edges_ingested.load(detail::kRelaxed);
+    total.dynamic_deletes_free += b->dynamic_deletes_free.load(detail::kRelaxed);
+    total.dynamic_rebuilds += b->dynamic_rebuilds.load(detail::kRelaxed);
+    total.dynamic_rebuild_vertices +=
+        b->dynamic_rebuild_vertices.load(detail::kRelaxed);
   }
   return total;
 }
@@ -359,6 +386,9 @@ inline void reset() {
       b->serve_queries_served.store(0, detail::kRelaxed);
       b->serve_snapshot_swaps.store(0, detail::kRelaxed);
       b->serve_edges_ingested.store(0, detail::kRelaxed);
+      b->dynamic_deletes_free.store(0, detail::kRelaxed);
+      b->dynamic_rebuilds.store(0, detail::kRelaxed);
+      b->dynamic_rebuild_vertices.store(0, detail::kRelaxed);
     }
   }
   detail::PhaseTable& t = detail::phase_table();

@@ -8,12 +8,47 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "graph/csr_graph.hpp"
 #include "util/pvector.hpp"
 
 namespace afforest {
+
+/// Typed rejection of a vertex id outside [0, num_nodes).  Derives from
+/// std::out_of_range so pre-existing catch sites keep working; carries the
+/// offending id and the bound so callers (and tests) can assert on the
+/// structured fields instead of parsing the message.  Thrown by every
+/// ingestion-facing entry point (IncrementalCC, QueryEngine, DynamicCC) —
+/// deletions made this class of bug easy to hit via stale window replay,
+/// where a recorded batch can reference ids from a larger graph.
+class VertexRangeError : public std::out_of_range {
+ public:
+  VertexRangeError(const std::string& context, std::int64_t vertex,
+                   std::int64_t num_nodes)
+      : std::out_of_range(context + ": vertex id " + std::to_string(vertex) +
+                          " outside [0, " + std::to_string(num_nodes) + ")"),
+        vertex_(vertex),
+        num_nodes_(num_nodes) {}
+
+  [[nodiscard]] std::int64_t vertex() const { return vertex_; }
+  [[nodiscard]] std::int64_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::int64_t vertex_;
+  std::int64_t num_nodes_;
+};
+
+/// Validates one vertex id against [0, num_nodes); throws VertexRangeError
+/// tagged with `context` (the rejecting subsystem) otherwise.
+template <typename NodeID_>
+void check_vertex_range(const char* context, NodeID_ v,
+                        std::int64_t num_nodes) {
+  if (v < 0 || static_cast<std::int64_t>(v) >= num_nodes)
+    throw VertexRangeError(context, static_cast<std::int64_t>(v), num_nodes);
+}
 
 template <typename NodeID_>
 using ComponentLabels = pvector<NodeID_>;

@@ -33,8 +33,15 @@ class IncrementalCC {
     return static_cast<std::int64_t>(comp_.size());
   }
 
-  /// Inserts an edge; lock-free, callable concurrently.
-  void add_edge(NodeID_ u, NodeID_ v) { link(u, v, comp_); }
+  /// Inserts an edge; lock-free, callable concurrently.  Throws
+  /// VertexRangeError on an endpoint outside [0, num_nodes()) — the old
+  /// behavior silently corrupted (or overran) the forest, a bug class that
+  /// windowed replay of stale edge batches makes easy to hit.
+  void add_edge(NodeID_ u, NodeID_ v) {
+    check_vertex_range("IncrementalCC", u, num_nodes());
+    check_vertex_range("IncrementalCC", v, num_nodes());
+    link(u, v, comp_);
+  }
 
   /// True iff u and v are currently connected.  Read-only traversal.
   ///
@@ -49,6 +56,8 @@ class IncrementalCC {
   /// parent p < ru (Invariant 1), so successive ru values strictly
   /// decrease — at most num_nodes() retries, enforced by the guard.
   [[nodiscard]] bool connected(NodeID_ u, NodeID_ v) const {
+    check_vertex_range("IncrementalCC", u, num_nodes());
+    check_vertex_range("IncrementalCC", v, num_nodes());
     std::int64_t retries = 0;
     for (;;) {
       const NodeID_ ru = root(u);
@@ -63,7 +72,10 @@ class IncrementalCC {
   /// Representative (current root) of v's component.  NOTE: roots are
   /// stable per component only between insertions; after convergence they
   /// equal the component's minimum vertex id.
-  [[nodiscard]] NodeID_ find(NodeID_ v) const { return root(v); }
+  [[nodiscard]] NodeID_ find(NodeID_ v) const {
+    check_vertex_range("IncrementalCC", v, num_nodes());
+    return root(v);
+  }
 
   /// Compresses all trees to depth one (amortizes future queries);
   /// safe to interleave with queries, not with concurrent add_edge.

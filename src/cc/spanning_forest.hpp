@@ -11,7 +11,9 @@
 // each merge edge.  The result has exactly |V| - C edges.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "cc/union_find.hpp"
 #include "cc/verifier.hpp"
@@ -36,6 +38,117 @@ EdgeList<NodeID_> spanning_forest(const CSRGraph<NodeID_>& g) {
   }
   return forest;
 }
+
+/// Maintained spanning-forest adjacency: the mutable counterpart of
+/// spanning_forest() for the decremental serving tier (src/serve/dynamic_cc).
+///
+/// Where spanning_forest() extracts a forest from a frozen CSR once, this
+/// structure keeps the forest's tree edges as per-vertex neighbor lists so
+/// a single writer can
+///   * record a tree edge the moment an insertion merges two components,
+///   * answer "is (u, v) a tree edge?" in O(deg_F) — the certification that
+///     lets non-tree deletions drop in O(1) (no rebuild: a non-tree edge is
+///     by definition on no forest path, so removing it cannot split
+///     anything), and
+///   * enumerate, after tree edges are cut, every vertex of the touched
+///     components by walking the surviving tree adjacency (each resulting
+///     fragment contains an endpoint of some cut edge, so seeding a
+///     traversal with all cut endpoints covers the whole old component).
+///
+/// Forest degrees are tiny (average < 2, worst case the tree's max degree),
+/// so vectors beat hash sets on both memory and scan cost.  NOT thread-safe:
+/// the single-writer discipline of the serving tier is assumed.
+template <typename NodeID_>
+class ForestAdjacency {
+ public:
+  explicit ForestAdjacency(std::int64_t num_nodes)
+      : tree_neighbors_(static_cast<std::size_t>(num_nodes)),
+        visit_mark_(static_cast<std::size_t>(num_nodes), 0) {}
+
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(tree_neighbors_.size());
+  }
+
+  /// Total tree edges currently held (each edge counted once).
+  [[nodiscard]] std::int64_t num_tree_edges() const { return edges_; }
+
+  /// Records (u, v) as a tree edge.  The caller certifies it merged two
+  /// components; no cycle check happens here.
+  void add_tree_edge(NodeID_ u, NodeID_ v) {
+    tree_neighbors_[static_cast<std::size_t>(u)].push_back(v);
+    tree_neighbors_[static_cast<std::size_t>(v)].push_back(u);
+    ++edges_;
+  }
+
+  /// True iff (u, v) is currently a tree edge.
+  [[nodiscard]] bool is_tree_edge(NodeID_ u, NodeID_ v) const {
+    const auto& row = tree_neighbors_[static_cast<std::size_t>(u)];
+    return std::find(row.begin(), row.end(), v) != row.end();
+  }
+
+  /// Removes tree edge (u, v); returns false (and changes nothing) if it
+  /// was not a tree edge.
+  bool remove_tree_edge(NodeID_ u, NodeID_ v) {
+    auto& row_u = tree_neighbors_[static_cast<std::size_t>(u)];
+    const auto it_u = std::find(row_u.begin(), row_u.end(), v);
+    if (it_u == row_u.end()) return false;
+    row_u.erase(it_u);
+    auto& row_v = tree_neighbors_[static_cast<std::size_t>(v)];
+    row_v.erase(std::find(row_v.begin(), row_v.end(), u));
+    --edges_;
+    return true;
+  }
+
+  /// Drops every tree edge incident to v (both directions).  Used when a
+  /// rebuild replaces the forest of an affected region wholesale.
+  void clear_vertex(NodeID_ v) {
+    auto& row = tree_neighbors_[static_cast<std::size_t>(v)];
+    for (const NodeID_ w : row) {
+      auto& other = tree_neighbors_[static_cast<std::size_t>(w)];
+      const auto it = std::find(other.begin(), other.end(), v);
+      if (it != other.end()) other.erase(it);
+      --edges_;
+    }
+    row.clear();
+  }
+
+  /// Every vertex reachable from `seeds` over the current tree adjacency,
+  /// in ascending order.  With the cut edges already removed, seeding with
+  /// all cut-edge endpoints yields exactly the vertex set of the old
+  /// components those edges belonged to — the rebuild scope.  O(|result|)
+  /// via an epoch-stamped visited array (no O(n) clearing per call).
+  [[nodiscard]] std::vector<NodeID_> collect_reachable(
+      const std::vector<NodeID_>& seeds) {
+    ++visit_epoch_;
+    std::vector<NodeID_> out;
+    std::vector<NodeID_> frontier;
+    for (const NodeID_ s : seeds) {
+      if (visit_mark_[static_cast<std::size_t>(s)] == visit_epoch_) continue;
+      visit_mark_[static_cast<std::size_t>(s)] = visit_epoch_;
+      out.push_back(s);
+      frontier.push_back(s);
+    }
+    // lint: bounded(each vertex enters the frontier at most once per call — the visit mark admits it exactly once)
+    while (!frontier.empty()) {
+      const NodeID_ v = frontier.back();
+      frontier.pop_back();
+      for (const NodeID_ w : tree_neighbors_[static_cast<std::size_t>(v)]) {
+        if (visit_mark_[static_cast<std::size_t>(w)] == visit_epoch_) continue;
+        visit_mark_[static_cast<std::size_t>(w)] = visit_epoch_;
+        out.push_back(w);
+        frontier.push_back(w);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<NodeID_>> tree_neighbors_;
+  std::vector<std::uint64_t> visit_mark_;  ///< epoch-stamped visited flags
+  std::uint64_t visit_epoch_ = 0;
+  std::int64_t edges_ = 0;
+};
 
 /// True iff `forest` is a spanning forest of g: acyclic (every edge merges
 /// two sets) and connectivity-preserving (same partition as g).

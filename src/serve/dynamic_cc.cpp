@@ -1,0 +1,16 @@
+#include "serve/dynamic_cc.hpp"
+
+#include <sstream>
+
+namespace afforest::serve {
+
+std::string delete_stats_summary(const DeleteStats& stats) {
+  std::ostringstream out;
+  out << "requested=" << stats.requested << " absent=" << stats.absent
+      << " freed=" << stats.freed << " cut_tree=" << stats.cut_tree_edges
+      << " rebuild_components=" << stats.rebuild_components
+      << " rebuild_vertices=" << stats.rebuild_vertices;
+  return out.str();
+}
+
+}  // namespace afforest::serve

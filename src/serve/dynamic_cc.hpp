@@ -1,0 +1,445 @@
+// Decremental connectivity serving engine: batched edge deletions over the
+// single-writer / snapshot-reader model (ROADMAP "Edge deletions and
+// windowed streams").
+//
+// The add-only stack (IncrementalCC, QueryEngine) leans on Lemma 4's
+// grow-only forest: components only merge, so the live parent array plus
+// link() is enough.  Deletions break that — a removed edge can split a
+// component — so this engine maintains two exact structures under the
+// single writer:
+//
+//   * the surviving edge multiset, as symmetric per-vertex adjacency with
+//     multiplicities (the ground truth a rebuild recomputes from), and
+//   * a spanning forest of the current graph (cc/spanning_forest.hpp's
+//     ForestAdjacency), the certificate that classifies every deletion:
+//
+//       - NON-TREE edge: on no forest path, so removing it cannot split
+//         any component — certified FREE, dropped in O(1).  Duplicate
+//         copies and self loops are free for the same reason.
+//       - TREE edge: the component MAY split (a surviving non-tree edge can
+//         reconnect the two fragments).  The batch collects every cut, then
+//         rebuilds ONLY the touched components: affected vertices are
+//         gathered by walking the surviving tree adjacency from the cut
+//         endpoints (each fragment contains one), the induced surviving
+//         subgraph is remapped to compact ids, and the registry's Afforest
+//         (afforest_cc) recomputes labels + a fresh spanning forest for
+//         exactly that region — rebuild-from-quotient, everything else
+//         untouched.
+//
+// Labels stay exact (fully compressed, minimum vertex id per component)
+// after every batch, so publish() is a straight SnapshotStore::publish —
+// readers keep the identical wait-free RCU protocol QueryEngine uses, and
+// a reader never observes a half-applied batch.  Unlike QueryEngine,
+// connectivity is NOT monotone across epochs (that is the point); the
+// guarantee is per-epoch snapshot exactness: a batch stamped with epoch e
+// answers exactly as a from-scratch recompute over the edge multiset that
+// was live at publish e (tested differentially in
+// tests/serve/dynamic_differential_test.cpp).
+//
+// Telemetry: dynamic_deletes_free counts certified-free deletions,
+// dynamic_rebuilds / dynamic_rebuild_vertices count touched components and
+// relabeled vertices — the streaming perf gate (bench/streaming) pins
+// dynamic_rebuilds == 0 on delete-only non-tree passes.
+//
+// lint-scope: cc
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/telemetry.hpp"
+#include "cc/afforest.hpp"
+#include "cc/common.hpp"
+#include "cc/spanning_forest.hpp"
+#include "graph/builder.hpp"
+#include "graph/edge_list.hpp"
+#include "serve/query_batch.hpp"
+#include "serve/snapshot_store.hpp"
+#include "serve/writer_lock.hpp"
+#include "util/pvector.hpp"
+
+namespace afforest::serve {
+
+/// Outcome tally of one apply_inserts batch.
+struct InsertStats {
+  std::uint64_t requested = 0;   ///< edges in the batch
+  std::uint64_t self_loops = 0;  ///< stored but never structural
+  std::uint64_t duplicates = 0;  ///< extra copies of an existing edge
+  std::uint64_t tree_edges = 0;  ///< insertions that merged two components
+};
+
+/// Outcome tally of one apply_deletes batch.  `freed` counts certified-free
+/// deletions (non-tree edges, duplicate copies, self loops); a nonzero
+/// `rebuild_components` means tree edges were cut and that many components
+/// were recomputed.
+struct DeleteStats {
+  std::uint64_t requested = 0;
+  std::uint64_t absent = 0;  ///< no surviving copy existed; a no-op
+  std::uint64_t freed = 0;
+  std::uint64_t cut_tree_edges = 0;
+  std::uint64_t rebuild_components = 0;
+  std::uint64_t rebuild_vertices = 0;
+
+  DeleteStats& operator+=(const DeleteStats& o) {
+    requested += o.requested;
+    absent += o.absent;
+    freed += o.freed;
+    cut_tree_edges += o.cut_tree_edges;
+    rebuild_components += o.rebuild_components;
+    rebuild_vertices += o.rebuild_vertices;
+    return *this;
+  }
+};
+
+/// One-line human-readable summary ("requested=.. freed=.. ..") for demos
+/// and bench banners.
+std::string delete_stats_summary(const DeleteStats& stats);
+
+template <typename NodeID_ = std::int32_t>
+class DynamicCC {
+ public:
+  using View = typename SnapshotStore<NodeID_>::View;
+
+  explicit DynamicCC(std::int64_t num_nodes)
+      : adj_(static_cast<std::size_t>(num_nodes)),
+        forest_(num_nodes),
+        labels_(identity_labels<NodeID_>(num_nodes)),
+        store_(num_nodes) {}
+
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(adj_.size());
+  }
+
+  /// Distinct surviving edges (self loops included, multiplicity ignored).
+  [[nodiscard]] std::int64_t num_edges() const { return distinct_edges_; }
+
+  /// Tree edges in the maintained spanning forest.
+  [[nodiscard]] std::int64_t num_tree_edges() const {
+    return forest_.num_tree_edges();
+  }
+
+  // ---- read plane (wait-free, identical protocol to QueryEngine) ---------
+
+  [[nodiscard]] View acquire() const { return store_.acquire(); }
+
+  [[nodiscard]] std::uint64_t epoch() const { return store_.epoch(); }
+
+  [[nodiscard]] bool connected(NodeID_ u, NodeID_ v) const {
+    check_vertex(u);
+    check_vertex(v);
+    const View view = store_.acquire();
+    telemetry::on_queries_served(1);
+    return view.connected(u, v);
+  }
+
+  [[nodiscard]] NodeID_ component_of(NodeID_ u) const {
+    check_vertex(u);
+    const View view = store_.acquire();
+    telemetry::on_queries_served(1);
+    return view.component_of(u);
+  }
+
+  [[nodiscard]] std::int64_t component_size(NodeID_ u) const {
+    check_vertex(u);
+    const View view = store_.acquire();
+    telemetry::on_queries_served(1);
+    return view.component_size(u);
+  }
+
+  [[nodiscard]] std::int64_t component_count() const {
+    return store_.acquire().component_count();
+  }
+
+  /// Answers every query against ONE snapshot (stamped into batch.epoch).
+  /// Throws VertexRangeError (before touching outputs) on any bad id.
+  void answer(QueryBatch<NodeID_>& batch) const {
+    const std::int64_t count = static_cast<std::int64_t>(batch.count());
+    for (std::int64_t i = 0; i < count; ++i) {
+      check_vertex(batch.u[i]);
+      check_vertex(batch.v[i]);
+    }
+    store_.answer(batch);
+  }
+
+  /// Snapshot of the published labels (deep copy; for verification).
+  [[nodiscard]] ComponentLabels<NodeID_> published_labels() const {
+    const View view = store_.acquire();
+    return view.labels().clone();
+  }
+
+  /// The writer's current (unpublished) labels — exact after every applied
+  /// batch.  Deep copy; the differential oracle compares against this.
+  [[nodiscard]] ComponentLabels<NodeID_> live_labels() const {
+    return labels_.clone();
+  }
+
+  // ---- write plane (single writer) ---------------------------------------
+
+  /// Applies a batch of insertions.  Each first-copy edge is classified
+  /// against the maintained forest: merging insertions become tree edges,
+  /// the rest are non-tree from birth.  Labels are exact on return; the
+  /// published snapshot is unaffected until publish().  Throws
+  /// VertexRangeError on any bad endpoint (before applying anything) and
+  /// std::logic_error on concurrent writer calls.
+  InsertStats apply_inserts(const EdgeList<NodeID_>& batch) {
+    return apply_inserts(batch.data(), batch.size());
+  }
+
+  InsertStats apply_inserts(const EdgePair<NodeID_>* edges,
+                            std::size_t count) {
+    const WriterLock lock(writer_active_, "DynamicCC");
+    for (std::size_t i = 0; i < count; ++i) {
+      check_vertex(edges[i].u);
+      check_vertex(edges[i].v);
+    }
+    InsertStats stats;
+    stats.requested = count;
+    // Batch-local union-find over component LABELS (not vertices): an
+    // insertion is a tree edge iff it merges two components of the graph
+    // as of the previous edges.  Union-by-min keeps the min-id label
+    // convention, so the relabel pass below lands directly on final labels.
+    std::unordered_map<NodeID_, NodeID_> parent;
+    bool merged_any = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeID_ u = edges[i].u;
+      const NodeID_ v = edges[i].v;
+      if (u == v) {
+        ++stats.self_loops;
+        if (++adj_[static_cast<std::size_t>(u)][u] == 1) ++distinct_edges_;
+        continue;
+      }
+      const std::uint32_t copies =
+          ++adj_[static_cast<std::size_t>(u)][v];
+      ++adj_[static_cast<std::size_t>(v)][u];
+      if (copies > 1) {
+        ++stats.duplicates;
+        continue;  // structural edge already present; forest unaffected
+      }
+      ++distinct_edges_;
+      const NodeID_ ru = uf_find(parent, labels_[static_cast<std::size_t>(u)]);
+      const NodeID_ rv = uf_find(parent, labels_[static_cast<std::size_t>(v)]);
+      if (ru == rv) continue;  // non-tree from birth
+      parent[ru < rv ? rv : ru] = ru < rv ? ru : rv;
+      forest_.add_tree_edge(u, v);
+      ++stats.tree_edges;
+      merged_any = true;
+    }
+    if (merged_any) {
+      const std::int64_t n = num_nodes();
+      for (std::int64_t v = 0; v < n; ++v)
+        labels_[static_cast<std::size_t>(v)] =
+            uf_find(parent, labels_[static_cast<std::size_t>(v)]);
+    }
+    telemetry::on_edges_ingested(static_cast<std::uint64_t>(count));
+    return stats;
+  }
+
+  /// Applies a batch of deletions.  Every deletion is classified against
+  /// the maintained forest: non-tree edges (and duplicate copies and self
+  /// loops) are certified free and dropped in O(1); deleting an edge with
+  /// no surviving copy is a counted no-op.  Cut tree edges are collected
+  /// and the touched components rebuilt once, at the end of the batch.
+  /// Labels are exact on return.  Throws VertexRangeError on any bad
+  /// endpoint (before applying anything).
+  DeleteStats apply_deletes(const EdgeList<NodeID_>& batch) {
+    return apply_deletes(batch.data(), batch.size());
+  }
+
+  DeleteStats apply_deletes(const EdgePair<NodeID_>* edges,
+                            std::size_t count) {
+    const WriterLock lock(writer_active_, "DynamicCC");
+    for (std::size_t i = 0; i < count; ++i) {
+      check_vertex(edges[i].u);
+      check_vertex(edges[i].v);
+    }
+    DeleteStats stats;
+    stats.requested = count;
+    std::vector<NodeID_> cut_endpoints;
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeID_ u = edges[i].u;
+      const NodeID_ v = edges[i].v;
+      auto& row_u = adj_[static_cast<std::size_t>(u)];
+      const auto it_u = row_u.find(v);
+      if (it_u == row_u.end()) {
+        ++stats.absent;  // no surviving copy: graceful no-op
+        continue;
+      }
+      if (u == v) {
+        if (--(it_u->second) == 0) {
+          row_u.erase(it_u);
+          --distinct_edges_;
+        }
+        ++stats.freed;  // self loops are never structural
+        continue;
+      }
+      const std::uint32_t remaining = --(it_u->second);
+      auto& row_v = adj_[static_cast<std::size_t>(v)];
+      if (remaining == 0) {
+        row_u.erase(it_u);
+        row_v.erase(row_v.find(u));
+        --distinct_edges_;
+      } else {
+        --(row_v.find(u)->second);
+        ++stats.freed;  // a duplicate copy survives; structure unchanged
+        continue;
+      }
+      // Last copy gone: the forest certifies the classification.  The
+      // testing knob below deliberately mis-certifies tree edges as free —
+      // the teeth check for the differential suite.
+      if (!testing_certify_all_free_ && forest_.remove_tree_edge(u, v)) {
+        ++stats.cut_tree_edges;
+        cut_endpoints.push_back(u);
+        cut_endpoints.push_back(v);
+      } else {
+        ++stats.freed;  // non-tree: on no forest path, certified free
+      }
+    }
+    telemetry::on_dynamic_deletes_free(stats.freed);
+    if (!cut_endpoints.empty()) rebuild(cut_endpoints, stats);
+    return stats;
+  }
+
+  /// Publishes the writer's exact labels as a new epoch-stamped snapshot.
+  /// Readers stay wait-free throughout (SnapshotStore's grace-period
+  /// protocol); the serve.swap failpoint leaves the previous epoch
+  /// serviceable on failure.
+  void publish() {
+    const WriterLock lock(writer_active_, "DynamicCC");
+    const telemetry::ScopedPhase phase("dynamic.publish");
+    store_.publish(labels_);
+  }
+
+  // ---- introspection (writer-plane; used by benches and tests) -----------
+
+  /// Surviving copies of (u, v); 0 when absent.
+  [[nodiscard]] std::uint32_t multiplicity(NodeID_ u, NodeID_ v) const {
+    check_vertex(u);
+    check_vertex(v);
+    const auto& row = adj_[static_cast<std::size_t>(u)];
+    const auto it = row.find(v);
+    return it == row.end() ? 0 : it->second;
+  }
+
+  /// True iff (u, v) is currently a tree edge of the maintained forest.
+  [[nodiscard]] bool is_tree_edge(NodeID_ u, NodeID_ v) const {
+    check_vertex(u);
+    check_vertex(v);
+    return forest_.is_tree_edge(u, v);
+  }
+
+  /// All distinct surviving non-tree edges (u < v), self loops excluded —
+  /// by construction every one of them deletes free.
+  [[nodiscard]] EdgeList<NodeID_> non_tree_edges() const {
+    EdgeList<NodeID_> out;
+    const std::int64_t n = num_nodes();
+    for (std::int64_t u = 0; u < n; ++u) {
+      for (const auto& [w, copies] : adj_[static_cast<std::size_t>(u)]) {
+        if (w <= static_cast<NodeID_>(u)) continue;
+        if (forest_.is_tree_edge(static_cast<NodeID_>(u), w)) continue;
+        out.push_back({static_cast<NodeID_>(u), w});
+      }
+    }
+    return out;
+  }
+
+  /// TEST-ONLY seam: when on, every last-copy deletion is certified free —
+  /// tree edges included, so splits are silently missed.  This deliberately
+  /// breaks the non-tree-edge certification; the differential suite must
+  /// catch it (its "teeth" check).  Never set outside tests.
+  void testing_certify_all_deletes_free(bool on) {
+    testing_certify_all_free_ = on;
+  }
+
+ private:
+  void check_vertex(NodeID_ v) const {
+    check_vertex_range("DynamicCC", v, num_nodes());
+  }
+
+  /// Find with path compression over the batch-local label forest; labels
+  /// absent from the map are their own root.
+  static NodeID_ uf_find(std::unordered_map<NodeID_, NodeID_>& parent,
+                         NodeID_ x) {
+    NodeID_ root = x;
+    // lint: bounded(walks a finite acyclic parent chain; union-by-min makes every hop strictly decreasing)
+    for (;;) {
+      const auto it = parent.find(root);
+      if (it == parent.end() || it->second == root) break;
+      root = it->second;
+    }
+    // lint: bounded(rewrites the same finite chain, each step moves one hop toward the root)
+    for (NodeID_ v = x; v != root;) {
+      auto it = parent.find(v);
+      const NodeID_ next = it->second;
+      it->second = root;
+      v = next;
+    }
+    return root;
+  }
+
+  /// Rebuild-from-quotient after tree-edge cuts: gather the touched
+  /// components by walking the surviving forest from the cut endpoints,
+  /// rerun the registry's Afforest on the induced surviving subgraph
+  /// (remapped to compact ids), and splice labels + a fresh spanning
+  /// forest back.  Only the touched region is recomputed.
+  void rebuild(const std::vector<NodeID_>& cut_endpoints, DeleteStats& stats) {
+    const std::vector<NodeID_> affected =
+        forest_.collect_reachable(cut_endpoints);  // sorted ascending
+
+    // Old-component census (for telemetry: one rebuild per touched
+    // component, with its vertex count).
+    std::unordered_map<NodeID_, std::uint64_t> old_components;
+    for (const NodeID_ v : affected)
+      ++old_components[labels_[static_cast<std::size_t>(v)]];
+    for (const auto& [label, vertices] : old_components)
+      telemetry::on_dynamic_rebuild(vertices);
+    stats.rebuild_components += old_components.size();
+    stats.rebuild_vertices += affected.size();
+
+    // Induced surviving subgraph over compact ids.  `affected` is closed
+    // under surviving edges (components are), so every neighbor remaps.
+    std::unordered_map<NodeID_, NodeID_> sub_id;
+    sub_id.reserve(affected.size());
+    for (std::size_t i = 0; i < affected.size(); ++i)
+      sub_id.emplace(affected[i], static_cast<NodeID_>(i));
+    EdgeList<NodeID_> sub_edges;
+    for (std::size_t i = 0; i < affected.size(); ++i) {
+      const NodeID_ u = affected[i];
+      for (const auto& [w, copies] : adj_[static_cast<std::size_t>(u)]) {
+        if (w <= u) continue;  // one copy per distinct pair; loops excluded
+        sub_edges.push_back({static_cast<NodeID_>(i), sub_id.at(w)});
+      }
+    }
+    const CSRGraph<NodeID_> sub = build_undirected(
+        sub_edges, static_cast<std::int64_t>(affected.size()));
+    const ComponentLabels<NodeID_> sub_labels = afforest_cc(sub);
+    const EdgeList<NodeID_> sub_forest = spanning_forest(sub);
+
+    // Splice: `affected` is ascending, so compact ids preserve order and a
+    // min-sub-id label maps straight back to the min original id.
+    for (const NodeID_ v : affected) forest_.clear_vertex(v);
+    for (const auto& [a, b] : sub_forest)
+      forest_.add_tree_edge(affected[static_cast<std::size_t>(a)],
+                            affected[static_cast<std::size_t>(b)]);
+    for (std::size_t i = 0; i < affected.size(); ++i)
+      labels_[static_cast<std::size_t>(affected[i])] =
+          affected[static_cast<std::size_t>(
+              sub_labels[static_cast<std::size_t>(i)])];
+  }
+
+  /// Symmetric adjacency with multiplicities: adj_[u][v] = surviving copies
+  /// of (u, v); self loops stored once at adj_[u][u].  Ground truth for
+  /// rebuilds.
+  std::vector<std::unordered_map<NodeID_, std::uint32_t>> adj_;
+  ForestAdjacency<NodeID_> forest_;
+  ComponentLabels<NodeID_> labels_;  ///< exact, fully compressed, writer-owned
+  SnapshotStore<NodeID_> store_;
+  std::int64_t distinct_edges_ = 0;
+  bool testing_certify_all_free_ = false;
+  mutable std::atomic<bool> writer_active_{false};
+};
+
+}  // namespace afforest::serve

@@ -11,18 +11,11 @@
 //   * many READERS answer connected / component_of / component_size against
 //     an immutable, epoch-versioned snapshot label array.
 //
-// Snapshot machinery: two label buffers (double buffering) behind one
-// atomic published pointer — an RCU-style swap.  publish() compresses the
-// live forest (depth <= 1, labels = min vertex id per component, the
-// convention every offline kernel here shares), waits for the grace period
-// of the buffer it is about to overwrite (reader refcount drains to zero),
-// fills it, and release-stores the pointer.  Readers acquire-load the
-// pointer, increment the buffer's refcount, and RE-CHECK the pointer: a
-// reader that lost a race with two intervening publishes backs off instead
-// of pinning a buffer the writer already reclaimed.  The release/acquire
-// pair on `published_` is the happens-before edge that makes the buffer
-// contents plain-readable; the refcount protocol is what keeps the writer
-// from overwriting a buffer mid-read.
+// The snapshot machinery (RCU double buffering, reader refcount grace
+// periods, epoch stamping) lives in serve/snapshot_store.hpp — it is shared
+// with the decremental engine (serve/dynamic_cc.hpp), so the protocol has
+// exactly one implementation.  This class owns the add-only write plane:
+// the live parent forest written via link() and compacted on publish.
 //
 // Consistency guarantees (tested in tests/serve/linearizability_test.cpp,
 // documented in docs/SERVING.md):
@@ -43,126 +36,29 @@
 // lint-scope: cc
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
 #include "analysis/telemetry.hpp"
 #include "cc/afforest.hpp"
 #include "cc/common.hpp"
-#include "cc/guards.hpp"
 #include "graph/edge_list.hpp"
 #include "serve/query_batch.hpp"
-#include "util/env.hpp"
+#include "serve/snapshot_store.hpp"
+#include "serve/writer_lock.hpp"
 #include "util/failpoint.hpp"
-#include "util/parallel.hpp"
 #include "util/pvector.hpp"
 
 namespace afforest::serve {
 
-/// Spin ceiling for the publish grace period and the reader re-check loop.
-/// A reader parks a snapshot for the duration of one batch answer; the
-/// default of 2^30 yields is orders of magnitude beyond any legitimate
-/// batch, so hitting the ceiling means a leaked View (reader bug),
-/// reported as a typed ConvergenceError rather than a hung writer.
-/// AFFOREST_SERVE_SPIN_CEILING overrides the default (tests use a tiny
-/// value to exercise the guard without minutes of spinning).
-inline std::int64_t serve_spin_ceiling() {
-  if (const auto v = env::as_int64("AFFOREST_SERVE_SPIN_CEILING");
-      v && *v > 0)
-    return *v;
-  return std::int64_t{1} << 30;
-}
-
 template <typename NodeID_ = std::int32_t>
 class QueryEngine {
-  struct Snapshot {
-    ComponentLabels<NodeID_> labels;   ///< depth-0: labels[v] is v's root
-    pvector<std::int64_t> sizes;       ///< sizes[r] = |component r|, valid at roots
-    std::uint64_t epoch = 0;
-    // mutable: Views hold const Snapshot* (labels are immutable through a
-    // View) but must still drop their pin in release().
-    mutable std::atomic<std::int64_t> readers{0};
-  };
-
  public:
-  /// A pinned snapshot: holds the buffer's refcount for its lifetime, so
-  /// keep Views short-lived (one query or one batch).  Movable, not
-  /// copyable.
-  class View {
-   public:
-    View(View&& other) noexcept : snap_(other.snap_) { other.snap_ = nullptr; }
-    View& operator=(View&& other) noexcept {
-      if (this != &other) {
-        release();
-        snap_ = other.snap_;
-        other.snap_ = nullptr;
-      }
-      return *this;
-    }
-    View(const View&) = delete;
-    View& operator=(const View&) = delete;
-    ~View() { release(); }
-
-    [[nodiscard]] std::uint64_t epoch() const { return snap_->epoch; }
-
-    /// True iff u and v were connected as of this snapshot.  O(1): the
-    /// snapshot is fully compressed, so labels are component ids.
-    // lint: parallel-context
-    [[nodiscard]] bool connected(NodeID_ u, NodeID_ v) const {
-      const auto& labels = snap_->labels;
-      return atomic_load(labels[u]) == atomic_load(labels[v]);
-    }
-
-    /// Component id (minimum vertex id in the component) of u.
-    // lint: parallel-context
-    [[nodiscard]] NodeID_ component_of(NodeID_ u) const {
-      const auto& labels = snap_->labels;
-      return atomic_load(labels[u]);
-    }
-
-    /// Number of vertices in u's component.
-    // lint: parallel-context
-    [[nodiscard]] std::int64_t component_size(NodeID_ u) const {
-      const auto& labels = snap_->labels;
-      return snap_->sizes[atomic_load(labels[u])];
-    }
-
-    /// Number of components in this snapshot (O(|V|) scan).
-    [[nodiscard]] std::int64_t component_count() const {
-      const auto& labels = snap_->labels;
-      const std::int64_t n = static_cast<std::int64_t>(labels.size());
-      std::int64_t roots = 0;
-#pragma omp parallel for reduction(+ : roots) schedule(static)
-      for (std::int64_t x = 0; x < n; ++x)
-        if (atomic_load(labels[x]) == static_cast<NodeID_>(x)) ++roots;
-      return roots;
-    }
-
-   private:
-    friend class QueryEngine;
-    explicit View(const Snapshot* snap) : snap_(snap) {}
-    void release() {
-      if (snap_ != nullptr)
-        snap_->readers.fetch_sub(1, std::memory_order_acq_rel);
-      snap_ = nullptr;
-    }
-
-    const Snapshot* snap_;
-  };
+  using View = typename SnapshotStore<NodeID_>::View;
 
   explicit QueryEngine(std::int64_t num_nodes)
-      : live_(identity_labels<NodeID_>(num_nodes)) {
-    for (Snapshot& s : buffers_) {
-      s.labels = identity_labels<NodeID_>(num_nodes);
-      s.sizes = pvector<std::int64_t>(static_cast<std::size_t>(num_nodes),
-                                      std::int64_t{1});
-    }
-    buffers_[0].epoch = 1;
-    published_.store(&buffers_[0], std::memory_order_release);
-  }
+      : live_(identity_labels<NodeID_>(num_nodes)), store_(num_nodes) {}
 
   [[nodiscard]] std::int64_t num_nodes() const {
     return static_cast<std::int64_t>(live_.size());
@@ -170,80 +66,51 @@ class QueryEngine {
 
   /// Epoch of the currently published snapshot (starts at 1; each
   /// publish() increments it).  Monotone non-decreasing across calls.
-  [[nodiscard]] std::uint64_t epoch() const { return acquire().epoch(); }
+  [[nodiscard]] std::uint64_t epoch() const { return store_.epoch(); }
 
   // ---- read plane ---------------------------------------------------------
 
   /// Pins the current snapshot.  Concurrency-safe; any number of readers.
-  [[nodiscard]] View acquire() const {
-    std::int64_t spins = 0;
-    for (;;) {
-      Snapshot* snap = published_.load(std::memory_order_acquire);
-      snap->readers.fetch_add(1, std::memory_order_acq_rel);
-      // Re-check: if a publish landed between the load and the increment,
-      // the writer may already have reclaimed `snap` for the next epoch —
-      // back off and pin the fresh pointer instead.
-      if (published_.load(std::memory_order_acquire) == snap)
-        return View(snap);
-      snap->readers.fetch_sub(1, std::memory_order_acq_rel);
-      check_convergence_guard("serve.acquire", ++spins, serve_spin_ceiling());
-      std::this_thread::yield();
-    }
-  }
+  [[nodiscard]] View acquire() const { return store_.acquire(); }
 
   /// Single-query conveniences; each pins the snapshot for one call.
+  /// All of them throw VertexRangeError on an id outside [0, num_nodes()).
   [[nodiscard]] bool connected(NodeID_ u, NodeID_ v) const {
     check_vertex(u);
     check_vertex(v);
-    const View view = acquire();
+    const View view = store_.acquire();
     telemetry::on_queries_served(1);
     return view.connected(u, v);
   }
 
   [[nodiscard]] NodeID_ component_of(NodeID_ u) const {
     check_vertex(u);
-    const View view = acquire();
+    const View view = store_.acquire();
     telemetry::on_queries_served(1);
     return view.component_of(u);
   }
 
   [[nodiscard]] std::int64_t component_size(NodeID_ u) const {
     check_vertex(u);
-    const View view = acquire();
+    const View view = store_.acquire();
     telemetry::on_queries_served(1);
     return view.component_size(u);
   }
 
   [[nodiscard]] std::int64_t component_count() const {
-    return acquire().component_count();
+    return store_.acquire().component_count();
   }
 
   /// Answers every query in the batch against ONE snapshot (stamped into
   /// batch.epoch) with an OpenMP-parallel sweep over the SoA columns.
-  /// Throws std::out_of_range (before touching outputs) on any bad id.
+  /// Throws VertexRangeError (before touching outputs) on any bad id.
   void answer(QueryBatch<NodeID_>& batch) const {
     const std::int64_t count = static_cast<std::int64_t>(batch.count());
     for (std::int64_t i = 0; i < count; ++i) {
       check_vertex(batch.u[i]);
       check_vertex(batch.v[i]);
     }
-    batch.connected.resize(batch.count());
-    batch.component.resize(batch.count());
-    batch.component_size.resize(batch.count());
-
-    const View view = acquire();
-    batch.epoch = view.epoch();
-    const auto& labels = view.snap_->labels;
-    const auto& sizes = view.snap_->sizes;
-#pragma omp parallel for schedule(static)
-    for (std::int64_t i = 0; i < count; ++i) {
-      const NodeID_ lu = atomic_load(labels[batch.u[i]]);
-      const NodeID_ lv = atomic_load(labels[batch.v[i]]);
-      batch.connected[i] = static_cast<std::uint8_t>(lu == lv);
-      batch.component[i] = lu;
-      batch.component_size[i] = sizes[lu];
-    }
-    telemetry::on_queries_served(static_cast<std::uint64_t>(count));
+    store_.answer(batch);
   }
 
   // ---- write plane (single writer) ---------------------------------------
@@ -251,7 +118,7 @@ class QueryEngine {
   /// Applies a batch of edges to the live forest via link() (parallel over
   /// the batch; link is lock-free).  The published snapshot is NOT
   /// affected — queries keep reading the previous epoch until publish().
-  /// Throws std::out_of_range on any bad endpoint (before applying
+  /// Throws VertexRangeError on any bad endpoint (before applying
   /// anything) and std::logic_error on concurrent writer calls.
   void apply_batch(const EdgeList<NodeID_>& batch) {
     apply_batch(batch.data(), batch.size());
@@ -260,7 +127,7 @@ class QueryEngine {
   /// Span-style overload so drivers can slice one big edge list into
   /// batches without copying.
   void apply_batch(const EdgePair<NodeID_>* edges, std::size_t count) {
-    const WriterLock lock(*this);
+    const WriterLock lock(writer_active_, "QueryEngine");
     const std::int64_t m = static_cast<std::int64_t>(count);
     for (std::int64_t i = 0; i < m; ++i) {
       check_vertex(edges[i].u);
@@ -276,7 +143,7 @@ class QueryEngine {
   /// Failpoints serve.compact / serve.swap fire before the respective step;
   /// either leaves the engine fully serviceable on the previous epoch.
   void publish() {
-    const WriterLock lock(*this);
+    const WriterLock lock(writer_active_, "QueryEngine");
     {
       const telemetry::ScopedPhase phase("serve.compact");
       failpoint_maybe_fail("serve.compact");
@@ -285,38 +152,7 @@ class QueryEngine {
       // (it is shared with the concurrent offline kernels).
       compress_all(live_);
     }
-
-    Snapshot& next =
-        buffers_[1 - published_index_];  // the buffer published 2 epochs ago
-    // Grace period: readers that pinned `next` before the previous swap
-    // must drain before we overwrite it.
-    std::int64_t spins = 0;
-    const std::int64_t ceiling = serve_spin_ceiling();
-    while (next.readers.load(std::memory_order_acquire) != 0) {
-      check_convergence_guard("serve.publish.drain", ++spins, ceiling);
-      std::this_thread::yield();
-    }
-
-    const std::int64_t n = num_nodes();
-    {
-      auto& labels = next.labels;
-      auto& sizes = next.sizes;
-#pragma omp parallel for schedule(static)
-      for (std::int64_t x = 0; x < n; ++x) {
-        atomic_store(labels[x],
-                     atomic_load(live_[static_cast<std::size_t>(x)]));
-        sizes[x] = 0;  // owner-exclusive init write; accumulated below
-      }
-#pragma omp parallel for schedule(static)
-      for (std::int64_t x = 0; x < n; ++x)
-        fetch_and_add(sizes[atomic_load(labels[x])], std::int64_t{1});
-    }
-
-    failpoint_maybe_fail("serve.swap");
-    next.epoch = ++epoch_counter_;
-    published_index_ = 1 - published_index_;
-    published_.store(&next, std::memory_order_release);
-    telemetry::on_snapshot_swap();
+    store_.publish(live_);
   }
 
   /// Convenience: apply a batch and immediately publish the result.
@@ -327,40 +163,17 @@ class QueryEngine {
 
   /// Snapshot of the published labels (deep copy; for verification).
   [[nodiscard]] ComponentLabels<NodeID_> labels() const {
-    const View view = acquire();
-    return view.snap_->labels.clone();
+    const View view = store_.acquire();
+    return view.labels().clone();
   }
 
  private:
-  /// Single-writer discipline: apply_batch/publish are mutually exclusive.
-  /// Overlapping writer calls are a caller bug, reported loudly.
-  struct WriterLock {
-    explicit WriterLock(const QueryEngine& engine) : engine_(engine) {
-      if (engine_.writer_active_.exchange(true, std::memory_order_acq_rel))
-        throw std::logic_error(
-            "QueryEngine: concurrent writer calls (apply_batch/publish "
-            "require a single writer)");
-    }
-    ~WriterLock() {
-      engine_.writer_active_.store(false, std::memory_order_release);
-    }
-    WriterLock(const WriterLock&) = delete;
-    WriterLock& operator=(const WriterLock&) = delete;
-    const QueryEngine& engine_;
-  };
-
   void check_vertex(NodeID_ v) const {
-    if (v < 0 || static_cast<std::int64_t>(v) >= num_nodes())
-      throw std::out_of_range("QueryEngine: vertex id " + std::to_string(v) +
-                              " outside [0, " + std::to_string(num_nodes()) +
-                              ")");
+    check_vertex_range("QueryEngine", v, num_nodes());
   }
 
   ComponentLabels<NodeID_> live_;  ///< parent forest, written via link()
-  Snapshot buffers_[2];
-  std::atomic<Snapshot*> published_{nullptr};
-  std::int32_t published_index_ = 0;   ///< writer-only
-  std::uint64_t epoch_counter_ = 1;    ///< writer-only
+  SnapshotStore<NodeID_> store_;
   mutable std::atomic<bool> writer_active_{false};
 };
 

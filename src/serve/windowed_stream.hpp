@@ -1,0 +1,88 @@
+// Sliding-window streaming on top of DynamicCC.
+//
+// Models the streaming regime the ROADMAP's decremental item calls for: the
+// engine serves connectivity over "the last W batches" of an endless edge
+// stream.  The stream owner pushes one batch per tick; WindowedStream keeps
+// a ring of the W resident batches, and the batch that falls off the back
+// is replayed as a deletion batch — expiry IS deletion, so all the
+// classification and rebuild machinery of DynamicCC applies unchanged.
+// Every push publishes a fresh snapshot, so readers always see a complete
+// window transition, never a half-expired one.
+//
+// The ring keeps each batch verbatim (duplicates, self loops and all):
+// an edge inserted by two resident batches has multiplicity 2, and expiring
+// one of them is a certified-free deletion of a duplicate copy.  That makes
+// window semantics exact: the graph at any epoch is precisely the multiset
+// union of the resident batches.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/edge_list.hpp"
+#include "serve/dynamic_cc.hpp"
+
+namespace afforest::serve {
+
+template <typename NodeID_ = std::int32_t>
+class WindowedStream {
+ public:
+  /// `window_batches` is the number of resident batches W (>= 1).
+  WindowedStream(DynamicCC<NodeID_>& engine, std::size_t window_batches)
+      : engine_(engine), window_(window_batches) {
+    if (window_batches == 0)
+      throw std::invalid_argument(
+          "WindowedStream: window must hold at least one batch");
+  }
+
+  [[nodiscard]] std::size_t window() const { return window_; }
+  [[nodiscard]] std::size_t resident_batches() const { return ring_.size(); }
+
+  /// One stream tick: inserts `batch`, expires the oldest resident batch if
+  /// the window is over capacity, and publishes the resulting snapshot.
+  /// Returns the DeleteStats of the expiry (all-zero when nothing expired).
+  DeleteStats push(EdgeList<NodeID_> batch) {
+    engine_.apply_inserts(batch);
+    ring_.push_back(std::move(batch));
+    DeleteStats expired;
+    if (ring_.size() > window_) expired = expire_oldest_unpublished();
+    engine_.publish();
+    return expired;
+  }
+
+  /// Expires the oldest resident batch (no-op stats when the ring is empty)
+  /// and publishes.
+  DeleteStats expire_oldest() {
+    DeleteStats expired;
+    if (!ring_.empty()) expired = expire_oldest_unpublished();
+    engine_.publish();
+    return expired;
+  }
+
+  /// Expires every resident batch, publishing after each step so readers
+  /// watch the window shrink batch-by-batch.  After drain() the engine's
+  /// graph holds no edge this stream inserted.
+  DeleteStats drain() {
+    DeleteStats total;
+    while (!ring_.empty()) {
+      total += expire_oldest_unpublished();
+      engine_.publish();
+    }
+    return total;
+  }
+
+ private:
+  DeleteStats expire_oldest_unpublished() {
+    const DeleteStats stats = engine_.apply_deletes(ring_.front());
+    ring_.pop_front();
+    return stats;
+  }
+
+  DynamicCC<NodeID_>& engine_;
+  std::deque<EdgeList<NodeID_>> ring_;
+  std::size_t window_;
+};
+
+}  // namespace afforest::serve

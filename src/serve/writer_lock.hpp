@@ -1,0 +1,33 @@
+// Single-writer discipline for the serving engines.
+//
+// apply/publish entry points of QueryEngine and DynamicCC are mutually
+// exclusive by contract: overlapping writer calls are a caller bug, and the
+// engines report them loudly (std::logic_error) instead of corrupting the
+// forest.  The lock is a plain atomic flag — no blocking, no fairness —
+// because legitimate callers never contend.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace afforest::serve {
+
+class WriterLock {
+ public:
+  WriterLock(std::atomic<bool>& flag, const char* who) : flag_(flag) {
+    if (flag_.exchange(true, std::memory_order_acq_rel))
+      throw std::logic_error(
+          std::string(who) +
+          ": concurrent writer calls (apply/publish require a single "
+          "writer)");
+  }
+  ~WriterLock() { flag_.store(false, std::memory_order_release); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  std::atomic<bool>& flag_;
+};
+
+}  // namespace afforest::serve

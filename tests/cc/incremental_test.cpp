@@ -84,5 +84,33 @@ TEST(IncrementalCC, SelfLoopIsNoOp) {
   EXPECT_EQ(cc.component_count(), 3);
 }
 
+TEST(IncrementalCC, RejectsOutOfRangeVertices) {
+  // Regression: add_edge/connected/find used to silently accept endpoints
+  // >= n (or negative) and index out of bounds.  They must throw the typed
+  // VertexRangeError — still catchable as std::out_of_range — and leave
+  // the partition untouched.
+  IncrementalCC<NodeID> cc(4);
+  cc.add_edge(0, 1);
+  EXPECT_THROW(cc.add_edge(0, 4), VertexRangeError);
+  EXPECT_THROW(cc.add_edge(4, 0), VertexRangeError);
+  EXPECT_THROW(cc.add_edge(-1, 2), VertexRangeError);
+  EXPECT_THROW((void)cc.connected(0, 4), VertexRangeError);
+  EXPECT_THROW((void)cc.connected(-3, 1), VertexRangeError);
+  EXPECT_THROW((void)cc.find(4), VertexRangeError);
+  EXPECT_THROW(cc.add_edge(0, 4), std::out_of_range);  // back-compat
+
+  EXPECT_EQ(cc.component_count(), 3);  // the rejected edges changed nothing
+
+  try {
+    cc.add_edge(0, 17);
+    FAIL() << "expected VertexRangeError";
+  } catch (const VertexRangeError& e) {
+    EXPECT_EQ(e.vertex(), 17);
+    EXPECT_EQ(e.num_nodes(), 4);
+    EXPECT_NE(std::string(e.what()).find("IncrementalCC"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace afforest

@@ -23,10 +23,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cc/registry.hpp"
@@ -44,6 +47,7 @@
 #include "graph/generators/uniform.hpp"
 #include "graph/generators/webgraph.hpp"
 #include "graph/io.hpp"
+#include "serve/dynamic_cc.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 
@@ -279,6 +283,248 @@ inline std::vector<Mismatch> run_differential(const FuzzInput& in) {
   for (const auto& algo : cc_algorithms())
     if (auto m = check_algorithm(algo, in)) out.push_back(std::move(*m));
   return out;
+}
+
+// ---- dynamic (mixed insert/delete) mutation mode --------------------------
+// Same harness discipline as the static oracle above, aimed at the
+// decremental engine (serve/dynamic_cc.hpp): a seeded corpus input is
+// mutated into an operation SCRIPT — interleaved inserts and deletes —
+// replayed through DynamicCC in batches, with the live labels compared
+// against a from-scratch union-find over the surviving edge multiset after
+// EVERY batch.  Deletes target previously-scripted edges (so re-deletions
+// exercise the absent path) plus a sprinkle of never-inserted pairs.
+// Mismatching scripts shrink with the same ddmin loop (any op subset is a
+// valid script: deleting an absent edge is a defined no-op) and dump as a
+// "+/- u v" text file replayable via AFFOREST_FUZZ_REPLAY_DYN.
+
+/// One scripted operation: insert or delete of a single edge.
+struct DynOp {
+  bool is_delete = false;
+  EdgePair<NodeID> e{0, 0};
+};
+
+using DynScript = std::vector<DynOp>;
+
+/// A seeded dynamic scenario: the script plus its replay parameters.
+struct DynInput {
+  std::string family;
+  int scale = 0;
+  std::uint64_t seed = 0;
+  std::int64_t num_nodes = 0;
+  std::size_t batch_size = 32;
+  DynScript ops;
+};
+
+/// Mutates a static corpus input into an interleaved insert/delete script.
+inline DynInput make_dynamic_input(const std::string& family, int scale,
+                                   std::uint64_t seed) {
+  const FuzzInput base = make_fuzz_input(family, scale, seed);
+  DynInput in;
+  in.family = family;
+  in.scale = scale;
+  in.seed = seed;
+  in.num_nodes = base.num_nodes;
+  Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<EdgePair<NodeID>> pool;  // every edge the script has inserted
+  for (const auto& e : base.edges) {
+    in.ops.push_back({false, e});
+    pool.push_back(e);
+    const std::uint64_t roll = rng.next_bounded(8);
+    if (roll < 3) {
+      // Delete a previously scripted edge (possibly already deleted →
+      // duplicate-copy and absent paths both get exercised).
+      in.ops.push_back({true, pool[rng.next_bounded(pool.size())]});
+    } else if (roll == 3 && in.num_nodes > 0) {
+      // Delete a random pair that was most likely never inserted.
+      const auto nn = static_cast<std::uint64_t>(in.num_nodes);
+      in.ops.push_back({true,
+                        {static_cast<NodeID>(rng.next_bounded(nn)),
+                         static_cast<NodeID>(rng.next_bounded(nn))}});
+    }
+  }
+  // Decremental tail: tear down half the pool so late batches are
+  // delete-heavy (tree cuts and rebuilds, not just churn).
+  for (std::size_t k = 0; k + 1 < pool.size(); k += 2)
+    in.ops.push_back({true, pool[rng.next_bounded(pool.size())]});
+  return in;
+}
+
+/// Replays `ops` through DynamicCC in batches and checks the live labels
+/// against a from-scratch union-find over the surviving edge multiset after
+/// every batch.  Labels must match EXACTLY (both sides use the min-vertex-id
+/// convention), not just as partitions.  Exceptions count as disagreement so
+/// the minimizer also shrinks crashing scripts.  `break_certification`
+/// flips the engine's deliberate mis-certification knob — used by the
+/// harness self-test to prove this oracle has teeth.
+inline bool dynamic_disagrees(const DynScript& ops, std::int64_t num_nodes,
+                              std::size_t batch_size,
+                              bool break_certification = false) {
+  if (num_nodes <= 0 || batch_size == 0) return false;
+  try {
+    serve::DynamicCC<NodeID> engine(num_nodes);
+    engine.testing_certify_all_deletes_free(break_certification);
+    std::map<std::pair<NodeID, NodeID>, std::uint32_t> surviving;
+    for (std::size_t start = 0; start < ops.size(); start += batch_size) {
+      const std::size_t stop = std::min(ops.size(), start + batch_size);
+      EdgeList<NodeID> inserts;
+      EdgeList<NodeID> deletes;
+      for (std::size_t i = start; i < stop; ++i)
+        (ops[i].is_delete ? deletes : inserts).push_back(ops[i].e);
+      // A batch is one stream tick: ALL its inserts land first, then its
+      // deletes — and the reference multiset follows the same order (an
+      // in-op-order reference would disagree whenever a batch deletes an
+      // edge it also inserts).
+      for (const auto& [u, v] : inserts)
+        ++surviving[std::pair<NodeID, NodeID>(std::minmax(u, v))];
+      for (const auto& [u, v] : deletes) {
+        const auto it =
+            surviving.find(std::pair<NodeID, NodeID>(std::minmax(u, v)));
+        if (it != surviving.end() && --(it->second) == 0) surviving.erase(it);
+      }
+      engine.apply_inserts(inserts);
+      engine.apply_deletes(deletes);
+      EdgeList<NodeID> edges;
+      for (const auto& [key, copies] : surviving)
+        edges.push_back({key.first, key.second});
+      const auto oracle = union_find_cc(edges, num_nodes);
+      const auto live = engine.live_labels();
+      for (std::int64_t v = 0; v < num_nodes; ++v)
+        if (live[static_cast<std::size_t>(v)] !=
+            oracle[static_cast<std::size_t>(v)])
+          return true;
+    }
+  } catch (...) {
+    return true;
+  }
+  return false;
+}
+
+/// ddmin over the op script (same loop as minimize_reproducer; any subset
+/// of a script is itself a valid script).
+inline DynScript minimize_dyn_reproducer(const DynInput& in,
+                                         int max_checks = 512) {
+  DynScript current = in.ops;
+  int checks = 0;
+  std::size_t granularity = 2;
+  while (current.size() >= 2 && checks < max_checks) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, current.size() / granularity);
+    bool reduced = false;
+    for (std::size_t start = 0; start < current.size() && checks < max_checks;
+         start += chunk) {
+      const std::size_t end = std::min(current.size(), start + chunk);
+      DynScript candidate;
+      candidate.reserve(current.size() - (end - start));
+      for (std::size_t i = 0; i < current.size(); ++i)
+        if (i < start || i >= end) candidate.push_back(current[i]);
+      ++checks;
+      if (dynamic_disagrees(candidate, in.num_nodes, in.batch_size)) {
+        current = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) break;
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  return current;
+}
+
+/// Vertices a dynamic replay needs: max referenced id + 1.
+inline std::int64_t reproducer_num_nodes_dyn(const DynScript& ops) {
+  NodeID max_id = 0;
+  for (const auto& op : ops) max_id = std::max({max_id, op.e.u, op.e.v});
+  return static_cast<std::int64_t>(max_id) + 1;
+}
+
+/// Dumps a script as text: one op per line, "+ u v" (insert) or "- u v"
+/// (delete), with a header comment carrying num_nodes and batch_size.
+inline bool write_dyn_script(const std::string& path, const DynInput& in,
+                             const DynScript& ops) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# afforest dynamic fuzz script\n"
+      << "# nodes " << in.num_nodes << " batch " << in.batch_size << "\n";
+  for (const auto& op : ops)
+    out << (op.is_delete ? '-' : '+') << ' ' << op.e.u << ' ' << op.e.v
+        << '\n';
+  return static_cast<bool>(out);
+}
+
+/// Parses a dumped script.  Returns std::nullopt on any malformed line.
+inline std::optional<DynInput> read_dyn_script(const std::string& path) {
+  std::ifstream stream(path);
+  if (!stream) return std::nullopt;
+  DynInput in;
+  in.family = "replay";
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream header(line.substr(1));
+      std::string word;
+      if (header >> word && word == "nodes") {
+        if (!(header >> in.num_nodes >> word >> in.batch_size))
+          return std::nullopt;
+      }
+      continue;
+    }
+    std::istringstream fields(line);
+    char sign = 0;
+    DynOp op;
+    if (!(fields >> sign >> op.e.u >> op.e.v)) return std::nullopt;
+    if (sign != '+' && sign != '-') return std::nullopt;
+    op.is_delete = sign == '-';
+    in.ops.push_back(op);
+  }
+  if (in.num_nodes <= 0) in.num_nodes = reproducer_num_nodes_dyn(in.ops);
+  if (in.batch_size == 0) in.batch_size = 32;
+  return in;
+}
+
+/// A confirmed dynamic-oracle disagreement, minimized and dumped.
+struct DynMismatch {
+  std::string family;
+  int scale = 0;
+  std::uint64_t seed = 0;
+  std::size_t original_ops = 0;
+  std::size_t minimized_ops = 0;
+  std::string dump_path;
+
+  [[nodiscard]] std::string report() const {
+    std::ostringstream os;
+    os << "DynamicCC disagrees with the from-scratch union-find oracle on "
+       << "family=" << family << " scale=" << scale << " seed=" << seed
+       << " (" << original_ops << " ops, minimized to " << minimized_ops
+       << ")";
+    if (!dump_path.empty())
+      os << "\nreproducer dumped to: " << dump_path
+         << "\nreplay with: AFFOREST_FUZZ_REPLAY_DYN=" << dump_path
+         << " ./tests/test_fuzz --gtest_filter='DynamicFuzzReplay.*'";
+    return os.str();
+  }
+};
+
+/// Runs the dynamic oracle on one scenario; on disagreement minimizes and
+/// dumps the script.
+inline std::optional<DynMismatch> check_dynamic(const DynInput& in) {
+  if (!dynamic_disagrees(in.ops, in.num_nodes, in.batch_size))
+    return std::nullopt;
+  DynMismatch m;
+  m.family = in.family;
+  m.scale = in.scale;
+  m.seed = in.seed;
+  m.original_ops = in.ops.size();
+  const DynScript minimized = minimize_dyn_reproducer(in);
+  m.minimized_ops = minimized.size();
+  std::ostringstream path;
+  path << dump_dir() << "/fuzz-repro-dyn-" << in.family << "-s" << in.scale
+       << "-seed" << in.seed << ".ops";
+  if (write_dyn_script(path.str(), in, minimized)) m.dump_path = path.str();
+  return m;
 }
 
 }  // namespace afforest::fuzz

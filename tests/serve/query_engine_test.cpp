@@ -140,6 +140,25 @@ TEST(QueryEngine, ValidatesVertexIds) {
   EXPECT_THROW(engine.answer(qbad), std::out_of_range);
 }
 
+TEST(QueryEngine, BoundsErrorsAreTyped) {
+  // Regression for the silent-acceptance bug: all entry points now throw
+  // the typed VertexRangeError (derived from std::out_of_range, so the
+  // assertions above keep passing) carrying the offending id and bound.
+  Engine engine(4);
+  EXPECT_THROW((void)engine.connected(0, 4), VertexRangeError);
+  EXPECT_THROW((void)engine.component_of(-1), VertexRangeError);
+  EdgeList<NodeID> bad;
+  bad.push_back({2, -5});
+  try {
+    engine.apply_batch(bad);
+    FAIL() << "expected VertexRangeError";
+  } catch (const VertexRangeError& e) {
+    EXPECT_EQ(e.vertex(), -5);
+    EXPECT_EQ(e.num_nodes(), 4);
+    EXPECT_NE(std::string(e.what()).find("QueryEngine"), std::string::npos);
+  }
+}
+
 TEST(QueryEngine, ViewPinsAnImmutableSnapshot) {
   Engine engine(4);
   const auto view = engine.acquire();  // pins epoch 1
