@@ -1,0 +1,243 @@
+// Crash-safe serving demo + the subprocess half of the crash-sweep proof.
+//
+// Drives a deterministic seeded workload into a DurableEngine, RESUMING
+// from whatever seq the durable directory already holds — so killing this
+// process anywhere (e.g. AFFOREST_FAILPOINT_LETHAL=1 with a durability
+// failpoint armed, exit code 86) and rerunning it converges on the same
+// final state as an uninterrupted run.  --verify recomputes the serial
+// union-find oracle over the workload prefix the directory proved durable
+// and exits 1 on any divergence; --recover-only reports recovery stats
+// without running further ops.  tests/integration/durable_crash_test.cpp
+// drives exactly that kill → recover → verify loop with real process
+// deaths; see docs/ROBUSTNESS.md for the runbook.
+//
+// Exit codes: 0 ok, 1 verification failed, 2 usage or I/O error
+// (and kFailpointLethalExit=86 when a lethal failpoint kills the run).
+#include <cstdint>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/union_find.hpp"
+#include "graph/io_error.hpp"
+#include "serve/durable_engine.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace afforest;
+using NodeID = std::int32_t;
+
+struct Op {
+  serve::WalRecordType type = serve::WalRecordType::kInsert;
+  std::vector<std::pair<NodeID, NodeID>> edges;
+};
+
+/// Deterministic workload, identical across reruns of the same flags:
+/// mostly inserts, deletes of previously inserted edges when unwindowed,
+/// ticks when windowed.  Mirrors the in-process sweep's generator.
+std::vector<Op> make_workload(std::int64_t num_nodes, std::int64_t num_ops,
+                              std::int64_t batch, std::uint64_t seed,
+                              bool windowed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<NodeID, NodeID>> inserted;
+  std::vector<Op> ops;
+  ops.reserve(static_cast<std::size_t>(num_ops));
+  const auto vertex = [&] {
+    return static_cast<NodeID>(
+        rng.next_bounded(static_cast<std::uint64_t>(num_nodes)));
+  };
+  for (std::int64_t i = 0; i < num_ops; ++i) {
+    Op op;
+    const std::uint64_t roll = rng.next_bounded(10);
+    if (windowed && roll < 2) {
+      op.type = serve::WalRecordType::kTick;
+    } else if (!windowed && roll < 3 && !inserted.empty()) {
+      op.type = serve::WalRecordType::kDelete;
+      const std::uint64_t count =
+          1 + rng.next_bounded(static_cast<std::uint64_t>(batch));
+      for (std::uint64_t k = 0; k < count; ++k)
+        op.edges.push_back(inserted[rng.next_bounded(inserted.size())]);
+    } else {
+      const std::uint64_t count =
+          1 + rng.next_bounded(static_cast<std::uint64_t>(batch));
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const std::pair<NodeID, NodeID> e{vertex(), vertex()};
+        op.edges.push_back(e);
+        inserted.push_back(e);
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+EdgeList<NodeID> to_edge_list(const Op& op) {
+  EdgeList<NodeID> out;
+  out.reserve(op.edges.size());
+  for (const auto& [u, v] : op.edges) out.push_back({u, v});
+  return out;
+}
+
+/// Serial oracle: surviving multiset (+ window ring) after a prefix, then
+/// from-scratch union-find over it.
+ComponentLabels<NodeID> oracle_labels(const std::vector<Op>& ops,
+                                      std::uint64_t prefix,
+                                      std::int64_t num_nodes,
+                                      std::uint64_t window) {
+  std::map<std::pair<NodeID, NodeID>, std::int64_t> multiset;
+  std::deque<const Op*> ring;
+  const auto bump = [&](std::pair<NodeID, NodeID> e, std::int64_t delta) {
+    if (e.first > e.second) std::swap(e.first, e.second);
+    auto& count = multiset[e];
+    if (delta < 0 && count == 0) return;  // absent delete: no-op
+    count += delta;
+  };
+  const auto expire = [&] {
+    for (const auto& e : ring.front()->edges) bump(e, -1);
+    ring.pop_front();
+  };
+  for (std::uint64_t i = 0; i < prefix && i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    switch (op.type) {
+      case serve::WalRecordType::kInsert:
+        for (const auto& e : op.edges) bump(e, +1);
+        if (window > 0) {
+          ring.push_back(&op);
+          // lint: bounded(each iteration pops one resident batch)
+          while (ring.size() > window) expire();
+        }
+        break;
+      case serve::WalRecordType::kDelete:
+        for (const auto& e : op.edges) bump(e, -1);
+        break;
+      case serve::WalRecordType::kTick:
+        if (!ring.empty()) expire();
+        break;
+    }
+  }
+  EdgeList<NodeID> edges;
+  for (const auto& [key, count] : multiset)
+    if (count > 0) edges.push_back({key.first, key.second});
+  return union_find_cc(edges, num_nodes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cl(argc, argv);
+  cl.describe("dir", "durable directory (required)");
+  cl.describe("scale", "log2 of vertex count (default 8)");
+  cl.describe("ops", "workload operations to run in total (default 32)");
+  cl.describe("batch", "max edges per operation (default 8)");
+  cl.describe("seed", "workload RNG seed (default 42)");
+  cl.describe("window", "resident batches; 0 = unwindowed (default 0)");
+  cl.describe("checkpoint-every", "auto-checkpoint period (default 0 = off)");
+  cl.describe("no-fsync", "journal without per-record fdatasync");
+  cl.describe("recover-only", "open + report recovery, run no ops");
+  cl.describe("verify", "differentially check state against the oracle");
+  if (cl.help_requested()) {
+    cl.print_help("durable: crash-safe serving engine driver");
+    return 0;
+  }
+  const std::string dir = cl.get_string("dir", "");
+  const int scale = static_cast<int>(cl.get_int("scale", 8));
+  const std::int64_t num_ops = cl.get_int("ops", 32);
+  const std::int64_t batch = cl.get_int("batch", 8);
+  const auto seed = static_cast<std::uint64_t>(cl.get_int("seed", 42));
+  const std::int64_t window = cl.get_int("window", 0);
+  const std::int64_t checkpoint_every = cl.get_int("checkpoint-every", 0);
+  const bool no_fsync = cl.get_bool("no-fsync", false);
+  const bool recover_only = cl.get_bool("recover-only", false);
+  const bool verify = cl.get_bool("verify", false);
+  for (const auto& f : cl.unknown_flags())
+    std::cerr << "warning: unknown flag --" << f << " ignored\n";
+  if (dir.empty()) {
+    std::cerr << "durable: --dir is required\n";
+    return 2;
+  }
+  if (num_ops < 0 || batch <= 0 || window < 0 || checkpoint_every < 0) {
+    std::cerr << "durable: flag values out of range\n";
+    return 2;
+  }
+
+  const std::int64_t n = std::int64_t{1} << scale;
+  const auto ops = make_workload(n, num_ops, batch, seed, window > 0);
+
+  try {
+    serve::DurableOptions opts;
+    opts.dir = dir;
+    opts.window = static_cast<std::uint64_t>(window);
+    opts.checkpoint_every = static_cast<std::uint64_t>(checkpoint_every);
+    opts.sync = no_fsync ? serve::WalSync::kNone : serve::WalSync::kFsync;
+    serve::DurableEngine<NodeID> engine(n, opts);
+
+    const auto& stats = engine.recovery_stats();
+    std::cout << "recovery: recovered=" << (stats.recovered ? 1 : 0)
+              << " checkpoint_seq=" << stats.checkpoint_seq
+              << " wal_records_replayed=" << stats.wal_records_replayed
+              << " wal_torn_bytes=" << stats.wal_torn_bytes
+              << " last_seq=" << stats.last_seq << "\n";
+
+    if (!recover_only) {
+      // Resume: ops[0 .. last_seq) are already durable from a previous
+      // (possibly killed) run of the same flags; apply only the rest.
+      const std::uint64_t done = engine.last_seq();
+      if (done > ops.size()) {
+        std::cerr << "durable: directory holds seq " << done
+                  << " but the workload has only " << ops.size()
+                  << " ops (flag mismatch with the previous run?)\n";
+        return 2;
+      }
+      for (std::uint64_t i = done; i < ops.size(); ++i) {
+        const Op& op = ops[i];
+        switch (op.type) {
+          case serve::WalRecordType::kInsert:
+            engine.insert(to_edge_list(op));
+            break;
+          case serve::WalRecordType::kDelete:
+            engine.erase(to_edge_list(op));
+            break;
+          case serve::WalRecordType::kTick:
+            engine.tick();
+            break;
+        }
+      }
+    }
+
+    const std::uint64_t seq = engine.last_seq();
+    std::cout << "state: seq=" << seq << " epoch=" << engine.epoch()
+              << " components=" << engine.component_count() << "\n";
+
+    if (verify) {
+      if (seq > ops.size()) {
+        std::cerr << "durable: cannot verify seq " << seq
+                  << " against a " << ops.size() << "-op workload\n";
+        return 2;
+      }
+      const ComponentLabels<NodeID> want =
+          oracle_labels(ops, seq, n, static_cast<std::uint64_t>(window));
+      const ComponentLabels<NodeID> got = engine.live_labels();
+      for (std::size_t v = 0; v < got.size(); ++v) {
+        if (got[v] != want[v]) {
+          std::cerr << "durable: VERIFY FAILED at vertex " << v << ": got "
+                    << got[v] << ", oracle says " << want[v]
+                    << " (durable seq " << seq << ")\n";
+          return 1;
+        }
+      }
+      std::cout << "verify: OK seq=" << seq << "\n";
+    }
+  } catch (const IoError& e) {
+    std::cerr << "durable: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "durable: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -215,6 +215,12 @@ inline std::string render_json(const std::string& experiment,
       w.key("dynamic_deletes_free").value(c.dynamic_deletes_free);
       w.key("dynamic_rebuilds").value(c.dynamic_rebuilds);
       w.key("dynamic_rebuild_vertices").value(c.dynamic_rebuild_vertices);
+      w.key("wal_records_appended").value(c.wal_records_appended);
+      w.key("wal_bytes_appended").value(c.wal_bytes_appended);
+      w.key("wal_records_replayed").value(c.wal_records_replayed);
+      w.key("wal_checkpoints_written").value(c.wal_checkpoints_written);
+      w.key("wal_torn_tail_truncations").value(c.wal_torn_tail_truncations);
+      w.key("failpoints_fired").value(c.failpoints_fired);
       w.end_object();
       w.key("phases").begin_array();
       for (const telemetry::PhaseSample& ph : r.report.phases) {

@@ -16,12 +16,23 @@
 //      to empty.  Scheduler- and shape-sensitive, so its records ride along
 //      as unanchored notes with the full dynamic_* counter set attached.
 //
-// With --json the run emits afforest-bench-1 records in two groups:
+// With --wal-dir DIR a fourth, opt-in phase measures the durability tax
+// (docs/ROBUSTNESS.md): the same batched ingest with journaling off
+// (plain DynamicCC) vs on (DurableEngine, WalSync::kNone so the gate
+// tracks the WAL code path — framing + CRC + write — not the disk), then
+// times recovery of the journaled directory and reports the replay
+// counters.  scripts/perf_smoke.sh gates the on/off median ratio.
+//
+// With --json the run emits afforest-bench-1 records in three groups:
 //   * graph "stream-urand" — "serial-uf" anchor + "stream-delete-free"
 //     (gated; counters must show dynamic_rebuilds == 0);
 //   * graph "stream-urand-window" — "stream-window-tick" and
-//     "stream-window-drain" notes.
+//     "stream-window-drain" notes;
+//   * graph "stream-urand-wal" (only with --wal-dir) — "stream-ingest",
+//     "stream-ingest-wal" (wal_records/bytes_appended counters), and
+//     "stream-recovery" (wal_records_replayed counter).
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -30,6 +41,7 @@
 #include "bench/harness.hpp"
 #include "cc/union_find.hpp"
 #include "graph/generators/uniform.hpp"
+#include "serve/durable_engine.hpp"
 #include "serve/dynamic_cc.hpp"
 #include "serve/windowed_stream.hpp"
 #include "util/stats.hpp"
@@ -67,6 +79,8 @@ int main(int argc, char** argv) {
   cl.describe("batch", "edges per stream batch (default 1024)");
   cl.describe("window", "resident batches in the sliding window (default 4)");
   cl.describe("seed", "stream RNG seed (default 42)");
+  cl.describe("wal-dir",
+              "directory for the WAL-overhead phase (default: skip it)");
   bench::JsonReporter json(cl, "streaming");
   if (!bench::standard_preamble(
           cl, "Streaming: batched deletions + sliding-window expiry"))
@@ -77,6 +91,7 @@ int main(int argc, char** argv) {
   const std::int64_t batch = cl.get_int("batch", 1024);
   const std::int64_t window = cl.get_int("window", 4);
   const auto seed = static_cast<std::uint64_t>(cl.get_int("seed", 42));
+  const std::string wal_dir = cl.get_string("wal-dir", "");
   bench::warn_unknown_flags(cl);
   if (batch <= 0 || window <= 0) {
     std::cerr << "streaming: --batch and --window must be positive\n";
@@ -224,6 +239,93 @@ int main(int argc, char** argv) {
              summarize_trials(tick_samples), report);
     json.add(window_graph, "stream-window-drain", params,
              summarize_trials(drain_samples), report);
+  }
+
+  // ---- phase 4 (opt-in): WAL durability tax + recovery replay -------------
+  if (!wal_dir.empty()) {
+    namespace fs = std::filesystem;
+    const std::string wal_graph = "stream-urand-wal";
+    const fs::path durable_dir = fs::path(wal_dir) / "streaming-wal";
+    fs::create_directories(wal_dir);  // the engine makes only the leaf dir
+    serve::DurableOptions opts;
+    opts.dir = durable_dir.string();
+    opts.sync = serve::WalSync::kNone;  // measure the code path, not the disk
+
+    // Both sides run the identical batch schedule through the identical
+    // apply path (insert + publish per batch); the only difference is the
+    // journaling in front of it — exactly the overhead the gate bounds.
+    const auto plain_ingest = [&] {
+      Engine e(n);
+      for (const auto& b : batches) {
+        e.apply_inserts(b);
+        e.publish();
+      }
+    };
+    const auto durable_ingest = [&] {
+      serve::DurableEngine<NodeID> e(n, opts);
+      for (const auto& b : batches) e.insert(b);
+    };
+
+    std::vector<double> off_samples;
+    std::vector<double> on_samples;
+    for (int t = 0; t < std::max(1, trials); ++t) {
+      Timer timer;
+      timer.start();
+      plain_ingest();
+      timer.stop();
+      off_samples.push_back(timer.seconds());
+      fs::remove_all(durable_dir);  // fresh bootstrap, outside the clock
+      timer.start();
+      durable_ingest();
+      timer.stop();
+      on_samples.push_back(timer.seconds());
+    }
+
+    // Recovery: reopen the directory the last sample left behind.  The
+    // open replays the whole WAL (no checkpoint was cut), so this times
+    // the full journal-to-state path; reopening is read-only, hence
+    // repeatable per trial.
+    std::vector<double> recovery_samples;
+    serve::RecoveryStats recovery{};
+    for (int t = 0; t < std::max(1, trials); ++t) {
+      Timer timer;
+      timer.start();
+      serve::DurableEngine<NodeID> e(n, opts);
+      timer.stop();
+      recovery_samples.push_back(timer.seconds());
+      recovery = e.recovery_stats();
+    }
+
+    const double off_ms = median(off_samples) * 1e3;
+    const double on_ms = median(on_samples) * 1e3;
+    std::cout << "\nwal: ingest off " << TextTable::fmt(off_ms, 2)
+              << " ms / on " << TextTable::fmt(on_ms, 2)
+              << " ms median (overhead x"
+              << TextTable::fmt(off_ms > 0 ? on_ms / off_ms : 0.0, 3)
+              << "); recovery "
+              << TextTable::fmt(median(recovery_samples) * 1e3, 2) << " ms, "
+              << recovery.wal_records_replayed << " records replayed ("
+              << recovery.wal_torn_bytes << " torn bytes)\n";
+
+    if (json.collect()) {
+      const std::vector<bench::Param> wal_params = {
+          {"scale", scale},
+          {"trials", trials},
+          {"batch", batch},
+          {"sync", std::string("none")}};
+      json.add(wal_graph, "stream-ingest", wal_params,
+               summarize_trials(off_samples));
+      fs::remove_all(durable_dir);
+      const telemetry::Report on_report =
+          bench::measure_counters(durable_ingest);
+      json.add(wal_graph, "stream-ingest-wal", wal_params,
+               summarize_trials(on_samples), on_report);
+      const telemetry::Report recovery_report = bench::measure_counters(
+          [&] { serve::DurableEngine<NodeID> e(n, opts); });
+      json.add(wal_graph, "stream-recovery", wal_params,
+               summarize_trials(recovery_samples), recovery_report);
+    }
+    fs::remove_all(durable_dir);
   }
 
   std::cout << "\nexpected shape: non-tree deletions are O(1)-certified "

@@ -60,10 +60,17 @@ SERVE_STEADY=1048576
 # exits nonzero — failing this gate — if the rebuild counter moves.  The
 # sliding-window records land on the anchor-less "stream-urand-window"
 # graph and ride along as notes (rebuild cost depends on window shape).
+# --wal-dir adds the durability-tax phase (graph "stream-urand-wal"):
+# wal_gate() below bounds the WAL-on/WAL-off ingest median ratio at
+# AFFOREST_WAL_OVERHEAD_BOUND (default 1.15, i.e. <15% overhead with
+# WalSync::kNone — see docs/ROBUSTNESS.md).  The ratio is intra-run, so
+# it holds on any machine without a baseline refresh; like the baseline
+# comparator, a breach must reproduce in both attempts to fail the job.
 STREAM_SCALE=16
 STREAM_TRIALS=5
 STREAM_BATCH=4096
 STREAM_WINDOW=4
+WAL_OVERHEAD_BOUND="${AFFOREST_WAL_OVERHEAD_BOUND:-1.15}"
 
 BIN="${BUILD_DIR}/bench/bench_fig8a_performance"
 SERVE_BIN="${BUILD_DIR}/bench/bench_serving"
@@ -102,10 +109,13 @@ run_suite() {
   echo "perf_smoke: running pinned streaming suite (scale=$STREAM_SCALE trials=$STREAM_TRIALS window=$STREAM_WINDOW)"
   # bench_streaming exits nonzero on its own if the delete-free pass ever
   # triggers a rebuild — that correctness gate rides inside the perf gate.
+  rm -rf "$1.waldir"
   OMP_NUM_THREADS="$THREADS" "$STREAM_BIN" \
     --scale "$STREAM_SCALE" --trials "$STREAM_TRIALS" \
     --batch "$STREAM_BATCH" --window "$STREAM_WINDOW" \
+    --wal-dir "$1.waldir" \
     --json "$1.streaming" >/dev/null
+  rm -rf "$1.waldir"
   # Merge into one afforest-bench-1 document: host/build metadata from the
   # fig8a run (same binary toolchain), records concatenated.
   python3 - "$1.fig8a" "$1.serving" "$1.streaming" "$1" <<'PY'
@@ -122,6 +132,15 @@ for rec in fig8a["records"]:
         if rebuilds != 0:
             sys.exit(f"perf_smoke: stream-delete-free record reports "
                      f"{rebuilds} rebuild(s); certification broken")
+# Structural check only — the overhead gate itself runs in wal_gate()
+# below so it gets the same retry-and-intersect noise treatment as the
+# baseline comparator.
+medians = {rec["algorithm"]: rec["trials"]["median_s"]
+           for rec in fig8a["records"]
+           if rec.get("graph") == "stream-urand-wal"}
+if "stream-ingest" not in medians or "stream-ingest-wal" not in medians:
+    sys.exit("perf_smoke: WAL-overhead records missing from the streaming "
+             "run (bench_streaming --wal-dir did not emit them)")
 with open(sys.argv[-1], "w") as f:
     json.dump(fig8a, f, indent=1)
     f.write("\n")
@@ -138,6 +157,26 @@ compare() {
   return "${PIPESTATUS[0]}"
 }
 
+# Durability-tax gate: the WAL-on ingest median must stay within
+# WAL_OVERHEAD_BOUND of the WAL-off ingest median from the SAME run
+# (intra-run ratio — raw machine speed cancels, no baseline needed).
+# Like the comparator, a breach only fails the job if it reproduces in
+# both attempts: the two records come from interleaved trials, but a
+# load burst on a busy host can still land on one side of a single run.
+wal_gate() {
+  python3 - "$1" "$WAL_OVERHEAD_BOUND" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+med = {r["algorithm"]: r["trials"]["median_s"] for r in doc["records"]
+       if r.get("graph") == "stream-urand-wal"}
+ratio = med["stream-ingest-wal"] / med["stream-ingest"]
+bound = float(sys.argv[2])
+print(f"perf_smoke: durable-ingest overhead x{ratio:.3f} "
+      f"(bound x{bound:.2f}, wal sync=none)")
+sys.exit(0 if ratio <= bound else 1)
+PY
+}
+
 # A regression line is "REGRESSION <graph>/<algorithm> (<pinned params>):"
 # — stable across runs because the suite is pinned — so the set of
 # regressed records can be intersected between the two attempts.
@@ -146,6 +185,8 @@ regressed_records() {
 }
 
 run_suite "$OUT"
+WAL_FAIL1=0
+wal_gate "$OUT" || WAL_FAIL1=1
 
 if [[ "$REFRESH" == 1 ]]; then
   # The baseline anchors CI's release binaries: a debug-flavored document
@@ -159,30 +200,51 @@ print(json.load(open(sys.argv[1]))['build'].get('assertions'))
     echo "perf_smoke: rebuild with CMAKE_BUILD_TYPE=Release (build.assertions must be false)" >&2
     exit 2
   fi
+  if [[ "$WAL_FAIL1" == 1 ]]; then
+    # The WAL gate is intra-run, so a refresh can't "bake in" a breach —
+    # surface it as a warning and let the refresh proceed.
+    echo "perf_smoke: warning: durable-ingest overhead above bound in refresh run" >&2
+  fi
   mkdir -p "$(dirname "$BASELINE")"
   cp "$OUT" "$BASELINE"
   echo "perf_smoke: baseline refreshed at $BASELINE"
   exit 0
 fi
 
-if compare "$OUT" "$OUT.compare1"; then
+COMPARE_FAIL1=0
+compare "$OUT" "$OUT.compare1" || COMPARE_FAIL1=1
+if [[ "$COMPARE_FAIL1" == 0 && "$WAL_FAIL1" == 0 ]]; then
   rm -f "$OUT.compare1"
   exit 0
 fi
-echo "perf_smoke: regression reported; retrying once to rule out noise"
+echo "perf_smoke: gate breach reported; retrying once to rule out noise"
 run_suite "$OUT"
-if compare "$OUT" "$OUT.compare2"; then
+WAL_FAIL2=0
+wal_gate "$OUT" || WAL_FAIL2=1
+COMPARE_FAIL2=0
+compare "$OUT" "$OUT.compare2" || COMPARE_FAIL2=1
+if [[ "$COMPARE_FAIL2" == 0 && "$WAL_FAIL2" == 0 ]]; then
   rm -f "$OUT.compare1" "$OUT.compare2"
   exit 0
 fi
+# regressed_records of a passing report is empty, so the intersection is
+# automatically empty unless the comparator failed in both attempts.
 PERSISTENT="$(comm -12 \
   <(regressed_records "$OUT.compare1") \
   <(regressed_records "$OUT.compare2"))"
 rm -f "$OUT.compare1" "$OUT.compare2"
-if [[ -z "$PERSISTENT" ]]; then
-  echo "perf_smoke: no record regressed in both attempts; treating as scheduler noise"
+FAIL=0
+if [[ -n "$PERSISTENT" ]]; then
+  echo "perf_smoke: regression(s) reproduced across both attempts:" >&2
+  echo "$PERSISTENT" >&2
+  FAIL=1
+fi
+if [[ "$WAL_FAIL1" == 1 && "$WAL_FAIL2" == 1 ]]; then
+  echo "perf_smoke: durable-ingest overhead above bound in both attempts" >&2
+  FAIL=1
+fi
+if [[ "$FAIL" == 0 ]]; then
+  echo "perf_smoke: no gate breached in both attempts; treating as scheduler noise"
   exit 0
 fi
-echo "perf_smoke: regression(s) reproduced across both attempts:" >&2
-echo "$PERSISTENT" >&2
 exit 1

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "util/env.hpp"
+#include "util/failpoint.hpp"
 #include "util/platform.hpp"
 #include "util/timer.hpp"
 
@@ -97,6 +98,13 @@ struct Counters {
   std::uint64_t dynamic_deletes_free = 0;  ///< deletions certified free (O(1))
   std::uint64_t dynamic_rebuilds = 0;      ///< components rebuilt after cuts
   std::uint64_t dynamic_rebuild_vertices = 0;  ///< vertices relabeled by rebuilds
+  std::uint64_t wal_records_appended = 0;  ///< WAL records journaled
+  std::uint64_t wal_bytes_appended = 0;    ///< WAL bytes written (incl. framing)
+  std::uint64_t wal_records_replayed = 0;  ///< WAL records re-applied in recovery
+  std::uint64_t wal_checkpoints_written = 0;  ///< checkpoints durably installed
+  std::uint64_t wal_torn_tail_truncations = 0;  ///< torn WAL tails discarded
+  std::uint64_t failpoints_fired = 0;      ///< injected faults fired (live total,
+                                           ///< not reset by telemetry::reset)
 };
 
 namespace detail {
@@ -120,6 +128,11 @@ struct alignas(kCacheLineBytes) ThreadCounters {
   std::atomic<std::uint64_t> dynamic_deletes_free{0};
   std::atomic<std::uint64_t> dynamic_rebuilds{0};
   std::atomic<std::uint64_t> dynamic_rebuild_vertices{0};
+  std::atomic<std::uint64_t> wal_records_appended{0};
+  std::atomic<std::uint64_t> wal_bytes_appended{0};
+  std::atomic<std::uint64_t> wal_records_replayed{0};
+  std::atomic<std::uint64_t> wal_checkpoints_written{0};
+  std::atomic<std::uint64_t> wal_torn_tail_truncations{0};
 };
 
 struct BlockRegistry {
@@ -238,6 +251,32 @@ inline void on_dynamic_rebuild(std::uint64_t vertices) {
   detail::add(b.dynamic_rebuild_vertices, vertices);
 }
 
+// Durability hooks (src/serve/wal.hpp, src/serve/durable_engine.hpp).  All
+// fire from the single-writer thread, so they land in one block; tallied
+// once per record/checkpoint, never per edge.
+
+inline void on_wal_append(std::uint64_t bytes) {
+  if (!enabled()) return;
+  detail::ThreadCounters& b = detail::local();
+  b.wal_records_appended.fetch_add(1, detail::kRelaxed);
+  detail::add(b.wal_bytes_appended, bytes);
+}
+
+inline void on_wal_replay(std::uint64_t records) {
+  if (!enabled()) return;
+  detail::add(detail::local().wal_records_replayed, records);
+}
+
+inline void on_wal_checkpoint() {
+  if (!enabled()) return;
+  detail::local().wal_checkpoints_written.fetch_add(1, detail::kRelaxed);
+}
+
+inline void on_wal_torn_tail() {
+  if (!enabled()) return;
+  detail::local().wal_torn_tail_truncations.fetch_add(1, detail::kRelaxed);
+}
+
 // ---- aggregation ----------------------------------------------------------
 
 /// Sums every thread block.  Safe to call concurrently with running
@@ -272,7 +311,20 @@ inline Counters snapshot() {
     total.dynamic_rebuilds += b->dynamic_rebuilds.load(detail::kRelaxed);
     total.dynamic_rebuild_vertices +=
         b->dynamic_rebuild_vertices.load(detail::kRelaxed);
+    total.wal_records_appended += b->wal_records_appended.load(detail::kRelaxed);
+    total.wal_bytes_appended += b->wal_bytes_appended.load(detail::kRelaxed);
+    total.wal_records_replayed +=
+        b->wal_records_replayed.load(detail::kRelaxed);
+    total.wal_checkpoints_written +=
+        b->wal_checkpoints_written.load(detail::kRelaxed);
+    total.wal_torn_tail_truncations +=
+        b->wal_torn_tail_truncations.load(detail::kRelaxed);
   }
+  // Failpoint fire counts live in the failpoint registry (util/failpoint.hpp
+  // must stay include-light, so the dependency points this way).  They are
+  // deliberately NOT zeroed by telemetry::reset(): resetting would re-arm
+  // "@N" one-shot sites mid-test.  Disarmed runs report 0.
+  total.failpoints_fired = failpoints_total_fires();
   return total;
 }
 
@@ -389,6 +441,11 @@ inline void reset() {
       b->dynamic_deletes_free.store(0, detail::kRelaxed);
       b->dynamic_rebuilds.store(0, detail::kRelaxed);
       b->dynamic_rebuild_vertices.store(0, detail::kRelaxed);
+      b->wal_records_appended.store(0, detail::kRelaxed);
+      b->wal_bytes_appended.store(0, detail::kRelaxed);
+      b->wal_records_replayed.store(0, detail::kRelaxed);
+      b->wal_checkpoints_written.store(0, detail::kRelaxed);
+      b->wal_torn_tail_truncations.store(0, detail::kRelaxed);
     }
   }
   detail::PhaseTable& t = detail::phase_table();

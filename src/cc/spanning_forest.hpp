@@ -112,6 +112,17 @@ class ForestAdjacency {
     row.clear();
   }
 
+  /// Invokes `fn(u, v)` once per current tree edge, with u < v, in
+  /// ascending-u scan order.  Checkpointing (src/serve/checkpoint.hpp)
+  /// serializes the forest through this.
+  template <typename Fn>
+  void for_each_tree_edge(Fn&& fn) const {
+    const std::int64_t n = num_nodes();
+    for (std::int64_t u = 0; u < n; ++u)
+      for (const NodeID_ w : tree_neighbors_[static_cast<std::size_t>(u)])
+        if (static_cast<NodeID_>(u) < w) fn(static_cast<NodeID_>(u), w);
+  }
+
   /// Every vertex reachable from `seeds` over the current tree adjacency,
   /// in ascending order.  With the cut edges already removed, seeding with
   /// all cut-edge endpoints yields exactly the vertex set of the old

@@ -28,6 +28,7 @@ enum class IoErrorKind {
   kMalformedOffsets,  ///< .sg offset array broken (non-monotone, bad ends)
   kCountMismatch,     ///< .mtx entry count disagrees with the size line
   kUnsupportedFormat, ///< unknown extension or unsupported .mtx variant
+  kChecksumMismatch,  ///< stored CRC32C disagrees with payload (WAL/ckpt)
 };
 
 /// Short stable identifier, used in what() and asserted on by tests.
@@ -46,6 +47,7 @@ inline const char* to_string(IoErrorKind kind) {
     case IoErrorKind::kMalformedOffsets: return "malformed-offsets";
     case IoErrorKind::kCountMismatch: return "count-mismatch";
     case IoErrorKind::kUnsupportedFormat: return "unsupported-format";
+    case IoErrorKind::kChecksumMismatch: return "checksum-mismatch";
   }
   return "unknown";
 }

@@ -1,0 +1,408 @@
+// Checkpoints + the durable-directory manifest for the serving engine.
+//
+// A checkpoint is a full serialization of the engine's recoverable state
+// at one published (seq, epoch): component labels, the maintained spanning
+// forest, the edge multiset, and — for windowed engines — the ring of
+// resident batches.  Recovery loads the newest checkpoint and replays the
+// WAL suffix after its seq (durable_engine.hpp), so checkpoint frequency
+// trades write amplification against replay time, never correctness.
+//
+// Checkpoint file (all integers little-endian; spec in docs/ROBUSTNESS.md):
+//
+//   "AFCK" | u32 version=1 | u64 payload_len | payload
+//         | u32 crc32c(payload)
+//   payload:
+//     u64 seq | u64 epoch | u64 num_nodes | u64 window
+//     | num_nodes × i64 label
+//     | u64 forest_count  | forest_count × (i64 u, i64 v)
+//     | u64 adj_count     | adj_count × (i64 u, i64 v, u32 multiplicity)
+//     | u64 ring_batches  | per batch: u64 count | count × (i64 u, i64 v)
+//
+// Unlike the WAL there is no torn-tail leniency: a checkpoint is either
+// entirely valid or rejected with a typed IoError — it is written to a
+// temporary name and renamed into place (after fsync) precisely so a torn
+// checkpoint can never carry the final name.  The reader validates
+// structure before allocating: every count is bounds-checked against the
+// bytes actually present, so a corrupt count field can never drive a huge
+// allocation or an out-of-bounds read.
+//
+// The manifest (file `MANIFEST` in the durable directory) is the root of
+// trust: a small CRC-tailed text file naming the current checkpoint (or
+// none) and the live WAL segment.  It is also atomically replaced, and it
+// is updated strictly AFTER the checkpoint it names is durable — a crash
+// between those steps leaves the previous manifest naming the previous
+// (still valid) pair.
+//
+// Failpoint sites: ckpt.write fires mid-tmp-file write (torn tmp, final
+// name untouched), ckpt.rename fires after the tmp is durable but before
+// the rename (orphan tmp, final name untouched).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/io_error.hpp"
+#include "serve/posix_file.hpp"
+#include "serve/wire.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
+
+namespace afforest::serve {
+
+struct CheckpointData {
+  std::uint64_t seq = 0;    ///< last WAL seq folded into this state
+  std::uint64_t epoch = 0;  ///< published snapshot epoch at that point
+  std::uint64_t num_nodes = 0;
+  std::uint64_t window = 0;  ///< 0 = unwindowed
+  std::vector<std::int64_t> labels;  ///< num_nodes entries
+  std::vector<std::pair<std::int64_t, std::int64_t>> forest_edges;
+  struct AdjacencyEntry {
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    std::uint32_t multiplicity = 0;
+  };
+  std::vector<AdjacencyEntry> adjacency;  ///< one entry per u<v edge key
+  std::vector<std::vector<std::pair<std::int64_t, std::int64_t>>> ring;
+};
+
+namespace ckpt_detail {
+
+inline constexpr char kMagic[4] = {'A', 'F', 'C', 'K'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kPreambleBytes = 4 + 4 + 8;
+
+inline std::vector<unsigned char> encode_payload(const CheckpointData& data) {
+  std::vector<unsigned char> p;
+  p.reserve(32 + data.labels.size() * 8 + data.forest_edges.size() * 16 +
+            data.adjacency.size() * 20);
+  wire::put_u64(p, data.seq);
+  wire::put_u64(p, data.epoch);
+  wire::put_u64(p, data.num_nodes);
+  wire::put_u64(p, data.window);
+  for (const std::int64_t label : data.labels) wire::put_i64(p, label);
+  wire::put_u64(p, static_cast<std::uint64_t>(data.forest_edges.size()));
+  for (const auto& [u, v] : data.forest_edges) {
+    wire::put_i64(p, u);
+    wire::put_i64(p, v);
+  }
+  wire::put_u64(p, static_cast<std::uint64_t>(data.adjacency.size()));
+  for (const auto& entry : data.adjacency) {
+    wire::put_i64(p, entry.u);
+    wire::put_i64(p, entry.v);
+    wire::put_u32(p, entry.multiplicity);
+  }
+  wire::put_u64(p, static_cast<std::uint64_t>(data.ring.size()));
+  for (const auto& batch : data.ring) {
+    wire::put_u64(p, static_cast<std::uint64_t>(batch.size()));
+    for (const auto& [u, v] : batch) {
+      wire::put_i64(p, u);
+      wire::put_i64(p, v);
+    }
+  }
+  return p;
+}
+
+[[noreturn]] inline void corrupt(const std::string& path,
+                                 const std::string& detail,
+                                 std::int64_t byte_offset) {
+  throw IoError(IoErrorKind::kCorruptHeader, path, detail,
+                IoError::kNoPosition, byte_offset);
+}
+
+/// Reads a count field and verifies the remaining bytes can hold `count`
+/// items of `item_bytes` each BEFORE the caller allocates for them.
+inline std::uint64_t checked_count(wire::Reader& r, const std::string& path,
+                                   std::size_t item_bytes,
+                                   const char* what) {
+  const std::size_t at = r.offset();
+  std::uint64_t count = 0;
+  if (!r.get_u64(count))
+    throw IoError(IoErrorKind::kTruncated, path,
+                  std::string("checkpoint payload ends inside ") + what,
+                  IoError::kNoPosition, static_cast<std::int64_t>(at));
+  if (count > r.remaining() / item_bytes)
+    corrupt(path,
+            std::string(what) + " count " + std::to_string(count) +
+                " exceeds remaining payload",
+            static_cast<std::int64_t>(at));
+  return count;
+}
+
+inline void check_vertex(const std::string& path, std::int64_t v,
+                         std::uint64_t num_nodes, const char* what) {
+  if (v < 0 || static_cast<std::uint64_t>(v) >= num_nodes)
+    throw IoError(IoErrorKind::kOutOfRangeNeighbor, path,
+                  std::string(what) + " vertex " + std::to_string(v) +
+                      " outside [0, " + std::to_string(num_nodes) + ")");
+}
+
+}  // namespace ckpt_detail
+
+/// Serializes `data` and installs it at `path` atomically (tmp → fsync →
+/// rename → dir fsync).  A crash anywhere leaves `path` either absent or
+/// previous-valid — never torn.
+inline void write_checkpoint(const std::string& path,
+                             const CheckpointData& data) {
+  const std::vector<unsigned char> payload =
+      ckpt_detail::encode_payload(data);
+  std::vector<unsigned char> bytes;
+  bytes.reserve(ckpt_detail::kPreambleBytes + payload.size() + 4);
+  bytes.insert(bytes.end(), ckpt_detail::kMagic, ckpt_detail::kMagic + 4);
+  wire::put_u32(bytes, ckpt_detail::kVersion);
+  wire::put_u64(bytes, static_cast<std::uint64_t>(payload.size()));
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  wire::put_u32(bytes, crc32c(payload.data(), payload.size()));
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    FdFile tmp = fd_open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC);
+    if (failpoint_triggered("ckpt.write")) {
+      // Torn tmp file: half the bytes land, the final name never appears.
+      fd_write_all(tmp, tmp_path, bytes.data(), bytes.size() / 2);
+      if (failpoints_lethal()) std::_Exit(kFailpointLethalExit);
+      throw FailpointError("ckpt.write");
+    }
+    fd_write_all(tmp, tmp_path, bytes.data(), bytes.size());
+    fd_sync(tmp, tmp_path);
+    tmp.close_checked(tmp_path);
+  }
+  // Tmp is durable but the final name does not exist yet; a crash here
+  // leaves an orphan .tmp that recovery ignores (manifest never names it).
+  failpoint_maybe_fail("ckpt.rename");
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0)
+    throw IoError(IoErrorKind::kWriteFailed, path,
+                  std::string("rename failed: ") + std::strerror(errno));
+  fsync_parent_dir(path);
+}
+
+/// Loads and fully validates a checkpoint; throws typed IoErrors for every
+/// corruption class (never returns partial state).
+inline CheckpointData read_checkpoint(const std::string& path) {
+  const std::vector<unsigned char> bytes = read_entire_file(path);
+  if (bytes.size() < ckpt_detail::kPreambleBytes + 4)
+    throw IoError(IoErrorKind::kTruncated, path,
+                  "file shorter than the checkpoint preamble",
+                  IoError::kNoPosition,
+                  static_cast<std::int64_t>(bytes.size()));
+  for (std::size_t i = 0; i < 4; ++i)
+    if (bytes[i] != static_cast<unsigned char>(ckpt_detail::kMagic[i]))
+      throw IoError(IoErrorKind::kBadMagic, path,
+                    "checkpoint magic mismatch (want \"AFCK\")",
+                    IoError::kNoPosition, static_cast<std::int64_t>(i));
+  wire::Reader preamble(bytes.data() + 4, ckpt_detail::kPreambleBytes - 4);
+  std::uint32_t version = 0;
+  std::uint64_t payload_len = 0;
+  preamble.get_u32(version);
+  preamble.get_u64(payload_len);
+  if (version != ckpt_detail::kVersion)
+    throw IoError(IoErrorKind::kCorruptHeader, path,
+                  "unsupported checkpoint version " + std::to_string(version),
+                  IoError::kNoPosition, 4);
+  const std::uint64_t body = bytes.size() - ckpt_detail::kPreambleBytes;
+  if (payload_len > body || body - payload_len < 4)
+    throw IoError(IoErrorKind::kTruncated, path,
+                  "checkpoint payload extends past end of file",
+                  IoError::kNoPosition,
+                  static_cast<std::int64_t>(ckpt_detail::kPreambleBytes));
+  if (body - payload_len > 4)
+    throw IoError(IoErrorKind::kTrailingGarbage, path,
+                  std::to_string(body - payload_len - 4) +
+                      " bytes after the checkpoint CRC");
+  const unsigned char* payload = bytes.data() + ckpt_detail::kPreambleBytes;
+  wire::Reader crc_reader(payload + payload_len, 4);
+  std::uint32_t stored_crc = 0;
+  crc_reader.get_u32(stored_crc);
+  if (crc32c(payload, payload_len) != stored_crc)
+    throw IoError(IoErrorKind::kChecksumMismatch, path,
+                  "checkpoint payload checksum mismatch");
+
+  wire::Reader r(payload, payload_len);
+  CheckpointData data;
+  if (!r.get_u64(data.seq) || !r.get_u64(data.epoch) ||
+      !r.get_u64(data.num_nodes) || !r.get_u64(data.window))
+    throw IoError(IoErrorKind::kTruncated, path,
+                  "checkpoint payload ends inside the fixed fields");
+  if (data.num_nodes == 0)
+    ckpt_detail::corrupt(path, "checkpoint has zero num_nodes", 16);
+  if (data.num_nodes > r.remaining() / 8)
+    ckpt_detail::corrupt(path,
+                         "label array exceeds remaining payload",
+                         static_cast<std::int64_t>(r.offset()));
+  data.labels.reserve(data.num_nodes);
+  for (std::uint64_t i = 0; i < data.num_nodes; ++i) {
+    std::int64_t label = 0;
+    r.get_i64(label);
+    ckpt_detail::check_vertex(path, label, data.num_nodes, "label");
+    data.labels.push_back(label);
+  }
+  const std::uint64_t forest_count =
+      ckpt_detail::checked_count(r, path, 16, "forest");
+  data.forest_edges.reserve(forest_count);
+  for (std::uint64_t i = 0; i < forest_count; ++i) {
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    r.get_i64(u);
+    r.get_i64(v);
+    ckpt_detail::check_vertex(path, u, data.num_nodes, "forest");
+    ckpt_detail::check_vertex(path, v, data.num_nodes, "forest");
+    data.forest_edges.emplace_back(u, v);
+  }
+  const std::uint64_t adj_count =
+      ckpt_detail::checked_count(r, path, 20, "adjacency");
+  data.adjacency.reserve(adj_count);
+  for (std::uint64_t i = 0; i < adj_count; ++i) {
+    CheckpointData::AdjacencyEntry entry;
+    r.get_i64(entry.u);
+    r.get_i64(entry.v);
+    r.get_u32(entry.multiplicity);
+    ckpt_detail::check_vertex(path, entry.u, data.num_nodes, "adjacency");
+    ckpt_detail::check_vertex(path, entry.v, data.num_nodes, "adjacency");
+    if (entry.multiplicity == 0)
+      ckpt_detail::corrupt(path, "adjacency entry with zero multiplicity",
+                           static_cast<std::int64_t>(r.offset()));
+    data.adjacency.push_back(entry);
+  }
+  const std::uint64_t ring_batches =
+      ckpt_detail::checked_count(r, path, 8, "ring");
+  data.ring.reserve(ring_batches);
+  for (std::uint64_t b = 0; b < ring_batches; ++b) {
+    const std::uint64_t count =
+        ckpt_detail::checked_count(r, path, 16, "ring batch");
+    std::vector<std::pair<std::int64_t, std::int64_t>> batch;
+    batch.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::int64_t u = 0;
+      std::int64_t v = 0;
+      r.get_i64(u);
+      r.get_i64(v);
+      ckpt_detail::check_vertex(path, u, data.num_nodes, "ring");
+      ckpt_detail::check_vertex(path, v, data.num_nodes, "ring");
+      batch.emplace_back(u, v);
+    }
+    data.ring.push_back(std::move(batch));
+  }
+  if (r.remaining() != 0)
+    throw IoError(IoErrorKind::kTrailingGarbage, path,
+                  std::to_string(r.remaining()) +
+                      " bytes after the last ring batch",
+                  IoError::kNoPosition,
+                  static_cast<std::int64_t>(r.offset()));
+  return data;
+}
+
+// ---- manifest -------------------------------------------------------------
+
+/// Root of trust for a durable directory: names the current checkpoint
+/// (empty = bootstrap, replay the WAL from scratch) and the live WAL
+/// segment.  `seq` records the checkpoint's seq (0 at bootstrap).
+struct Manifest {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t window = 0;
+  std::string checkpoint_file;  ///< relative name, empty = none
+  std::string wal_file;         ///< relative name of the live segment
+  std::uint64_t seq = 0;
+};
+
+inline std::string manifest_path(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+/// Atomically replaces the manifest.  Format (text, LF only):
+///   afforest-manifest-1
+///   num_nodes N / window W / checkpoint <name|-> / wal <name> / seq S
+///   crc <8 hex digits over every preceding byte>
+inline void write_manifest(const std::string& dir, const Manifest& manifest) {
+  std::string body = "afforest-manifest-1\n";
+  body += "num_nodes " + std::to_string(manifest.num_nodes) + "\n";
+  body += "window " + std::to_string(manifest.window) + "\n";
+  body += "checkpoint " +
+          (manifest.checkpoint_file.empty() ? std::string("-")
+                                            : manifest.checkpoint_file) +
+          "\n";
+  body += "wal " + manifest.wal_file + "\n";
+  body += "seq " + std::to_string(manifest.seq) + "\n";
+  const std::uint32_t crc = crc32c(body.data(), body.size());
+  char hex[9];
+  std::snprintf(hex, sizeof hex, "%08x", crc);
+  body += "crc " + std::string(hex) + "\n";
+  const std::string path = manifest_path(dir);
+  atomic_write_file(path, path + ".tmp", body.data(), body.size());
+}
+
+/// Loads and validates the manifest; typed IoErrors on every malformation.
+inline Manifest read_manifest(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  const std::vector<unsigned char> bytes = read_entire_file(path);
+  const std::string text(bytes.begin(), bytes.end());
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos)
+      throw IoError(IoErrorKind::kTruncated, path,
+                    "manifest does not end with a newline",
+                    static_cast<std::int64_t>(lines.size() + 1));
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  if (lines.empty() || lines[0] != "afforest-manifest-1")
+    throw IoError(IoErrorKind::kBadMagic, path,
+                  "manifest does not start with afforest-manifest-1", 1);
+  if (lines.size() != 7)
+    throw IoError(IoErrorKind::kCorruptHeader, path,
+                  "manifest has " + std::to_string(lines.size()) +
+                      " lines, want 7");
+  const auto field = [&](std::size_t idx,
+                         const std::string& key) -> std::string {
+    const std::string& line = lines[idx];
+    if (line.rfind(key + " ", 0) != 0)
+      throw IoError(IoErrorKind::kParseError, path,
+                    "manifest line does not start with '" + key + "'",
+                    static_cast<std::int64_t>(idx + 1));
+    return line.substr(key.size() + 1);
+  };
+  const auto number = [&](std::size_t idx,
+                          const std::string& key) -> std::uint64_t {
+    const std::string value = field(idx, key);
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos)
+      throw IoError(IoErrorKind::kParseError, path,
+                    "manifest field '" + key + "' is not a number",
+                    static_cast<std::int64_t>(idx + 1));
+    return std::stoull(value);
+  };
+  // CRC covers every byte before the crc line itself.
+  const std::string crc_hex = field(6, "crc");
+  if (crc_hex.size() != 8 ||
+      crc_hex.find_first_not_of("0123456789abcdef") != std::string::npos)
+    throw IoError(IoErrorKind::kParseError, path,
+                  "manifest crc is not 8 lowercase hex digits", 7);
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(std::stoul(crc_hex, nullptr, 16));
+  const std::size_t covered = text.size() - (lines[6].size() + 1);
+  if (crc32c(text.data(), covered) != stored_crc)
+    throw IoError(IoErrorKind::kChecksumMismatch, path,
+                  "manifest checksum mismatch", 7);
+  Manifest manifest;
+  manifest.num_nodes = number(1, "num_nodes");
+  manifest.window = number(2, "window");
+  const std::string ckpt = field(3, "checkpoint");
+  manifest.checkpoint_file = ckpt == "-" ? std::string() : ckpt;
+  manifest.wal_file = field(4, "wal");
+  manifest.seq = number(5, "seq");
+  if (manifest.num_nodes == 0)
+    throw IoError(IoErrorKind::kCorruptHeader, path,
+                  "manifest has zero num_nodes", 2);
+  if (manifest.wal_file.empty() ||
+      manifest.wal_file.find('/') != std::string::npos ||
+      (!manifest.checkpoint_file.empty() &&
+       manifest.checkpoint_file.find('/') != std::string::npos))
+    throw IoError(IoErrorKind::kParseError, path,
+                  "manifest file names must be non-empty and relative");
+  return manifest;
+}
+
+}  // namespace afforest::serve

@@ -346,6 +346,114 @@ class DynamicCC {
     return out;
   }
 
+  // ---- durability plane (src/serve/durable_engine.hpp) -------------------
+
+  /// One distinct undirected edge key and its surviving copy count.
+  /// Self loops appear once with u == v.
+  struct EdgeMultiplicity {
+    NodeID_ u;
+    NodeID_ v;
+    std::uint32_t copies;
+  };
+
+  /// The surviving edge multiset as (u <= v, copies) entries in
+  /// ascending-u scan order.  Checkpoint serialization reads this.
+  [[nodiscard]] std::vector<EdgeMultiplicity> adjacency_snapshot() const {
+    std::vector<EdgeMultiplicity> out;
+    const std::int64_t n = num_nodes();
+    for (std::int64_t u = 0; u < n; ++u)
+      for (const auto& [w, copies] : adj_[static_cast<std::size_t>(u)])
+        if (static_cast<NodeID_>(u) <= w)
+          out.push_back({static_cast<NodeID_>(u), w, copies});
+    return out;
+  }
+
+  /// Current tree edges (u < v).  Checkpoint serialization reads this.
+  [[nodiscard]] std::vector<std::pair<NodeID_, NodeID_>> forest_snapshot()
+      const {
+    std::vector<std::pair<NodeID_, NodeID_>> out;
+    out.reserve(static_cast<std::size_t>(forest_.num_tree_edges()));
+    forest_.for_each_tree_edge(
+        [&](NodeID_ u, NodeID_ v) { out.emplace_back(u, v); });
+    return out;
+  }
+
+  /// Raises the snapshot epoch floor (see SnapshotStore::set_epoch_floor):
+  /// the next publish() stamps an epoch strictly greater than `floor`.
+  void set_epoch_floor(std::uint64_t floor) { store_.set_epoch_floor(floor); }
+
+  /// Replaces the writer state wholesale from checkpointed pieces.  The
+  /// published snapshot is untouched until the caller publish()es.
+  ///
+  /// The forest is not trusted blindly: every tree edge must be a
+  /// surviving non-loop edge and must merge two components (acyclicity) —
+  /// a cyclic "forest" would hang collect_reachable later.  Labels must
+  /// equal the labels the forest itself induces (min id per tree), which
+  /// pins the two structures to each other.  Violations throw
+  /// std::invalid_argument; the recovery path wraps that into a typed
+  /// IoError against the checkpoint file.  Endpoints are range-checked
+  /// like every other write-plane entry point.
+  void restore_state(
+      const std::vector<NodeID_>& labels,
+      const std::vector<std::pair<NodeID_, NodeID_>>& forest_edges,
+      const std::vector<EdgeMultiplicity>& adjacency) {
+    const WriterLock lock(writer_active_, "DynamicCC");
+    const std::int64_t n = num_nodes();
+    if (static_cast<std::int64_t>(labels.size()) != n)
+      throw std::invalid_argument(
+          "DynamicCC::restore_state: label count != num_nodes");
+    for (const auto& entry : adjacency) {
+      check_vertex(entry.u);
+      check_vertex(entry.v);
+      if (entry.copies == 0)
+        throw std::invalid_argument(
+            "DynamicCC::restore_state: zero-multiplicity adjacency entry");
+    }
+    for (const auto& [u, v] : forest_edges) {
+      check_vertex(u);
+      check_vertex(v);
+    }
+
+    std::vector<std::unordered_map<NodeID_, std::uint32_t>> adj(
+        static_cast<std::size_t>(n));
+    std::int64_t distinct = 0;
+    for (const auto& entry : adjacency) {
+      if (!adj[static_cast<std::size_t>(entry.u)]
+               .emplace(entry.v, entry.copies)
+               .second)
+        throw std::invalid_argument(
+            "DynamicCC::restore_state: duplicate adjacency entry");
+      if (entry.u != entry.v)
+        adj[static_cast<std::size_t>(entry.v)].emplace(entry.u, entry.copies);
+      ++distinct;
+    }
+
+    ForestAdjacency<NodeID_> forest(n);
+    UnionFind<NodeID_> uf(n);
+    for (const auto& [u, v] : forest_edges) {
+      const auto& row = adj[static_cast<std::size_t>(u)];
+      if (u == v || row.find(v) == row.end())
+        throw std::invalid_argument(
+            "DynamicCC::restore_state: tree edge not a surviving edge");
+      if (!uf.unite(u, v))
+        throw std::invalid_argument(
+            "DynamicCC::restore_state: forest edges contain a cycle");
+      forest.add_tree_edge(u, v);
+    }
+    for (std::int64_t v = 0; v < n; ++v)
+      if (labels[static_cast<std::size_t>(v)] !=
+          uf.find(static_cast<NodeID_>(v)))
+        throw std::invalid_argument(
+            "DynamicCC::restore_state: labels disagree with the forest");
+
+    adj_ = std::move(adj);
+    forest_ = std::move(forest);
+    distinct_edges_ = distinct;
+    for (std::int64_t v = 0; v < n; ++v)
+      labels_[static_cast<std::size_t>(v)] =
+          labels[static_cast<std::size_t>(v)];
+  }
+
   /// TEST-ONLY seam: when on, every last-copy deletion is certified free —
   /// tree edges included, so splits are silently missed.  This deliberately
   /// breaks the non-tree-edge certification; the differential suite must

@@ -1,0 +1,203 @@
+// Thin POSIX file helpers shared by the durability layer (wal.hpp,
+// checkpoint.hpp): an fd RAII wrapper, full-write/full-read loops, and the
+// fsync/rename dance that makes "atomically install this file" actually
+// durable.
+//
+// The rest of the repository does I/O through iostreams, which is fine for
+// graph loading but unusable here: durability needs fsync (no portable
+// iostream spelling), ftruncate (discarding a torn WAL tail in place), and
+// rename-into-place with a directory fsync so the new name itself survives
+// a power cut.  This header is the single place those syscalls live;
+// everything above it speaks IoError.
+#pragma once
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "graph/io_error.hpp"
+
+namespace afforest::serve {
+
+/// RAII file descriptor.  Move-only; closes on destruction (best-effort —
+/// callers that need the close error checked call close_checked()).
+class FdFile {
+ public:
+  FdFile() = default;
+  explicit FdFile(int fd) : fd_(fd) {}
+  ~FdFile() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FdFile(FdFile&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdFile& operator=(FdFile&& other) noexcept {
+    if (this != &other) {
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FdFile(const FdFile&) = delete;
+  FdFile& operator=(const FdFile&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  void close_checked(const std::string& path) {
+    if (fd_ < 0) return;
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0)
+      throw IoError(IoErrorKind::kWriteFailed, path,
+                    std::string("close failed: ") + std::strerror(errno));
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens with open(2); throws IoError(kOpenFailed) on failure.
+inline FdFile fd_open(const std::string& path, int flags, mode_t mode = 0644) {
+  const int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0)
+    throw IoError(IoErrorKind::kOpenFailed, path,
+                  std::string("open failed: ") + std::strerror(errno));
+  return FdFile(fd);
+}
+
+/// Writes all `size` bytes (looping over short writes); throws
+/// IoError(kWriteFailed) on error.
+inline void fd_write_all(const FdFile& file, const std::string& path,
+                         const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(file.get(), p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(IoErrorKind::kWriteFailed, path,
+                    std::string("write failed: ") + std::strerror(errno));
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+}
+
+/// fdatasync; throws IoError(kWriteFailed) on error.
+inline void fd_sync(const FdFile& file, const std::string& path) {
+  if (::fdatasync(file.get()) != 0)
+    throw IoError(IoErrorKind::kWriteFailed, path,
+                  std::string("fdatasync failed: ") + std::strerror(errno));
+}
+
+/// ftruncate to `size` bytes; throws IoError(kWriteFailed) on error.
+inline void fd_truncate(const FdFile& file, const std::string& path,
+                        std::uint64_t size) {
+  if (::ftruncate(file.get(), static_cast<off_t>(size)) != 0)
+    throw IoError(IoErrorKind::kWriteFailed, path,
+                  std::string("ftruncate failed: ") + std::strerror(errno));
+}
+
+/// The directory component of `path` ("." when there is none).
+inline std::string parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsyncs the directory containing `path`, making a just-created or
+/// just-renamed name in it durable.  Throws IoError(kWriteFailed).
+inline void fsync_parent_dir(const std::string& path) {
+  const std::string dir = parent_dir(path);
+  FdFile d = fd_open(dir, O_RDONLY | O_DIRECTORY);
+  if (::fsync(d.get()) != 0)
+    throw IoError(IoErrorKind::kWriteFailed, dir,
+                  std::string("directory fsync failed: ") +
+                      std::strerror(errno));
+}
+
+/// Reads the whole file into memory; throws IoError(kOpenFailed) when it
+/// cannot be opened.  Durability files are bounded by the checkpoint
+/// interval, so whole-file reads are the simple and sufficient choice.
+inline std::vector<unsigned char> read_entire_file(const std::string& path) {
+  FdFile file = fd_open(path, O_RDONLY);
+  std::vector<unsigned char> bytes;
+  unsigned char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(file.get(), buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(IoErrorKind::kOpenFailed, path,
+                    std::string("read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  return bytes;
+}
+
+/// Creates `path` as a directory if it does not exist; throws
+/// IoError(kOpenFailed) on any other failure.
+inline void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST)
+    throw IoError(IoErrorKind::kOpenFailed, path,
+                  std::string("mkdir failed: ") + std::strerror(errno));
+}
+
+/// True iff `path` exists (any file type).
+inline bool path_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Names of the regular entries in `dir` (no "."/".."); throws
+/// IoError(kOpenFailed) when the directory cannot be read.
+inline std::vector<std::string> list_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr)
+    throw IoError(IoErrorKind::kOpenFailed, dir,
+                  std::string("opendir failed: ") + std::strerror(errno));
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+/// Removes `path` (file), ignoring a missing file; throws on other errors.
+inline void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+    throw IoError(IoErrorKind::kWriteFailed, path,
+                  std::string("unlink failed: ") + std::strerror(errno));
+}
+
+/// Writes `bytes` to `path` atomically: tmp file → fsync → rename →
+/// directory fsync.  A crash at any point leaves either the old file or
+/// the new one, never a partial.  `tmp_path` must be on the same
+/// filesystem (conventionally `path + ".tmp"`).
+inline void atomic_write_file(const std::string& path,
+                              const std::string& tmp_path,
+                              const void* data, std::size_t size) {
+  {
+    FdFile tmp = fd_open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC);
+    fd_write_all(tmp, tmp_path, data, size);
+    fd_sync(tmp, tmp_path);
+    tmp.close_checked(tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0)
+    throw IoError(IoErrorKind::kWriteFailed, path,
+                  std::string("rename failed: ") + std::strerror(errno));
+  fsync_parent_dir(path);
+}
+
+}  // namespace afforest::serve

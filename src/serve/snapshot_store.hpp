@@ -179,6 +179,15 @@ class SnapshotStore {
     }
   }
 
+  /// Raises the epoch counter so the NEXT publish stamps an epoch strictly
+  /// greater than `floor`.  Writer-only, like publish().  Recovery
+  /// (src/serve/durable_engine.hpp) uses this so a restarted engine never
+  /// re-issues an epoch that pre-crash readers may have observed — epochs
+  /// stay monotone across the crash, not just within one process life.
+  void set_epoch_floor(std::uint64_t floor) {
+    if (floor > epoch_counter_) epoch_counter_ = floor;
+  }
+
   /// Publishes `source` (a fully compressed label array owned by the single
   /// writer) as a new snapshot with epoch +1.  Waits for the grace period
   /// of the buffer it overwrites; fires the serve.swap failpoint before the

@@ -1,0 +1,335 @@
+// Write-ahead log for the durable serving engine (durable_engine.hpp):
+// every insert/delete/tick batch is journaled here before it is applied,
+// so a crashed writer can replay its suffix on restart.
+//
+// File layout (all integers little-endian; full spec in
+// docs/ROBUSTNESS.md):
+//
+//   header   "AFWL" | u32 version=1 | u64 num_nodes | u64 window
+//            | u64 start_seq | u32 crc32c(header bytes so far)
+//   record*  u32 payload_len | u32 crc32c(payload) | payload
+//   payload  u8 type (1=insert, 2=delete, 3=tick) | u64 seq | u64 epoch
+//            | u64 edge_count | edge_count × (i64 u, i64 v)
+//
+// Torn-tail tolerance: a crash mid-append leaves a partial record at the
+// end of the file.  wal_scan() accepts the longest valid prefix and
+// reports the rest as `torn_bytes`; WalWriter::open_for_append truncates
+// that tail in place so the next append starts at a record boundary.  A
+// record is valid only if its length field is self-consistent and within
+// the file, its CRC32C matches, its type is known, and its sequence number
+// is exactly the predecessor's + 1 — the seq rule is what catches a
+// duplicated tail (same bytes appended twice pass CRC but repeat a seq).
+// Everything after the first invalid record is discarded; that is
+// indistinguishable from the crash having happened one record earlier,
+// which is exactly the contract recovery tests pin (never a silently
+// wrong label, possibly a slightly earlier durable point).
+//
+// Header corruption is NOT tolerated — a WAL whose identity (num_nodes,
+// start_seq) cannot be trusted must not be replayed, so header problems
+// throw typed IoErrors (kBadMagic / kCorruptHeader / kChecksumMismatch /
+// kTruncated) instead.
+//
+// Failpoint sites (docs/ROBUSTNESS.md):
+//   wal.append — fires before a record hits the file; writes a
+//                deterministic partial prefix of the record first, so the
+//                recovered file exercises the torn-tail path.
+//   wal.fsync  — fires after the record is fully written but before
+//                fdatasync; the record may or may not survive a real
+//                crash, and recovery must accept either outcome.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/telemetry.hpp"
+#include "graph/io_error.hpp"
+#include "serve/posix_file.hpp"
+#include "serve/wire.hpp"
+#include "util/crc32c.hpp"
+#include "util/failpoint.hpp"
+
+namespace afforest::serve {
+
+enum class WalSync {
+  kNone,   ///< write(2) only: survives process death, not power loss
+  kFsync,  ///< fdatasync after every append: survives power loss
+};
+
+enum class WalRecordType : std::uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kTick = 3,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kInsert;
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
+  std::vector<std::pair<std::int64_t, std::int64_t>> edges;
+};
+
+struct WalHeader {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t window = 0;  ///< 0 = unwindowed engine
+  std::uint64_t start_seq = 1;  ///< seq the first record must carry
+};
+
+struct WalScan {
+  WalHeader header;
+  std::vector<WalRecord> records;  ///< longest valid prefix
+  std::uint64_t valid_bytes = 0;   ///< offset just past the last valid record
+  std::uint64_t torn_bytes = 0;    ///< trailing bytes rejected by the scan
+  std::uint64_t last_seq = 0;      ///< seq of last valid record (start_seq-1 if none)
+};
+
+namespace wal_detail {
+
+inline constexpr char kMagic[4] = {'A', 'F', 'W', 'L'};
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 36;
+inline constexpr std::size_t kMinPayloadBytes = 1 + 8 + 8 + 8;
+inline constexpr std::size_t kEdgeBytes = 16;
+
+inline std::vector<unsigned char> encode_header(const WalHeader& header) {
+  std::vector<unsigned char> bytes;
+  bytes.reserve(kHeaderBytes);
+  bytes.insert(bytes.end(), kMagic, kMagic + 4);
+  wire::put_u32(bytes, kVersion);
+  wire::put_u64(bytes, header.num_nodes);
+  wire::put_u64(bytes, header.window);
+  wire::put_u64(bytes, header.start_seq);
+  wire::put_u32(bytes, crc32c(bytes.data(), bytes.size()));
+  return bytes;
+}
+
+/// Parses and validates the fixed header; throws typed IoErrors.
+inline WalHeader decode_header(const std::string& path,
+                               const std::vector<unsigned char>& bytes) {
+  if (bytes.size() < kHeaderBytes)
+    throw IoError(IoErrorKind::kTruncated, path,
+                  "file shorter than the WAL header", IoError::kNoPosition,
+                  static_cast<std::int64_t>(bytes.size()));
+  for (std::size_t i = 0; i < 4; ++i)
+    if (bytes[i] != static_cast<unsigned char>(kMagic[i]))
+      throw IoError(IoErrorKind::kBadMagic, path,
+                    "WAL magic mismatch (want \"AFWL\")",
+                    IoError::kNoPosition, static_cast<std::int64_t>(i));
+  const std::uint32_t stored_crc = static_cast<std::uint32_t>(bytes[32]) |
+                                   static_cast<std::uint32_t>(bytes[33]) << 8 |
+                                   static_cast<std::uint32_t>(bytes[34]) << 16 |
+                                   static_cast<std::uint32_t>(bytes[35]) << 24;
+  if (stored_crc != crc32c(bytes.data(), 32))
+    throw IoError(IoErrorKind::kChecksumMismatch, path,
+                  "WAL header checksum mismatch", IoError::kNoPosition, 32);
+  wire::Reader r(bytes.data() + 4, 28);
+  std::uint32_t version = 0;
+  WalHeader header;
+  r.get_u32(version);
+  r.get_u64(header.num_nodes);
+  r.get_u64(header.window);
+  r.get_u64(header.start_seq);
+  if (version != kVersion)
+    throw IoError(IoErrorKind::kCorruptHeader, path,
+                  "unsupported WAL version " + std::to_string(version),
+                  IoError::kNoPosition, 4);
+  if (header.num_nodes == 0 || header.start_seq == 0)
+    throw IoError(IoErrorKind::kCorruptHeader, path,
+                  "WAL header has zero num_nodes or start_seq");
+  return header;
+}
+
+inline std::vector<unsigned char> encode_record(const WalRecord& record) {
+  // Single-buffer framing: serialize the payload straight after an 8-byte
+  // placeholder, then patch length + CRC in place — the payload is never
+  // copied a second time (this is on the gated durable-ingest hot path).
+  std::vector<unsigned char> bytes;
+  bytes.reserve(8 + kMinPayloadBytes + record.edges.size() * kEdgeBytes);
+  wire::put_u32(bytes, 0);  // payload_len, patched below
+  wire::put_u32(bytes, 0);  // crc32c(payload), patched below
+  wire::put_u8(bytes, static_cast<std::uint8_t>(record.type));
+  wire::put_u64(bytes, record.seq);
+  wire::put_u64(bytes, record.epoch);
+  wire::put_u64(bytes, static_cast<std::uint64_t>(record.edges.size()));
+  for (const auto& [u, v] : record.edges) {
+    wire::put_i64(bytes, u);
+    wire::put_i64(bytes, v);
+  }
+  const std::size_t payload_len = bytes.size() - 8;
+  const std::uint32_t crc = crc32c(bytes.data() + 8, payload_len);
+  for (int i = 0; i < 4; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>(payload_len >> (8 * i));
+    bytes[static_cast<std::size_t>(4 + i)] =
+        static_cast<unsigned char>(crc >> (8 * i));
+  }
+  return bytes;
+}
+
+}  // namespace wal_detail
+
+/// Reads `path`, validating the header strictly (typed IoErrors) and the
+/// record stream leniently: scanning stops at the first invalid record and
+/// the remainder is reported as `torn_bytes`.  Allocation is bounded by
+/// the file size — a corrupt length field can never ask for more bytes
+/// than remain in the file.
+inline WalScan wal_scan(const std::string& path) {
+  const std::vector<unsigned char> bytes = read_entire_file(path);
+  WalScan scan;
+  scan.header = wal_detail::decode_header(path, bytes);
+  scan.valid_bytes = wal_detail::kHeaderBytes;
+  scan.last_seq = scan.header.start_seq - 1;
+  std::size_t pos = wal_detail::kHeaderBytes;
+  while (true) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < 8) break;  // torn/absent length+crc prefix
+    wire::Reader frame(bytes.data() + pos, remaining);
+    std::uint32_t payload_len = 0;
+    std::uint32_t stored_crc = 0;
+    frame.get_u32(payload_len);
+    frame.get_u32(stored_crc);
+    if (payload_len < wal_detail::kMinPayloadBytes) break;
+    if ((payload_len - wal_detail::kMinPayloadBytes) %
+            wal_detail::kEdgeBytes != 0)
+      break;
+    if (payload_len > remaining - 8) break;  // record extends past EOF
+    const unsigned char* payload = bytes.data() + pos + 8;
+    if (crc32c(payload, payload_len) != stored_crc) break;
+    wire::Reader body(payload, payload_len);
+    WalRecord record;
+    std::uint8_t type = 0;
+    std::uint64_t count = 0;
+    body.get_u8(type);
+    body.get_u64(record.seq);
+    body.get_u64(record.epoch);
+    body.get_u64(count);
+    if (type < 1 || type > 3) break;
+    record.type = static_cast<WalRecordType>(type);
+    if (count != (payload_len - wal_detail::kMinPayloadBytes) /
+                     wal_detail::kEdgeBytes)
+      break;
+    // The seq chain is the duplicate/reorder detector: a replayed tail
+    // passes CRC but repeats a seq, a dropped record skips one.
+    if (record.seq != scan.last_seq + 1) break;
+    record.edges.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::int64_t u = 0;
+      std::int64_t v = 0;
+      body.get_i64(u);
+      body.get_i64(v);
+      record.edges.emplace_back(u, v);
+    }
+    scan.last_seq = record.seq;
+    scan.records.push_back(std::move(record));
+    pos += 8 + payload_len;
+    scan.valid_bytes = pos;
+  }
+  scan.torn_bytes = bytes.size() - scan.valid_bytes;
+  return scan;
+}
+
+/// Single-writer append handle.  Not thread-safe by design — the serving
+/// tier already funnels all mutation through one writer (WriterLock), and
+/// the WAL inherits that discipline.
+class WalWriter {
+ public:
+  /// Creates a fresh segment at `path` (which must not exist), writes the
+  /// header durably, and returns a writer positioned for `header.start_seq`.
+  static WalWriter create(const std::string& path, const WalHeader& header,
+                          WalSync sync) {
+    if (header.num_nodes == 0 || header.start_seq == 0)
+      throw std::logic_error("WalWriter::create: invalid header");
+    FdFile fd = fd_open(path, O_WRONLY | O_CREAT | O_EXCL);
+    const std::vector<unsigned char> bytes =
+        wal_detail::encode_header(header);
+    fd_write_all(fd, path, bytes.data(), bytes.size());
+    fd_sync(fd, path);
+    fsync_parent_dir(path);
+    return WalWriter(std::move(fd), path, header, header.start_seq - 1, sync);
+  }
+
+  /// Opens an existing segment for appending: scans it, truncates any torn
+  /// tail in place, and positions after the last valid record.  The scan
+  /// (with the surviving records) is returned through `out_scan` so the
+  /// caller can replay without reading the file twice.
+  static WalWriter open_for_append(const std::string& path, WalSync sync,
+                                   WalScan* out_scan = nullptr) {
+    WalScan scan = wal_scan(path);
+    FdFile fd = fd_open(path, O_WRONLY);
+    if (scan.torn_bytes > 0) {
+      fd_truncate(fd, path, scan.valid_bytes);
+      fd_sync(fd, path);
+      telemetry::on_wal_torn_tail();
+    }
+    if (::lseek(fd.get(), static_cast<off_t>(scan.valid_bytes), SEEK_SET) < 0)
+      throw IoError(IoErrorKind::kOpenFailed, path,
+                    std::string("lseek failed: ") + std::strerror(errno));
+    WalWriter writer(std::move(fd), path, scan.header, scan.last_seq, sync);
+    if (out_scan != nullptr) *out_scan = std::move(scan);
+    return writer;
+  }
+
+  /// Appends one record.  `record.seq` must be exactly last_seq()+1 — the
+  /// engine owns seq assignment and a gap here is a logic bug, not I/O.
+  void append(const WalRecord& record) {
+    if (poisoned_)
+      throw std::logic_error(
+          "WalWriter::append: a previous append did not complete; the file "
+          "position is untrustworthy — reopen via open_for_append");
+    if (record.seq != last_seq_ + 1)
+      throw std::logic_error("WalWriter::append: non-contiguous seq " +
+                             std::to_string(record.seq) + " after " +
+                             std::to_string(last_seq_));
+    poisoned_ = true;
+    const std::vector<unsigned char> bytes =
+        wal_detail::encode_record(record);
+    if (failpoint_triggered("wal.append")) {
+      // Simulate a torn write: a deterministic strict prefix of the record
+      // reaches the file, then the writer dies.  Recovery must discard it.
+      const std::size_t partial =
+          detail::failpoint_mix(record.seq) % bytes.size();
+      fd_write_all(fd_, path_, bytes.data(), partial);
+      if (failpoints_lethal()) std::_Exit(kFailpointLethalExit);
+      throw FailpointError("wal.append");
+    }
+    fd_write_all(fd_, path_, bytes.data(), bytes.size());
+    // Record bytes are in the file (and would survive a process crash);
+    // wal.fsync models dying before they are known power-loss durable.
+    failpoint_maybe_fail("wal.fsync");
+    if (sync_ == WalSync::kFsync) fd_sync(fd_, path_);
+    last_seq_ = record.seq;
+    poisoned_ = false;
+    telemetry::on_wal_append(bytes.size());
+  }
+
+  /// Explicit fdatasync (used before a checkpoint cuts over regardless of
+  /// the per-append sync mode).
+  void sync() { fd_sync(fd_, path_); }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  [[nodiscard]] const WalHeader& header() const noexcept { return header_; }
+  [[nodiscard]] std::uint64_t last_seq() const noexcept { return last_seq_; }
+
+ private:
+  WalWriter(FdFile fd, std::string path, WalHeader header,
+            std::uint64_t last_seq, WalSync sync)
+      : fd_(std::move(fd)),
+        path_(std::move(path)),
+        header_(header),
+        last_seq_(last_seq),
+        sync_(sync) {}
+
+  FdFile fd_;
+  std::string path_;
+  WalHeader header_;
+  std::uint64_t last_seq_;
+  WalSync sync_;
+  /// True while an append is in flight; stays true if it threw, so a
+  /// caller cannot write a fresh record after a torn one (the tear would
+  /// silently truncate everything appended after it at recovery).
+  bool poisoned_ = false;
+};
+
+}  // namespace afforest::serve

@@ -40,14 +40,39 @@ class WindowedStream {
   [[nodiscard]] std::size_t window() const { return window_; }
   [[nodiscard]] std::size_t resident_batches() const { return ring_.size(); }
 
-  /// One stream tick: inserts `batch`, expires the oldest resident batch if
-  /// the window is over capacity, and publishes the resulting snapshot.
-  /// Returns the DeleteStats of the expiry (all-zero when nothing expired).
+  /// Read access to the resident batches, oldest first.  Checkpoint
+  /// serialization (src/serve/durable_engine.hpp) walks this; the exact
+  /// ring contents are recoverable state, since expiry order depends on
+  /// them.
+  [[nodiscard]] const std::deque<EdgeList<NodeID_>>& resident() const {
+    return ring_;
+  }
+
+  /// Reinstates the expiry ring from a checkpoint.  The engine must
+  /// already hold the matching multiset state (DynamicCC::restore_state);
+  /// this only restores the window accounting.  Throws std::invalid_argument
+  /// if the checkpointed ring exceeds this stream's window.
+  void restore_ring(std::deque<EdgeList<NodeID_>> ring) {
+    if (ring.size() > window_)
+      throw std::invalid_argument(
+          "WindowedStream::restore_ring: more resident batches than the "
+          "window holds");
+    ring_ = std::move(ring);
+  }
+
+  /// One stream tick: inserts `batch`, expires the oldest resident batches
+  /// while the window is over capacity, and publishes the resulting
+  /// snapshot.  Returns the DeleteStats of the expiries (all-zero when
+  /// nothing expired).  A `while`, not an `if`: steady-state overflow is a
+  /// single batch, but a ring restored at full capacity must not creep past
+  /// the window when accounting restarts (the push-after-full-expiry
+  /// regression in tests/serve/windowed_stream_test.cpp pins both paths).
   DeleteStats push(EdgeList<NodeID_> batch) {
     engine_.apply_inserts(batch);
     ring_.push_back(std::move(batch));
     DeleteStats expired;
-    if (ring_.size() > window_) expired = expire_oldest_unpublished();
+    // lint: bounded(each iteration pops one resident batch; the ring is finite)
+    while (ring_.size() > window_) expired += expire_oldest_unpublished();
     engine_.publish();
     return expired;
   }

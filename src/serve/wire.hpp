@@ -1,0 +1,91 @@
+// Little-endian byte codec for the durability file formats (wal.hpp,
+// checkpoint.hpp).
+//
+// Fields are packed byte-at-a-time rather than memcpy'd structs so the
+// on-disk layout is identical on every host (no padding, no endianness
+// surprises) and fully specified by the docs/ROBUSTNESS.md format tables.
+// The reader is bounds-checked: every get_* reports whether the buffer had
+// enough bytes left, and callers translate an exhausted reader into a
+// typed IoError (or a tolerated torn tail) — it never reads past the end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace afforest::serve::wire {
+
+inline void put_u8(std::vector<unsigned char>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+inline void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  out.push_back(static_cast<unsigned char>(v));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+  out.push_back(static_cast<unsigned char>(v >> 16));
+  out.push_back(static_cast<unsigned char>(v >> 24));
+}
+
+inline void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<unsigned char>(v >> shift));
+}
+
+inline void put_i64(std::vector<unsigned char>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over a byte span.  get_* return false
+/// (leaving the output untouched) once the span is exhausted.
+class Reader {
+ public:
+  Reader(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+  bool get_u8(std::uint8_t& out) {
+    if (remaining() < 1) return false;
+    out = data_[pos_++];
+    return true;
+  }
+
+  bool get_u32(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << shift;
+    out = v;
+    return true;
+  }
+
+  bool get_u64(std::uint64_t& out) {
+    if (remaining() < 8) return false;
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << shift;
+    out = v;
+    return true;
+  }
+
+  bool get_i64(std::int64_t& out) {
+    std::uint64_t v = 0;
+    if (!get_u64(v)) return false;
+    out = static_cast<std::int64_t>(v);
+    return true;
+  }
+
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace afforest::serve::wire

@@ -8,6 +8,25 @@
 // fires on ~1% of hits.  Example:
 //     AFFOREST_FAILPOINTS="io.read.truncate=1,alloc.pvector=0.01"
 //
+// A value of the form "@N" arms a deterministic one-shot instead: the site
+// fires on exactly its Nth evaluation (1-based) and never again.  The
+// crash-sweep harness (tests/serve/crash_sweep_test.cpp) uses this to place
+// a fault at every depth of a workload without probability juggling:
+//     AFFOREST_FAILPOINTS="wal.append=@3"
+//
+// Every site keeps two counters, readable via failpoint_hit_count /
+// failpoint_fire_count: how often it was evaluated and how often it
+// actually fired.  The sweep asserts fire counts > 0 before claiming it
+// covered a site — an armed failpoint whose code path was never reached
+// would otherwise pass vacuously.  Arming a site with probability 0
+// ("name=0") makes it a count-only probe: hits tally, it never fires.
+//
+// AFFOREST_FAILPOINT_LETHAL=1 turns every firing into an immediate
+// std::_Exit(kFailpointLethalExit) instead of a thrown FailpointError: no
+// destructors, no stream flushes, no atexit — the closest in-process
+// approximation of kill -9 for crash-recovery testing (see
+// docs/ROBUSTNESS.md and tests/integration/durable_crash_test.cpp).
+//
 // Sub-unit probabilities are resolved by a counter-hashed SplitMix64 step
 // seeded from AFFOREST_FAILPOINT_SEED (default 0), so a given
 // (seed, site, hit-index) triple always decides the same way — failing
@@ -47,31 +66,44 @@ class FailpointError : public std::runtime_error {
   std::string site_;
 };
 
+/// Process exit code used by lethal-mode failpoints.  Chosen to be
+/// distinguishable from both a clean exit (0) and the common abort/signal
+/// codes so the crash harness can assert the kill came from the armed site.
+inline constexpr int kFailpointLethalExit = 86;
+
 namespace detail {
 
 struct FailpointEntry {
   std::string name;
   double probability = 0.0;
+  // 1-based evaluation index at which an "@N" one-shot fires; 0 = plain
+  // probabilistic site.
+  std::uint64_t one_shot = 0;
   std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
 
-  FailpointEntry(std::string n, double p)
-      : name(std::move(n)), probability(p) {}
+  FailpointEntry(std::string n, double p, std::uint64_t shot)
+      : name(std::move(n)), probability(p), one_shot(shot) {}
   FailpointEntry(const FailpointEntry& other)
       : name(other.name),
         probability(other.probability),
-        hits(other.hits.load(std::memory_order_relaxed)) {}
+        one_shot(other.one_shot),
+        hits(other.hits.load(std::memory_order_relaxed)),
+        fires(other.fires.load(std::memory_order_relaxed)) {}
 };
 
 struct FailpointRegistry {
   std::vector<FailpointEntry> entries;
   std::uint64_t seed = 0;
   bool armed = false;
+  bool lethal = false;
 
   void parse_env() {
     entries.clear();
     armed = false;
     seed = 0;
     seed = env::as_uint64("AFFOREST_FAILPOINT_SEED").value_or(0);
+    lethal = env::as_uint64("AFFOREST_FAILPOINT_LETHAL").value_or(0) != 0;
     const std::string spec = env::as_string("AFFOREST_FAILPOINTS");
     if (spec.empty()) return;
     std::string_view rest(spec);
@@ -84,14 +116,30 @@ struct FailpointRegistry {
       if (item.empty()) continue;
       std::string name(item.substr(0, eq));
       double prob = 1.0;  // bare "name" means always fire
+      std::uint64_t one_shot = 0;
       if (eq != std::string_view::npos) {
         const std::string value(item.substr(eq + 1));
-        char* end = nullptr;
-        prob = std::strtod(value.c_str(), &end);
-        if (end == value.c_str() || prob < 0.0) prob = 0.0;
-        if (prob > 1.0) prob = 1.0;
+        if (!value.empty() && value[0] == '@') {
+          char* end = nullptr;
+          const unsigned long long n = std::strtoull(value.c_str() + 1,
+                                                     &end, 10);
+          if (end != value.c_str() + 1 && n > 0) {
+            one_shot = n;
+            prob = 1.0;
+          } else {
+            prob = 0.0;  // malformed "@" spec: never fires (counts only)
+          }
+        } else {
+          char* end = nullptr;
+          prob = std::strtod(value.c_str(), &end);
+          if (end == value.c_str() || prob < 0.0) prob = 0.0;
+          if (prob > 1.0) prob = 1.0;
+        }
       }
-      if (!name.empty() && prob > 0.0) entries.emplace_back(name, prob);
+      // prob == 0 sites stay registered as count-only probes: they tally
+      // hits but never fire, so a test can assert a code path was reached
+      // without injecting the fault.
+      if (!name.empty()) entries.emplace_back(name, prob, one_shot);
     }
     armed = !entries.empty();
   }
@@ -133,7 +181,8 @@ inline void failpoints_reload() { detail::failpoint_registry().parse_env(); }
 
 /// True iff the named site is armed and this hit fires.  Each call counts
 /// as one hit; sub-unit probabilities decide deterministically from
-/// (seed, name, hit index).  Disarmed builds cost one branch.
+/// (seed, name, hit index), and "@N" one-shots fire only on the Nth hit.
+/// Disarmed builds cost one branch.
 inline bool failpoint_triggered(std::string_view name) {
   auto& registry = detail::failpoint_registry();
   if (!registry.armed) return false;
@@ -141,20 +190,77 @@ inline bool failpoint_triggered(std::string_view name) {
     if (entry.name != name) continue;
     const std::uint64_t hit =
         entry.hits.fetch_add(1, std::memory_order_relaxed);
-    if (entry.probability >= 1.0) return true;
-    const std::uint64_t draw = detail::failpoint_mix(
-        registry.seed ^ detail::failpoint_name_hash(name) ^ hit);
-    // Top 53 bits → uniform double in [0, 1).
-    const double u =
-        static_cast<double>(draw >> 11) * 0x1.0p-53;
-    return u < entry.probability;
+    bool fired;
+    if (entry.one_shot != 0) {
+      fired = (hit + 1 == entry.one_shot);
+    } else if (entry.probability >= 1.0) {
+      fired = true;
+    } else {
+      const std::uint64_t draw = detail::failpoint_mix(
+          registry.seed ^ detail::failpoint_name_hash(name) ^ hit);
+      // Top 53 bits → uniform double in [0, 1).
+      const double u =
+          static_cast<double>(draw >> 11) * 0x1.0p-53;
+      fired = u < entry.probability;
+    }
+    if (fired) entry.fires.fetch_add(1, std::memory_order_relaxed);
+    return fired;
   }
   return false;
 }
 
-/// Throws FailpointError when the named site fires; no-op otherwise.
+/// Throws FailpointError when the named site fires; no-op otherwise.  Under
+/// AFFOREST_FAILPOINT_LETHAL=1 a firing site terminates the process
+/// immediately instead (std::_Exit — no unwinding, no flushes), simulating
+/// a hard crash for recovery tests.
 inline void failpoint_maybe_fail(std::string_view name) {
-  if (failpoint_triggered(name)) throw FailpointError(std::string(name));
+  if (failpoint_triggered(name)) {
+    if (detail::failpoint_registry().lethal) std::_Exit(kFailpointLethalExit);
+    throw FailpointError(std::string(name));
+  }
+}
+
+/// True iff AFFOREST_FAILPOINT_LETHAL was set at the last reload.  Sites
+/// with custom fire behaviour (e.g. the WAL's torn-write injection) check
+/// this to decide between throwing and exiting.
+inline bool failpoints_lethal() {
+  return detail::failpoint_registry().lethal;
+}
+
+/// How many times the named site was evaluated since the last reload/reset;
+/// 0 when the site is not armed.
+inline std::uint64_t failpoint_hit_count(std::string_view name) {
+  for (const auto& entry : detail::failpoint_registry().entries)
+    if (entry.name == name)
+      return entry.hits.load(std::memory_order_relaxed);
+  return 0;
+}
+
+/// How many times the named site actually fired; 0 when not armed.  The
+/// crash-sweep asserts this is > 0 before claiming it covered a site.
+inline std::uint64_t failpoint_fire_count(std::string_view name) {
+  for (const auto& entry : detail::failpoint_registry().entries)
+    if (entry.name == name)
+      return entry.fires.load(std::memory_order_relaxed);
+  return 0;
+}
+
+/// Sum of fire counts across every armed site (exported as the
+/// `failpoints_fired` telemetry counter).
+inline std::uint64_t failpoints_total_fires() {
+  std::uint64_t total = 0;
+  for (const auto& entry : detail::failpoint_registry().entries)
+    total += entry.fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+/// Zeroes every site's hit/fire counters without re-reading the
+/// environment (one-shot "@N" sites re-arm: the hit index restarts).
+inline void failpoints_reset_counts() {
+  for (auto& entry : detail::failpoint_registry().entries) {
+    entry.hits.store(0, std::memory_order_relaxed);
+    entry.fires.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace afforest

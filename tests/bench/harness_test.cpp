@@ -93,6 +93,8 @@ TEST(RenderJson, TelemetryReportAddsCountersPhasesAndRss) {
   rec.report.counters.serve_queries_served = 11;
   rec.report.counters.serve_snapshot_swaps = 4;
   rec.report.counters.serve_edges_ingested = 9;
+  rec.report.counters.wal_records_appended = 5;
+  rec.report.counters.wal_records_replayed = 3;
   rec.report.phases.push_back({"afforest.sampling", 0.125, 3});
   rec.report.peak_rss_bytes = 4096;
   const std::string text = bench::render_json("unit", {rec});
@@ -103,6 +105,8 @@ TEST(RenderJson, TelemetryReportAddsCountersPhasesAndRss) {
   EXPECT_NE(text.find("\"serve_queries_served\":11"), std::string::npos);
   EXPECT_NE(text.find("\"serve_snapshot_swaps\":4"), std::string::npos);
   EXPECT_NE(text.find("\"serve_edges_ingested\":9"), std::string::npos);
+  EXPECT_NE(text.find("\"wal_records_appended\":5"), std::string::npos);
+  EXPECT_NE(text.find("\"wal_records_replayed\":3"), std::string::npos);
   EXPECT_NE(text.find("\"phases\":"), std::string::npos);
   EXPECT_NE(text.find("\"afforest.sampling\""), std::string::npos);
   EXPECT_NE(text.find("\"peak_rss_bytes\":4096"), std::string::npos);

@@ -1,0 +1,153 @@
+// Real-process crash sweep: kills apps/durable with lethal failpoints
+// (AFFOREST_FAILPOINT_LETHAL=1 → std::_Exit(86) at the armed site), then
+// reruns it to recover + resume, and finally asks it to --verify its
+// recovered state against the serial oracle.  This is the subprocess
+// complement of tests/serve/crash_sweep_test.cpp: the in-process sweep
+// covers every site × seed cheaply with thrown "crashes"; this suite
+// proves the same contract when the process genuinely dies mid-syscall
+// with no destructors, no unwinding, and no in-memory state surviving.
+//
+// The app binary path is injected at configure time (AFFOREST_DURABLE_APP);
+// the suite skips if the binary has not been built.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/failpoint.hpp"
+
+namespace afforest {
+namespace {
+
+#ifndef AFFOREST_DURABLE_APP
+#define AFFOREST_DURABLE_APP ""
+#endif
+
+class DurableCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    app_ = AFFOREST_DURABLE_APP;
+    if (app_.empty() || !std::filesystem::exists(app_))
+      GTEST_SKIP() << "apps/durable binary not built (looked at '" << app_
+                   << "')";
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_crash_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    out_ = (dir_.string() + ".out");
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove(out_);
+  }
+
+  /// Runs the app with the given flags (and optional lethal failpoint
+  /// spec), returning the child's exit code.  Output goes to out_.
+  int run(const std::string& flags, const std::string& failpoints = "") {
+    std::string cmd;
+    if (!failpoints.empty())
+      cmd += "AFFOREST_FAILPOINTS='" + failpoints +
+             "' AFFOREST_FAILPOINT_LETHAL=1 ";
+    cmd += "'" + app_ + "' --dir '" + dir_.string() + "' " + flags + " > '" +
+           out_ + "' 2>&1";
+    const int status = std::system(cmd.c_str());
+    if (status == -1 || !WIFEXITED(status)) return -1;
+    return WEXITSTATUS(status);
+  }
+
+  std::string output() const {
+    std::ifstream in(out_);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  /// The kill → recover/resume → verify cycle for one armed site.  The
+  /// resume run and the verify run must both succeed, and verification
+  /// must report the oracle match on the full workload.
+  void sweep_site(const std::string& failpoints, const std::string& flags) {
+    SCOPED_TRACE(failpoints);
+    ASSERT_EQ(run(flags, failpoints), kFailpointLethalExit)
+        << "the armed site did not kill the process; output:\n"
+        << output();
+    ASSERT_EQ(run(flags), 0) << "resume after the kill failed; output:\n"
+                             << output();
+    EXPECT_NE(output().find("recovered=1"), std::string::npos) << output();
+    ASSERT_EQ(run(flags + " --recover-only --verify"), 0)
+        << "verification failed; output:\n"
+        << output();
+    EXPECT_NE(output().find("verify: OK"), std::string::npos) << output();
+  }
+
+  std::string app_;
+  std::filesystem::path dir_;
+  std::string out_;
+};
+
+constexpr const char* kFlags =
+    "--scale 7 --ops 24 --batch 6 --seed 9 --checkpoint-every 5 --no-fsync";
+constexpr const char* kFsyncFlags =
+    "--scale 7 --ops 24 --batch 6 --seed 9 --checkpoint-every 5";
+constexpr const char* kWindowFlags =
+    "--scale 7 --ops 24 --batch 6 --seed 9 --checkpoint-every 5 "
+    "--window 3 --no-fsync";
+
+TEST_F(DurableCrashTest, UninterruptedRunVerifies) {
+  ASSERT_EQ(run(kFlags), 0) << output();
+  ASSERT_EQ(run(std::string(kFlags) + " --recover-only --verify"), 0)
+      << output();
+  EXPECT_NE(output().find("verify: OK seq=24"), std::string::npos)
+      << output();
+}
+
+TEST_F(DurableCrashTest, KilledMidAppendRecovers) {
+  sweep_site("wal.append=@7", kFlags);
+}
+
+TEST_F(DurableCrashTest, KilledMidFsyncRecovers) {
+  // fsync mode so the wal.fsync site sits on the append path.
+  sweep_site("wal.fsync=@4", kFsyncFlags);
+}
+
+TEST_F(DurableCrashTest, KilledMidCheckpointWriteRecovers) {
+  sweep_site("ckpt.write=@2", kFlags);
+}
+
+TEST_F(DurableCrashTest, KilledMidCheckpointRenameRecovers) {
+  sweep_site("ckpt.rename=@1", kFlags);
+}
+
+TEST_F(DurableCrashTest, KilledDuringReplayRecovers) {
+  // Build a directory with a WAL suffix first, then kill the NEXT run
+  // mid-replay: recovery itself must be killable and re-runnable.
+  ASSERT_EQ(run(kFlags), 0) << output();
+  ASSERT_EQ(run(std::string(kFlags) + " --recover-only",
+                "recover.replay=@2"),
+            kFailpointLethalExit)
+      << output();
+  ASSERT_EQ(run(std::string(kFlags) + " --recover-only --verify"), 0)
+      << output();
+  EXPECT_NE(output().find("verify: OK seq=24"), std::string::npos)
+      << output();
+}
+
+TEST_F(DurableCrashTest, WindowedEngineSurvivesKills) {
+  sweep_site("wal.append=@9", kWindowFlags);
+}
+
+TEST_F(DurableCrashTest, RepeatedKillsConvergeToTheFullWorkload) {
+  // Kill three runs at different depths; each rerun resumes from the
+  // durable seq.  The final state must be the complete 24-op workload.
+  EXPECT_EQ(run(kFlags, "wal.append=@3"), kFailpointLethalExit) << output();
+  EXPECT_EQ(run(kFlags, "wal.append=@5"), kFailpointLethalExit) << output();
+  EXPECT_EQ(run(kFlags, "ckpt.write=@2"), kFailpointLethalExit) << output();
+  ASSERT_EQ(run(std::string(kFlags) + " --verify"), 0) << output();
+  EXPECT_NE(output().find("verify: OK seq=24"), std::string::npos)
+      << output();
+}
+
+}  // namespace
+}  // namespace afforest

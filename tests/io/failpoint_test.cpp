@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <new>
 #include <string>
@@ -190,6 +191,83 @@ TEST_F(FailpointTest, BuilderFailpointThrowsFailpointError) {
   ScopedFailpoints fp("builder.build=1");
   EXPECT_THROW(build_undirected(EdgeList<std::int32_t>{{0, 1}}, 2),
                FailpointError);
+}
+
+// ------------------------------------------------- counters / one-shots ----
+
+TEST_F(FailpointTest, HitAndFireCountersTally) {
+  ScopedFailpoints fp("x=1,y=0");
+  for (int i = 0; i < 5; ++i) (void)failpoint_triggered("x");
+  for (int i = 0; i < 3; ++i) (void)failpoint_triggered("y");
+  EXPECT_EQ(failpoint_hit_count("x"), 5u);
+  EXPECT_EQ(failpoint_fire_count("x"), 5u);
+  EXPECT_EQ(failpoint_hit_count("y"), 3u);
+  EXPECT_EQ(failpoint_fire_count("y"), 0u);
+  EXPECT_EQ(failpoints_total_fires(), 5u);
+}
+
+TEST_F(FailpointTest, CountersZeroForUnarmedSites) {
+  ScopedFailpoints fp(nullptr);
+  (void)failpoint_triggered("x");
+  EXPECT_EQ(failpoint_hit_count("x"), 0u);
+  EXPECT_EQ(failpoint_fire_count("x"), 0u);
+  EXPECT_EQ(failpoints_total_fires(), 0u);
+}
+
+TEST_F(FailpointTest, SubUnitFireCountMatchesTriggeredSum) {
+  ScopedFailpoints fp("x=0.5", "42");
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 128; ++i)
+    if (failpoint_triggered("x")) ++fired;
+  EXPECT_EQ(failpoint_fire_count("x"), fired);
+  EXPECT_EQ(failpoint_hit_count("x"), 128u);
+}
+
+TEST_F(FailpointTest, OneShotFiresExactlyOnNthHit) {
+  ScopedFailpoints fp("x=@3");
+  EXPECT_FALSE(failpoint_triggered("x"));
+  EXPECT_FALSE(failpoint_triggered("x"));
+  EXPECT_TRUE(failpoint_triggered("x"));  // 3rd evaluation
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(failpoint_triggered("x"));
+  EXPECT_EQ(failpoint_fire_count("x"), 1u);
+  EXPECT_EQ(failpoint_hit_count("x"), 8u);
+}
+
+TEST_F(FailpointTest, OneShotAtOneFiresImmediately) {
+  ScopedFailpoints fp("x=@1");
+  EXPECT_TRUE(failpoint_triggered("x"));
+  EXPECT_FALSE(failpoint_triggered("x"));
+}
+
+TEST_F(FailpointTest, MalformedOneShotStaysDisarmed) {
+  ScopedFailpoints fp("x=@0,y=@junk");
+  EXPECT_FALSE(failpoint_triggered("x"));
+  EXPECT_FALSE(failpoint_triggered("y"));
+}
+
+TEST_F(FailpointTest, ResetCountsRearmsOneShots) {
+  ScopedFailpoints fp("x=@2");
+  (void)failpoint_triggered("x");
+  EXPECT_TRUE(failpoint_triggered("x"));
+  failpoints_reset_counts();
+  EXPECT_EQ(failpoint_hit_count("x"), 0u);
+  EXPECT_EQ(failpoint_fire_count("x"), 0u);
+  (void)failpoint_triggered("x");
+  EXPECT_TRUE(failpoint_triggered("x"));  // hit index restarted
+}
+
+TEST_F(FailpointTest, LethalFlagParsesFromEnvironment) {
+  // Lethal firing std::_Exit()s the process, so only the flag parse is
+  // testable in-process; the behaviour itself is pinned by the subprocess
+  // suite in tests/integration/durable_crash_test.cpp.
+  ScopedEnv lethal("AFFOREST_FAILPOINT_LETHAL", "1");
+  ScopedFailpoints fp("x=0");
+  EXPECT_TRUE(failpoints_lethal());
+}
+
+TEST_F(FailpointTest, LethalFlagDefaultsOff) {
+  ScopedFailpoints fp("x=0");
+  EXPECT_FALSE(failpoints_lethal());
 }
 
 TEST_F(FailpointTest, ReloadRearmsAndDisarms) {

@@ -1,0 +1,379 @@
+// Checkpoint + manifest (src/serve/checkpoint.hpp): round-trips, typed
+// rejection of every corruption class, bounds-checked counts (a forged
+// count can never drive a huge allocation), and the ckpt.write /
+// ckpt.rename failpoints' atomicity guarantees.
+#include "serve/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../support/scoped_env.hpp"
+#include "serve/wire.hpp"
+#include "util/crc32c.hpp"
+
+namespace afforest::serve {
+namespace {
+
+using ::afforest::testing::ScopedEnv;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_ckpt_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// A small but fully populated checkpoint: labels, forest, adjacency
+  /// with a duplicate copy, and a two-batch window ring.
+  static CheckpointData sample() {
+    CheckpointData data;
+    data.seq = 12;
+    data.epoch = 40;
+    data.num_nodes = 5;
+    data.window = 2;
+    data.labels = {0, 0, 2, 2, 4};
+    data.forest_edges = {{0, 1}, {2, 3}};
+    data.adjacency = {{0, 1, 2}, {2, 3, 1}};
+    data.ring = {{{0, 1}}, {{0, 1}, {2, 3}}};
+    return data;
+  }
+
+  static std::vector<char> slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
+  static void dump(const std::string& p, const std::vector<char>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  /// Frames an arbitrary payload with valid magic/version/length/CRC so
+  /// tests can reach the semantic validators behind the checksum.
+  void write_framed(const std::string& p,
+                    const std::vector<unsigned char>& payload) {
+    std::vector<unsigned char> bytes;
+    bytes.insert(bytes.end(), {'A', 'F', 'C', 'K'});
+    wire::put_u32(bytes, 1);
+    wire::put_u64(bytes, static_cast<std::uint64_t>(payload.size()));
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    wire::put_u32(bytes, crc32c(payload.data(), payload.size()));
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+
+  static IoErrorKind kind_of(const std::string& p) {
+    try {
+      read_checkpoint(p);
+    } catch (const IoError& e) {
+      return e.kind();
+    }
+    ADD_FAILURE() << "read_checkpoint did not throw for " << p;
+    return IoErrorKind::kOpenFailed;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesEveryField) {
+  const auto p = path("c.afck");
+  const CheckpointData in = sample();
+  write_checkpoint(p, in);
+  const CheckpointData out = read_checkpoint(p);
+  EXPECT_EQ(out.seq, in.seq);
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.num_nodes, in.num_nodes);
+  EXPECT_EQ(out.window, in.window);
+  EXPECT_EQ(out.labels, in.labels);
+  EXPECT_EQ(out.forest_edges, in.forest_edges);
+  ASSERT_EQ(out.adjacency.size(), in.adjacency.size());
+  for (std::size_t i = 0; i < in.adjacency.size(); ++i) {
+    EXPECT_EQ(out.adjacency[i].u, in.adjacency[i].u);
+    EXPECT_EQ(out.adjacency[i].v, in.adjacency[i].v);
+    EXPECT_EQ(out.adjacency[i].multiplicity, in.adjacency[i].multiplicity);
+  }
+  EXPECT_EQ(out.ring, in.ring);
+}
+
+TEST_F(CheckpointTest, EmptyRingAndForestRoundTrip) {
+  const auto p = path("c.afck");
+  CheckpointData in;
+  in.seq = 0;
+  in.epoch = 1;
+  in.num_nodes = 3;
+  in.labels = {0, 1, 2};
+  write_checkpoint(p, in);
+  const CheckpointData out = read_checkpoint(p);
+  EXPECT_TRUE(out.forest_edges.empty());
+  EXPECT_TRUE(out.adjacency.empty());
+  EXPECT_TRUE(out.ring.empty());
+}
+
+TEST_F(CheckpointTest, BadMagicIsTyped) {
+  const auto p = path("c.afck");
+  write_checkpoint(p, sample());
+  auto bytes = slurp(p);
+  bytes[2] = 'X';
+  dump(p, bytes);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kBadMagic);
+}
+
+TEST_F(CheckpointTest, UnsupportedVersionIsTyped) {
+  const auto p = path("c.afck");
+  write_checkpoint(p, sample());
+  auto bytes = slurp(p);
+  bytes[4] = 9;
+  dump(p, bytes);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(CheckpointTest, TruncationIsTypedAtEveryLength) {
+  const auto p = path("c.afck");
+  write_checkpoint(p, sample());
+  const auto bytes = slurp(p);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{15},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<char> torn(bytes.begin(),
+                           bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    dump(p, torn);
+    EXPECT_THROW(read_checkpoint(p), IoError) << "cut at " << cut;
+  }
+}
+
+TEST_F(CheckpointTest, PayloadBitFlipIsChecksumMismatch) {
+  const auto p = path("c.afck");
+  write_checkpoint(p, sample());
+  auto bytes = slurp(p);
+  bytes[ckpt_detail::kPreambleBytes + 5] ^= 0x10;
+  dump(p, bytes);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kChecksumMismatch);
+}
+
+TEST_F(CheckpointTest, TrailingGarbageIsTyped) {
+  const auto p = path("c.afck");
+  write_checkpoint(p, sample());
+  auto bytes = slurp(p);
+  bytes.push_back(0);
+  dump(p, bytes);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kTrailingGarbage);
+}
+
+TEST_F(CheckpointTest, HugeNodeCountNeverOverAllocates) {
+  // CRC-valid payload claiming 2^60 vertices with 8 bytes behind it: the
+  // reader must reject on the bounds check, not attempt the allocation.
+  const auto p = path("c.afck");
+  std::vector<unsigned char> payload;
+  wire::put_u64(payload, 1);                        // seq
+  wire::put_u64(payload, 1);                        // epoch
+  wire::put_u64(payload, std::uint64_t{1} << 60);   // num_nodes
+  wire::put_u64(payload, 0);                        // window
+  wire::put_u64(payload, 0);                        // 8 stray bytes
+  write_framed(p, payload);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(CheckpointTest, HugeForestCountNeverOverAllocates) {
+  const auto p = path("c.afck");
+  std::vector<unsigned char> payload;
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 1);  // num_nodes = 1
+  wire::put_u64(payload, 0);
+  wire::put_i64(payload, 0);                        // the single label
+  wire::put_u64(payload, std::uint64_t{1} << 58);   // forged forest count
+  write_framed(p, payload);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(CheckpointTest, LabelOutOfRangeIsTyped) {
+  const auto p = path("c.afck");
+  std::vector<unsigned char> payload;
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 2);  // num_nodes = 2
+  wire::put_u64(payload, 0);
+  wire::put_i64(payload, 0);
+  wire::put_i64(payload, 7);  // label 7 outside [0, 2)
+  wire::put_u64(payload, 0);  // forest
+  wire::put_u64(payload, 0);  // adjacency
+  wire::put_u64(payload, 0);  // ring
+  write_framed(p, payload);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kOutOfRangeNeighbor);
+}
+
+TEST_F(CheckpointTest, ZeroMultiplicityIsTyped) {
+  const auto p = path("c.afck");
+  std::vector<unsigned char> payload;
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 2);
+  wire::put_u64(payload, 0);
+  wire::put_i64(payload, 0);
+  wire::put_i64(payload, 0);
+  wire::put_u64(payload, 0);  // forest
+  wire::put_u64(payload, 1);  // adjacency: one entry
+  wire::put_i64(payload, 0);
+  wire::put_i64(payload, 1);
+  wire::put_u32(payload, 0);  // multiplicity 0: nonsense
+  wire::put_u64(payload, 0);  // ring
+  write_framed(p, payload);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kCorruptHeader);
+}
+
+TEST_F(CheckpointTest, PayloadTrailingBytesInsideFrameAreTyped) {
+  // Valid frame, valid CRC, but bytes left over after the last ring batch.
+  const auto p = path("c.afck");
+  std::vector<unsigned char> payload;
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 1);
+  wire::put_u64(payload, 0);
+  wire::put_i64(payload, 0);
+  wire::put_u64(payload, 0);
+  wire::put_u64(payload, 0);
+  wire::put_u64(payload, 0);
+  wire::put_u8(payload, 0xAB);  // one stray byte
+  write_framed(p, payload);
+  EXPECT_EQ(kind_of(p), IoErrorKind::kTrailingGarbage);
+}
+
+TEST_F(CheckpointTest, WriteFailpointLeavesFinalNameUntouched) {
+  const auto p = path("c.afck");
+  write_checkpoint(p, sample());  // previous valid checkpoint
+  const auto before = slurp(p);
+  {
+    ScopedEnv fp("AFFOREST_FAILPOINTS", "ckpt.write=1");
+    failpoints_reload();
+    CheckpointData next = sample();
+    next.seq = 99;
+    EXPECT_THROW(write_checkpoint(p, next), FailpointError);
+  }
+  failpoints_reload();
+  // The torn bytes landed only in the .tmp; the final name still holds the
+  // previous checkpoint, byte for byte.
+  EXPECT_EQ(slurp(p), before);
+  EXPECT_EQ(read_checkpoint(p).seq, sample().seq);
+}
+
+TEST_F(CheckpointTest, RenameFailpointLeavesFinalNameUntouched) {
+  const auto p = path("c.afck");
+  write_checkpoint(p, sample());
+  const auto before = slurp(p);
+  {
+    ScopedEnv fp("AFFOREST_FAILPOINTS", "ckpt.rename=1");
+    failpoints_reload();
+    CheckpointData next = sample();
+    next.seq = 99;
+    EXPECT_THROW(write_checkpoint(p, next), FailpointError);
+  }
+  failpoints_reload();
+  EXPECT_EQ(slurp(p), before);
+  // The orphan .tmp is durable but unreferenced — recovery ignores it.
+  EXPECT_TRUE(std::filesystem::exists(p + ".tmp"));
+}
+
+// ---- manifest -------------------------------------------------------------
+
+TEST_F(CheckpointTest, ManifestRoundTrips) {
+  Manifest in;
+  in.num_nodes = 64;
+  in.window = 3;
+  in.checkpoint_file = "ckpt-7.afck";
+  in.wal_file = "wal-8.log";
+  in.seq = 7;
+  write_manifest(dir_.string(), in);
+  const Manifest out = read_manifest(dir_.string());
+  EXPECT_EQ(out.num_nodes, 64u);
+  EXPECT_EQ(out.window, 3u);
+  EXPECT_EQ(out.checkpoint_file, "ckpt-7.afck");
+  EXPECT_EQ(out.wal_file, "wal-8.log");
+  EXPECT_EQ(out.seq, 7u);
+}
+
+TEST_F(CheckpointTest, ManifestWithoutCheckpointRoundTrips) {
+  Manifest in;
+  in.num_nodes = 8;
+  in.wal_file = "wal-1.log";
+  write_manifest(dir_.string(), in);
+  const Manifest out = read_manifest(dir_.string());
+  EXPECT_TRUE(out.checkpoint_file.empty());
+  EXPECT_EQ(out.seq, 0u);
+}
+
+TEST_F(CheckpointTest, ManifestBitFlipIsChecksumMismatch) {
+  Manifest in;
+  in.num_nodes = 8;
+  in.wal_file = "wal-1.log";
+  write_manifest(dir_.string(), in);
+  const auto p = manifest_path(dir_.string());
+  auto bytes = slurp(p);
+  // Flip a digit of num_nodes (stays a parseable digit, so only the CRC
+  // can catch it).
+  const std::string text(bytes.begin(), bytes.end());
+  const std::size_t pos = text.find("num_nodes 8") + 10;
+  bytes[pos] = '9';
+  dump(p, bytes);
+  try {
+    read_manifest(dir_.string());
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kChecksumMismatch);
+  }
+}
+
+TEST_F(CheckpointTest, ManifestBadMagicIsTyped) {
+  Manifest in;
+  in.num_nodes = 8;
+  in.wal_file = "wal-1.log";
+  write_manifest(dir_.string(), in);
+  const auto p = manifest_path(dir_.string());
+  auto bytes = slurp(p);
+  bytes[0] = 'x';
+  dump(p, bytes);
+  try {
+    read_manifest(dir_.string());
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
+  }
+}
+
+TEST_F(CheckpointTest, ManifestMissingNewlineIsTyped) {
+  Manifest in;
+  in.num_nodes = 8;
+  in.wal_file = "wal-1.log";
+  write_manifest(dir_.string(), in);
+  const auto p = manifest_path(dir_.string());
+  auto bytes = slurp(p);
+  bytes.pop_back();  // drop the final newline
+  dump(p, bytes);
+  EXPECT_THROW(read_manifest(dir_.string()), IoError);
+}
+
+TEST_F(CheckpointTest, ManifestMissingFileIsOpenFailed) {
+  try {
+    read_manifest(dir_.string());
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kOpenFailed);
+  }
+}
+
+}  // namespace
+}  // namespace afforest::serve

@@ -1,0 +1,316 @@
+// Crash-sweep harness (the durability subsystem's primary proof).
+//
+// For every durability failpoint site × several seeds × both engine modes,
+// a seeded workload is driven into a DurableEngine until the armed site
+// fires (an injected crash mid-append, mid-fsync, mid-checkpoint, or
+// mid-recovery).  The run asserts — via the failpoint hit/fire counters —
+// that the site actually fired, then recovers by reopening the directory
+// and differentially checks the recovered labels against the from-scratch
+// union-find oracle at the recovered seq.  The durability contract under
+// test: every op that RETURNED survives; the op in flight at the crash
+// either fully survives or fully disappears; nothing else changes.
+//
+// Real process kills (AFFOREST_FAILPOINT_LETHAL) are exercised by
+// tests/integration/durable_crash_test.cpp; this sweep uses the throwing
+// flavor so every site × seed cell stays cheap enough to run in tier 1.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "../support/scoped_env.hpp"
+#include "analysis/telemetry.hpp"
+#include "cc/common.hpp"
+#include "serve/durable_engine.hpp"
+#include "serve/durable_test_util.hpp"
+
+namespace afforest::serve {
+namespace {
+
+using ::afforest::serve::testing::DurableOp;
+using ::afforest::serve::testing::make_workload;
+using ::afforest::serve::testing::oracle_labels;
+using ::afforest::serve::testing::to_edge_list;
+using ::afforest::testing::ScopedEnv;
+using NodeID = std::int32_t;
+
+constexpr std::int64_t kNodes = 48;
+constexpr std::size_t kOps = 16;
+
+struct SweepCell {
+  const char* site;
+  std::uint64_t hit;        ///< fire on the hit-th evaluation (@N arming)
+  std::uint64_t seed;       ///< workload seed
+  bool windowed;
+  std::uint64_t checkpoint_every;
+  WalSync sync;
+};
+
+class CrashSweepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_sweep_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  DurableOptions opts(const SweepCell& cell) const {
+    DurableOptions o;
+    o.dir = dir_.string();
+    o.window = cell.windowed ? 3 : 0;
+    o.checkpoint_every = cell.checkpoint_every;
+    o.sync = cell.sync;
+    return o;
+  }
+
+  static void drive(DurableEngine<NodeID>& engine, const DurableOp& op) {
+    switch (op.type) {
+      case WalRecordType::kInsert:
+        engine.insert(to_edge_list(op.edges));
+        return;
+      case WalRecordType::kDelete:
+        engine.erase(to_edge_list(op.edges));
+        return;
+      case WalRecordType::kTick:
+        engine.tick();
+        return;
+    }
+  }
+
+  static void expect_oracle_match(const DurableEngine<NodeID>& engine,
+                                  const std::vector<DurableOp>& ops,
+                                  std::size_t prefix, std::uint64_t window,
+                                  const std::string& context) {
+    const ComponentLabels<NodeID> got = engine.live_labels();
+    const ComponentLabels<NodeID> want =
+        oracle_labels(ops, prefix, kNodes, window);
+    ASSERT_EQ(got.size(), want.size()) << context;
+    for (std::size_t v = 0; v < got.size(); ++v)
+      ASSERT_EQ(got[v], want[v])
+          << context << ": recovered labels diverge from the union-find "
+          << "oracle at vertex " << v << " (durable prefix " << prefix << ")";
+  }
+
+  /// One sweep cell for a site that fires during the WORKLOAD (append,
+  /// fsync, checkpoint sites): run until the injected crash, assert the
+  /// site fired, recover, differentially check the durable prefix.
+  void run_workload_cell(const SweepCell& cell) {
+    const std::string context = std::string(cell.site) + " @" +
+                                std::to_string(cell.hit) + " seed " +
+                                std::to_string(cell.seed) +
+                                (cell.windowed ? " windowed" : "");
+    SCOPED_TRACE(context);
+    const auto ops =
+        make_workload(kNodes, kOps, cell.seed, cell.windowed);
+    const std::uint64_t window = cell.windowed ? 3 : 0;
+
+    std::size_t completed = 0;
+    bool crashed = false;
+    {
+      const std::string spec =
+          std::string(cell.site) + "=@" + std::to_string(cell.hit);
+      ScopedEnv fp("AFFOREST_FAILPOINTS", spec.c_str());
+      failpoints_reload();
+      try {
+        DurableEngine<NodeID> engine(kNodes, opts(cell));
+        for (const auto& op : ops) {
+          drive(engine, op);
+          ++completed;
+        }
+      } catch (const FailpointError& e) {
+        EXPECT_EQ(e.site(), cell.site);
+        crashed = true;
+      }
+      // The hit-counter assertion: the sweep is meaningless if the site
+      // never actually fired (e.g. a renamed site or an unreachable path).
+      ASSERT_EQ(failpoint_fire_count(cell.site), 1u)
+          << "site did not fire; hits=" << failpoint_hit_count(cell.site);
+      EXPECT_GE(failpoint_hit_count(cell.site), cell.hit);
+      // The fire is also visible through the telemetry read side.
+      EXPECT_GE(telemetry::snapshot().failpoints_fired, 1u);
+    }
+    failpoints_reload();  // disarm for recovery
+    ASSERT_TRUE(crashed) << "workload finished without the injected crash";
+
+    DurableEngine<NodeID> recovered(kNodes, opts(cell));
+    EXPECT_TRUE(recovered.recovery_stats().recovered);
+    const std::uint64_t durable_seq = recovered.last_seq();
+    // Every op that returned is durable; the in-flight op is all-or-nothing.
+    EXPECT_GE(durable_seq, completed);
+    EXPECT_LE(durable_seq, completed + 1);
+    expect_oracle_match(recovered, ops,
+                        static_cast<std::size_t>(durable_seq), window,
+                        context);
+    // The directory is fully GC'd: no orphan tmp files survive recovery.
+    for (const auto& entry : std::filesystem::directory_iterator(dir_))
+      EXPECT_NE(entry.path().extension(), ".tmp")
+          << "orphan tmp file survived recovery: " << entry.path();
+    // Recovery is a full return to service: the engine keeps journaling.
+    recovered.insert(EdgeList<NodeID>{{0, 1}});
+    EXPECT_EQ(recovered.last_seq(), durable_seq + 1);
+  }
+
+  /// One sweep cell for the RECOVERY site: run the workload cleanly, crash
+  /// the first recovery attempt mid-replay, then recover for real and
+  /// check equivalence — recovery itself must be crash-safe (idempotent).
+  void run_recovery_cell(const SweepCell& cell) {
+    const std::string context = std::string("recover.replay @") +
+                                std::to_string(cell.hit) + " seed " +
+                                std::to_string(cell.seed) +
+                                (cell.windowed ? " windowed" : "");
+    SCOPED_TRACE(context);
+    const auto ops =
+        make_workload(kNodes, kOps, cell.seed, cell.windowed);
+    const std::uint64_t window = cell.windowed ? 3 : 0;
+    {
+      DurableEngine<NodeID> engine(kNodes, opts(cell));
+      for (const auto& op : ops) drive(engine, op);
+    }
+    {
+      const std::string spec =
+          "recover.replay=@" + std::to_string(cell.hit);
+      ScopedEnv fp("AFFOREST_FAILPOINTS", spec.c_str());
+      failpoints_reload();
+      try {
+        DurableEngine<NodeID> engine(kNodes, opts(cell));
+        FAIL() << context << ": recovery did not hit the armed replay site";
+      } catch (const FailpointError& e) {
+        EXPECT_EQ(e.site(), std::string("recover.replay"));
+      }
+      ASSERT_EQ(failpoint_fire_count("recover.replay"), 1u);
+    }
+    failpoints_reload();
+    DurableEngine<NodeID> recovered(kNodes, opts(cell));
+    EXPECT_EQ(recovered.last_seq(), ops.size());
+    EXPECT_EQ(recovered.recovery_stats().wal_records_replayed +
+                  recovered.recovery_stats().checkpoint_seq,
+              ops.size());
+    expect_oracle_match(recovered, ops, ops.size(), window, context);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CrashSweepTest, WalAppendSweep) {
+  for (const SweepCell& cell : std::vector<SweepCell>{
+           {"wal.append", 3, 101, false, 0, WalSync::kNone},
+           {"wal.append", 9, 102, false, 0, WalSync::kNone},
+           {"wal.append", 14, 103, false, 5, WalSync::kNone},
+           {"wal.append", 6, 104, true, 0, WalSync::kNone},
+           {"wal.append", 11, 105, true, 6, WalSync::kNone},
+       }) {
+    SetUp();  // fresh directory per cell
+    run_workload_cell(cell);
+  }
+}
+
+TEST_F(CrashSweepTest, WalFsyncSweep) {
+  // kFsync mode so the fsync site is actually on the append path.  A fired
+  // fsync means crash-after-write: the record may legitimately survive.
+  for (const SweepCell& cell : std::vector<SweepCell>{
+           {"wal.fsync", 2, 201, false, 0, WalSync::kFsync},
+           {"wal.fsync", 8, 202, false, 0, WalSync::kFsync},
+           {"wal.fsync", 13, 203, false, 5, WalSync::kFsync},
+           {"wal.fsync", 5, 204, true, 0, WalSync::kFsync},
+       }) {
+    SetUp();
+    run_workload_cell(cell);
+  }
+}
+
+TEST_F(CrashSweepTest, CheckpointWriteSweep) {
+  // checkpoint_every=3 over 16 ops yields 5 auto-checkpoints; the hit
+  // index selects which one tears mid-tmp-write.
+  for (const SweepCell& cell : std::vector<SweepCell>{
+           {"ckpt.write", 1, 301, false, 3, WalSync::kNone},
+           {"ckpt.write", 2, 302, false, 3, WalSync::kNone},
+           {"ckpt.write", 3, 303, false, 3, WalSync::kNone},
+           {"ckpt.write", 2, 304, true, 3, WalSync::kNone},
+       }) {
+    SetUp();
+    run_workload_cell(cell);
+  }
+}
+
+TEST_F(CrashSweepTest, CheckpointRenameSweep) {
+  // Crash with the tmp durable but never renamed: the manifest still names
+  // the previous pair and the orphan tmp is swept at recovery.
+  for (const SweepCell& cell : std::vector<SweepCell>{
+           {"ckpt.rename", 1, 401, false, 3, WalSync::kNone},
+           {"ckpt.rename", 2, 402, false, 3, WalSync::kNone},
+           {"ckpt.rename", 3, 403, false, 3, WalSync::kNone},
+           {"ckpt.rename", 2, 404, true, 3, WalSync::kNone},
+       }) {
+    SetUp();
+    run_workload_cell(cell);
+  }
+}
+
+TEST_F(CrashSweepTest, RecoveryReplaySweep) {
+  // checkpoint_every=0 keeps every record in the replay suffix, so the hit
+  // index picks how deep into replay the second crash lands.
+  for (const SweepCell& cell : std::vector<SweepCell>{
+           {"recover.replay", 1, 501, false, 0, WalSync::kNone},
+           {"recover.replay", 7, 502, false, 0, WalSync::kNone},
+           {"recover.replay", 14, 503, false, 0, WalSync::kNone},
+           {"recover.replay", 5, 504, true, 0, WalSync::kNone},
+       }) {
+    SetUp();
+    run_recovery_cell(cell);
+  }
+}
+
+TEST_F(CrashSweepTest, BackToBackCrashesStayRecoverable) {
+  // Crash → recover → crash at a different site → recover: the directory
+  // must stay consistent through repeated failures, not just one.
+  const auto ops = make_workload(kNodes, kOps, 601, false);
+  std::size_t completed = 0;
+  {
+    ScopedEnv fp("AFFOREST_FAILPOINTS", "wal.append=@5");
+    failpoints_reload();
+    try {
+      DurableOptions o;
+      o.dir = dir_.string();
+      o.sync = WalSync::kNone;
+      DurableEngine<NodeID> engine(kNodes, o);
+      for (const auto& op : ops) {
+        drive(engine, op);
+        ++completed;
+      }
+    } catch (const FailpointError&) {
+    }
+    EXPECT_EQ(failpoint_fire_count("wal.append"), 1u);
+  }
+  failpoints_reload();
+  std::uint64_t durable_seq = 0;
+  {
+    ScopedEnv fp("AFFOREST_FAILPOINTS", "ckpt.write=@1");
+    failpoints_reload();
+    DurableOptions o;
+    o.dir = dir_.string();
+    o.sync = WalSync::kNone;
+    DurableEngine<NodeID> engine(kNodes, o);
+    EXPECT_EQ(engine.last_seq(), completed);
+    // Resume the rest of the workload, then crash the explicit checkpoint.
+    for (std::size_t i = completed; i < ops.size(); ++i) drive(engine, ops[i]);
+    EXPECT_THROW(engine.checkpoint(), FailpointError);
+    durable_seq = ops.size();
+    EXPECT_EQ(failpoint_fire_count("ckpt.write"), 1u);
+  }
+  failpoints_reload();
+  DurableOptions o;
+  o.dir = dir_.string();
+  o.sync = WalSync::kNone;
+  DurableEngine<NodeID> recovered(kNodes, o);
+  EXPECT_EQ(recovered.last_seq(), durable_seq);
+  expect_oracle_match(recovered, ops, ops.size(), 0, "back-to-back");
+}
+
+}  // namespace
+}  // namespace afforest::serve

@@ -1,0 +1,277 @@
+// DurableEngine unit tests (src/serve/durable_engine.hpp): bootstrap,
+// journal-then-apply, checkpoint rotation + GC, WAL-only and
+// checkpoint+suffix recovery, torn-tail handling, epoch monotonicity
+// across a crash, windowed ring recovery, and the poisoning discipline.
+#include "serve/durable_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "../support/scoped_env.hpp"
+#include "cc/common.hpp"
+#include "serve/durable_test_util.hpp"
+
+namespace afforest::serve {
+namespace {
+
+using ::afforest::serve::testing::DurableOp;
+using ::afforest::serve::testing::make_workload;
+using ::afforest::serve::testing::oracle_labels;
+using ::afforest::serve::testing::to_edge_list;
+using ::afforest::testing::ScopedEnv;
+using NodeID = std::int32_t;
+
+class DurableEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_durable_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  DurableOptions opts(std::uint64_t window = 0,
+                      std::uint64_t checkpoint_every = 0) const {
+    DurableOptions o;
+    o.dir = dir_.string();
+    o.window = window;
+    o.checkpoint_every = checkpoint_every;
+    o.sync = WalSync::kNone;  // unit tests survive process death, not power loss
+    return o;
+  }
+
+  std::vector<std::string> files() const {
+    std::vector<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_))
+      names.push_back(entry.path().filename().string());
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  static void expect_same_partition(const ComponentLabels<NodeID>& a,
+                                    const ComponentLabels<NodeID>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t v = 0; v < a.size(); ++v)
+      EXPECT_EQ(a[v], b[v]) << "labels disagree at vertex " << v;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DurableEngineTest, BootstrapCreatesManifestAndWal) {
+  DurableEngine<NodeID> engine(16, opts());
+  EXPECT_FALSE(engine.recovery_stats().recovered);
+  EXPECT_EQ(engine.last_seq(), 0u);
+  EXPECT_EQ(files(), (std::vector<std::string>{"MANIFEST", "wal-1.log"}));
+}
+
+TEST_F(DurableEngineTest, WalOnlyRecoveryReplaysEveryRecord) {
+  const auto ops = make_workload(32, 12, /*seed=*/7, /*windowed=*/false);
+  {
+    DurableEngine<NodeID> engine(32, opts());
+    for (const auto& op : ops) {
+      if (op.type == WalRecordType::kInsert)
+        engine.insert(to_edge_list(op.edges));
+      else
+        engine.erase(to_edge_list(op.edges));
+    }
+    EXPECT_EQ(engine.last_seq(), ops.size());
+  }
+  DurableEngine<NodeID> reopened(32, opts());
+  EXPECT_TRUE(reopened.recovery_stats().recovered);
+  EXPECT_EQ(reopened.recovery_stats().checkpoint_seq, 0u);
+  EXPECT_EQ(reopened.recovery_stats().wal_records_replayed, ops.size());
+  EXPECT_EQ(reopened.last_seq(), ops.size());
+  expect_same_partition(reopened.live_labels(),
+                        oracle_labels(ops, ops.size(), 32, 0));
+}
+
+TEST_F(DurableEngineTest, CheckpointRotatesTheWalAndCollectsGarbage) {
+  DurableEngine<NodeID> engine(16, opts());
+  engine.insert(EdgeList<NodeID>{{0, 1}});
+  engine.insert(EdgeList<NodeID>{{1, 2}});
+  engine.checkpoint();
+  EXPECT_EQ(files(),
+            (std::vector<std::string>{"MANIFEST", "ckpt-2.afck", "wal-3.log"}));
+  engine.insert(EdgeList<NodeID>{{3, 4}});
+  engine.checkpoint();
+  EXPECT_EQ(files(),
+            (std::vector<std::string>{"MANIFEST", "ckpt-3.afck", "wal-4.log"}));
+}
+
+TEST_F(DurableEngineTest, CheckpointPlusSuffixRecovery) {
+  const auto ops = make_workload(32, 16, /*seed=*/21, /*windowed=*/false);
+  {
+    DurableEngine<NodeID> engine(32, opts());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].type == WalRecordType::kInsert)
+        engine.insert(to_edge_list(ops[i].edges));
+      else
+        engine.erase(to_edge_list(ops[i].edges));
+      if (i == 9) engine.checkpoint();
+    }
+  }
+  DurableEngine<NodeID> reopened(32, opts());
+  EXPECT_EQ(reopened.recovery_stats().checkpoint_seq, 10u);
+  EXPECT_EQ(reopened.recovery_stats().wal_records_replayed, ops.size() - 10);
+  expect_same_partition(reopened.live_labels(),
+                        oracle_labels(ops, ops.size(), 32, 0));
+}
+
+TEST_F(DurableEngineTest, AutoCheckpointEveryNRecords) {
+  DurableEngine<NodeID> engine(16, opts(/*window=*/0, /*checkpoint_every=*/3));
+  for (int i = 0; i < 7; ++i)
+    engine.insert(EdgeList<NodeID>{{static_cast<NodeID>(i),
+                                    static_cast<NodeID>(i + 1)}});
+  // Checkpoints landed at seq 3 and 6; the live WAL is wal-7.log with one
+  // record after the latest checkpoint.
+  const auto names = files();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"MANIFEST", "ckpt-6.afck", "wal-7.log"}));
+  DurableEngine<NodeID> reopened(16, opts(0, 3));
+  EXPECT_EQ(reopened.recovery_stats().checkpoint_seq, 6u);
+  EXPECT_EQ(reopened.recovery_stats().wal_records_replayed, 1u);
+}
+
+TEST_F(DurableEngineTest, TornWalTailIsTruncatedOnRecovery) {
+  const auto ops = make_workload(32, 8, /*seed=*/3, /*windowed=*/false);
+  {
+    DurableEngine<NodeID> engine(32, opts());
+    for (const auto& op : ops) {
+      if (op.type == WalRecordType::kInsert)
+        engine.insert(to_edge_list(op.edges));
+      else
+        engine.erase(to_edge_list(op.edges));
+    }
+  }
+  // Tear 5 bytes off the live segment: the final record is torn, recovery
+  // must land on the 7-op prefix.
+  const auto wal = dir_ / "wal-1.log";
+  const auto size = std::filesystem::file_size(wal);
+  std::filesystem::resize_file(wal, size - 5);
+
+  DurableEngine<NodeID> reopened(32, opts());
+  EXPECT_GT(reopened.recovery_stats().wal_torn_bytes, 0u);
+  EXPECT_EQ(reopened.recovery_stats().wal_records_replayed, ops.size() - 1);
+  EXPECT_EQ(reopened.last_seq(), ops.size() - 1);
+  expect_same_partition(reopened.live_labels(),
+                        oracle_labels(ops, ops.size() - 1, 32, 0));
+  // The engine keeps serving and journaling after the truncation.
+  reopened.insert(EdgeList<NodeID>{{0, 1}});
+  EXPECT_EQ(reopened.last_seq(), ops.size());
+}
+
+TEST_F(DurableEngineTest, EpochsStayMonotoneAcrossRecovery) {
+  std::uint64_t epoch_before = 0;
+  {
+    DurableEngine<NodeID> engine(16, opts());
+    for (int i = 0; i < 5; ++i)
+      engine.insert(EdgeList<NodeID>{{static_cast<NodeID>(i),
+                                      static_cast<NodeID>(i + 1)}});
+    epoch_before = engine.epoch();
+  }
+  DurableEngine<NodeID> reopened(16, opts());
+  EXPECT_GE(reopened.epoch(), epoch_before);
+  reopened.insert(EdgeList<NodeID>{{6, 7}});
+  EXPECT_GT(reopened.epoch(), epoch_before);
+}
+
+TEST_F(DurableEngineTest, WindowedEngineRecoversTheRing) {
+  const auto ops = make_workload(32, 20, /*seed=*/11, /*windowed=*/true);
+  {
+    DurableEngine<NodeID> engine(32, opts(/*window=*/3));
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].type == WalRecordType::kInsert)
+        engine.insert(to_edge_list(ops[i].edges));
+      else
+        engine.tick();
+      if (i == 11) engine.checkpoint();
+    }
+  }
+  DurableEngine<NodeID> reopened(32, opts(3));
+  EXPECT_TRUE(reopened.windowed());
+  expect_same_partition(reopened.live_labels(),
+                        oracle_labels(ops, ops.size(), 32, 3));
+  // The restored ring drives further expiry exactly like the oracle's.
+  auto extended = ops;
+  for (int i = 0; i < 4; ++i) {
+    DurableOp op;
+    op.type = WalRecordType::kInsert;
+    op.edges = {{static_cast<NodeID>(i), static_cast<NodeID>(30 - i)}};
+    reopened.insert(to_edge_list(op.edges));
+    extended.push_back(op);
+  }
+  expect_same_partition(
+      reopened.live_labels(),
+      oracle_labels(extended, extended.size(), 32, 3));
+}
+
+TEST_F(DurableEngineTest, FailedAppendPoisonsUntilReopen) {
+  DurableEngine<NodeID> engine(16, opts());
+  engine.insert(EdgeList<NodeID>{{0, 1}});
+  {
+    ScopedEnv fp("AFFOREST_FAILPOINTS", "wal.append=1");
+    failpoints_reload();
+    EXPECT_THROW(engine.insert(EdgeList<NodeID>{{2, 3}}), FailpointError);
+  }
+  failpoints_reload();
+  // Memory and log may disagree: every further mutation is refused.
+  EXPECT_THROW(engine.insert(EdgeList<NodeID>{{4, 5}}), std::logic_error);
+  EXPECT_THROW(engine.checkpoint(), std::logic_error);
+  // Reads still serve the last published snapshot.
+  EXPECT_TRUE(engine.connected(0, 1));
+  // A fresh open IS the recovery path: the torn record is discarded.
+  DurableEngine<NodeID> reopened(16, opts());
+  EXPECT_EQ(reopened.last_seq(), 1u);
+  EXPECT_TRUE(reopened.connected(0, 1));
+  EXPECT_FALSE(reopened.connected(2, 3));
+  reopened.insert(EdgeList<NodeID>{{2, 3}});
+  EXPECT_EQ(reopened.last_seq(), 2u);
+}
+
+TEST_F(DurableEngineTest, MismatchedIdentityOnRecoveryIsTyped) {
+  { DurableEngine<NodeID> engine(16, opts()); }
+  try {
+    DurableEngine<NodeID> wrong_nodes(17, opts());
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kCorruptHeader);
+  }
+  try {
+    DurableEngine<NodeID> wrong_window(16, opts(/*window=*/2));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kCorruptHeader);
+  }
+}
+
+TEST_F(DurableEngineTest, TickOnUnwindowedEngineIsALogicError) {
+  DurableEngine<NodeID> engine(16, opts());
+  EXPECT_THROW(engine.tick(), std::logic_error);
+}
+
+TEST_F(DurableEngineTest, OutOfRangeVertexIsRejectedBeforeJournaling) {
+  DurableEngine<NodeID> engine(4, opts());
+  EXPECT_THROW(engine.insert(EdgeList<NodeID>{{0, 9}}), VertexRangeError);
+  // The rejected batch never reached the WAL and the engine stays healthy.
+  EXPECT_EQ(engine.last_seq(), 0u);
+  engine.insert(EdgeList<NodeID>{{0, 1}});
+  EXPECT_EQ(engine.last_seq(), 1u);
+}
+
+TEST_F(DurableEngineTest, EmptyDirOptionIsRejected) {
+  EXPECT_THROW(DurableEngine<NodeID>(4, DurableOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace afforest::serve

@@ -1,0 +1,154 @@
+// Shared fixtures for the durability suites (crash sweep, fuzz, unit):
+// a seeded workload generator and a serial oracle that simulates the exact
+// multiset + window semantics of DurableEngine, so recovered state can be
+// differentially checked against from-scratch union-find at any seq prefix.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/common.hpp"
+#include "cc/union_find.hpp"
+#include "graph/edge_list.hpp"
+#include "serve/wal.hpp"
+#include "util/rng.hpp"
+
+namespace afforest::serve::testing {
+
+using NodeID = std::int32_t;
+
+/// One journaled operation, in plain copyable form (EdgeList is move-only).
+struct DurableOp {
+  WalRecordType type = WalRecordType::kInsert;
+  std::vector<std::pair<NodeID, NodeID>> edges;
+};
+
+inline EdgeList<NodeID> to_edge_list(
+    const std::vector<std::pair<NodeID, NodeID>>& edges) {
+  EdgeList<NodeID> out;
+  out.reserve(edges.size());
+  for (const auto& [u, v] : edges) out.push_back({u, v});
+  return out;
+}
+
+/// Deterministic mixed workload: mostly inserts, some deletes of
+/// previously inserted edges (plus the occasional absent edge, a legal
+/// no-op), and — when `windowed` — ticks.  Batches are small so a few
+/// dozen ops exercise merges, cuts, and window expiry on one component
+/// landscape.
+inline std::vector<DurableOp> make_workload(std::int64_t num_nodes,
+                                            std::size_t num_ops,
+                                            std::uint64_t seed,
+                                            bool windowed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<NodeID, NodeID>> inserted;
+  std::vector<DurableOp> ops;
+  ops.reserve(num_ops);
+  const auto vertex = [&] {
+    return static_cast<NodeID>(
+        rng.next_bounded(static_cast<std::uint64_t>(num_nodes)));
+  };
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    DurableOp op;
+    const std::uint64_t roll = rng.next_bounded(10);
+    if (windowed && roll < 2) {
+      op.type = WalRecordType::kTick;
+    } else if (!windowed && roll < 3 && !inserted.empty()) {
+      op.type = WalRecordType::kDelete;
+      const std::size_t count = 1 + rng.next_bounded(3);
+      for (std::size_t k = 0; k < count; ++k) {
+        if (rng.next_bounded(8) == 0) {
+          op.edges.emplace_back(vertex(), vertex());  // likely absent: no-op
+        } else {
+          op.edges.push_back(
+              inserted[rng.next_bounded(inserted.size())]);
+        }
+      }
+    } else {
+      op.type = WalRecordType::kInsert;
+      const std::size_t count = 1 + rng.next_bounded(4);
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::pair<NodeID, NodeID> e{vertex(), vertex()};
+        op.edges.push_back(e);
+        inserted.push_back(e);
+      }
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+/// Serial simulation of the engine's durable semantics: an edge multiset
+/// plus (optionally) the window ring.  Connectivity at any point is
+/// union-find over the surviving multiset — the from-scratch oracle the
+/// recovered engine must match exactly.
+class OracleSim {
+ public:
+  OracleSim(std::int64_t num_nodes, std::uint64_t window)
+      : num_nodes_(num_nodes), window_(window) {}
+
+  void apply(const DurableOp& op) {
+    switch (op.type) {
+      case WalRecordType::kInsert:
+        if (window_ > 0) {
+          for (const auto& e : op.edges) bump(e, +1);
+          ring_.push_back(op.edges);
+          // lint: bounded(each iteration pops one resident batch)
+          while (ring_.size() > window_) expire_oldest();
+        } else {
+          for (const auto& e : op.edges) bump(e, +1);
+        }
+        return;
+      case WalRecordType::kDelete:
+        for (const auto& e : op.edges) bump(e, -1);
+        return;
+      case WalRecordType::kTick:
+        if (!ring_.empty()) expire_oldest();
+        return;
+    }
+  }
+
+  /// Fully-compressed min-id labels over the surviving multiset.
+  [[nodiscard]] ComponentLabels<NodeID> labels() const {
+    EdgeList<NodeID> edges;
+    for (const auto& [key, count] : multiset_)
+      if (count > 0) edges.push_back({key.first, key.second});
+    return union_find_cc(edges, num_nodes_);
+  }
+
+ private:
+  void bump(const std::pair<NodeID, NodeID>& e, std::int64_t delta) {
+    const auto key = e.first <= e.second
+                         ? e
+                         : std::pair<NodeID, NodeID>{e.second, e.first};
+    auto& count = multiset_[key];
+    if (delta < 0 && count == 0) return;  // absent delete: graceful no-op
+    count += delta;
+  }
+
+  void expire_oldest() {
+    for (const auto& e : ring_.front()) bump(e, -1);
+    ring_.pop_front();
+  }
+
+  std::int64_t num_nodes_;
+  std::uint64_t window_;
+  std::map<std::pair<NodeID, NodeID>, std::int64_t> multiset_;
+  std::deque<std::vector<std::pair<NodeID, NodeID>>> ring_;
+};
+
+/// Labels the oracle produces after the first `prefix` ops of `ops`.
+inline ComponentLabels<NodeID> oracle_labels(
+    const std::vector<DurableOp>& ops, std::size_t prefix,
+    std::int64_t num_nodes, std::uint64_t window) {
+  OracleSim sim(num_nodes, window);
+  for (std::size_t i = 0; i < prefix && i < ops.size(); ++i)
+    sim.apply(ops[i]);
+  return sim.labels();
+}
+
+}  // namespace afforest::serve::testing

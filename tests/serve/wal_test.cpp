@@ -1,0 +1,304 @@
+// WAL unit tests (src/serve/wal.hpp): framing round-trips, torn-tail
+// truncation, duplicate-tail rejection via the seq chain, typed header
+// errors, and the writer's torn-append poisoning.
+#include "serve/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "../support/scoped_env.hpp"
+
+namespace afforest::serve {
+namespace {
+
+using ::afforest::testing::ScopedEnv;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("afforest_wal_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static WalHeader header(std::uint64_t start_seq = 1) {
+    WalHeader h;
+    h.num_nodes = 64;
+    h.window = 0;
+    h.start_seq = start_seq;
+    return h;
+  }
+
+  static WalRecord record(std::uint64_t seq, WalRecordType type,
+                          std::vector<std::pair<std::int64_t, std::int64_t>>
+                              edges = {{1, 2}, {3, 4}}) {
+    WalRecord r;
+    r.type = type;
+    r.seq = seq;
+    r.epoch = seq + 10;
+    r.edges = std::move(edges);
+    return r;
+  }
+
+  static std::vector<char> slurp(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
+  static void dump(const std::string& p, const std::vector<char>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(WalTest, EmptySegmentScansClean) {
+  const auto p = path("w.log");
+  WalWriter::create(p, header(), WalSync::kFsync);
+  const WalScan scan = wal_scan(p);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.last_seq, 0u);
+  EXPECT_EQ(scan.header.num_nodes, 64u);
+}
+
+TEST_F(WalTest, RecordsRoundTrip) {
+  const auto p = path("w.log");
+  {
+    WalWriter w = WalWriter::create(p, header(), WalSync::kFsync);
+    w.append(record(1, WalRecordType::kInsert));
+    w.append(record(2, WalRecordType::kDelete, {{5, 6}}));
+    w.append(record(3, WalRecordType::kTick, {}));
+  }
+  const WalScan scan = wal_scan(p);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0].type, WalRecordType::kInsert);
+  EXPECT_EQ(scan.records[0].seq, 1u);
+  EXPECT_EQ(scan.records[0].epoch, 11u);
+  EXPECT_EQ(scan.records[0].edges,
+            (std::vector<std::pair<std::int64_t, std::int64_t>>{{1, 2},
+                                                                {3, 4}}));
+  EXPECT_EQ(scan.records[1].type, WalRecordType::kDelete);
+  EXPECT_EQ(scan.records[2].type, WalRecordType::kTick);
+  EXPECT_TRUE(scan.records[2].edges.empty());
+  EXPECT_EQ(scan.last_seq, 3u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+}
+
+TEST_F(WalTest, NonContiguousSeqIsALogicError) {
+  const auto p = path("w.log");
+  WalWriter w = WalWriter::create(p, header(), WalSync::kNone);
+  w.append(record(1, WalRecordType::kInsert));
+  EXPECT_THROW(w.append(record(3, WalRecordType::kInsert)),
+               std::logic_error);
+}
+
+TEST_F(WalTest, TornTailIsReportedAndTruncatedOnReopen) {
+  const auto p = path("w.log");
+  {
+    WalWriter w = WalWriter::create(p, header(), WalSync::kNone);
+    w.append(record(1, WalRecordType::kInsert));
+    w.append(record(2, WalRecordType::kInsert));
+  }
+  auto bytes = slurp(p);
+  const std::size_t full = bytes.size();
+  bytes.resize(full - 7);  // tear mid-record
+  dump(p, bytes);
+
+  const WalScan before = wal_scan(p);
+  EXPECT_EQ(before.records.size(), 1u);
+  EXPECT_GT(before.torn_bytes, 0u);
+
+  {
+    WalScan reopened;
+    WalWriter w = WalWriter::open_for_append(p, WalSync::kNone, &reopened);
+    EXPECT_EQ(reopened.records.size(), 1u);
+    EXPECT_EQ(w.last_seq(), 1u);
+    w.append(record(2, WalRecordType::kDelete));  // resumes at seq 2
+  }
+  const WalScan after = wal_scan(p);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.records[1].type, WalRecordType::kDelete);
+  EXPECT_EQ(after.torn_bytes, 0u);
+}
+
+TEST_F(WalTest, DuplicatedTailIsRejectedBySeqChain) {
+  const auto p = path("w.log");
+  {
+    WalWriter w = WalWriter::create(p, header(), WalSync::kNone);
+    w.append(record(1, WalRecordType::kInsert));
+    w.append(record(2, WalRecordType::kInsert));
+  }
+  const auto bytes = slurp(p);
+  // Record 2 occupies [rec1_end, EOF).  Duplicating those bytes yields a
+  // tail whose CRC passes but whose seq repeats 2 — only the seq chain can
+  // reject it.  rec1_end is found by scanning truncated copies.
+  std::size_t rec1_end = 0;
+  for (std::size_t cut = bytes.size(); cut-- > 0;) {
+    std::vector<char> probe(bytes.begin(),
+                            bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    dump(path("probe.log"), probe);
+    if (wal_scan(path("probe.log")).records.size() == 1u &&
+        wal_scan(path("probe.log")).torn_bytes == 0u) {
+      rec1_end = cut;
+      break;
+    }
+  }
+  ASSERT_GT(rec1_end, 0u);
+  std::vector<char> dup = bytes;
+  dup.insert(dup.end(), bytes.begin() + static_cast<std::ptrdiff_t>(rec1_end),
+             bytes.end());
+  dump(p, dup);
+
+  const WalScan scan = wal_scan(p);
+  EXPECT_EQ(scan.records.size(), 2u);  // the duplicate suffix is rejected
+  EXPECT_GT(scan.torn_bytes, 0u);
+  EXPECT_EQ(scan.last_seq, 2u);
+}
+
+TEST_F(WalTest, CorruptPayloadByteStopsTheScan) {
+  const auto p = path("w.log");
+  {
+    WalWriter w = WalWriter::create(p, header(), WalSync::kNone);
+    w.append(record(1, WalRecordType::kInsert));
+    w.append(record(2, WalRecordType::kInsert));
+  }
+  auto bytes = slurp(p);
+  bytes[bytes.size() - 3] ^= 0x40;  // flip a bit inside record 2's payload
+  dump(p, bytes);
+  const WalScan scan = wal_scan(p);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_GT(scan.torn_bytes, 0u);
+}
+
+TEST_F(WalTest, HugeLengthFieldNeverOverAllocates) {
+  const auto p = path("w.log");
+  WalWriter::create(p, header(), WalSync::kNone);
+  auto bytes = slurp(p);
+  // Forge a frame claiming a ~4 GiB payload with only 4 bytes behind it.
+  for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<char>(0xFF));
+  for (int i = 0; i < 8; ++i) bytes.push_back(0);
+  dump(p, bytes);
+  const WalScan scan = wal_scan(p);  // must not allocate 4 GiB or throw
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.torn_bytes, 12u);
+}
+
+TEST_F(WalTest, BadMagicIsTyped) {
+  const auto p = path("w.log");
+  WalWriter::create(p, header(), WalSync::kNone);
+  auto bytes = slurp(p);
+  bytes[0] = 'X';
+  dump(p, bytes);
+  try {
+    wal_scan(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kBadMagic);
+  }
+}
+
+TEST_F(WalTest, HeaderBitFlipIsChecksumMismatch) {
+  const auto p = path("w.log");
+  WalWriter::create(p, header(), WalSync::kNone);
+  auto bytes = slurp(p);
+  bytes[10] ^= 1;  // inside num_nodes
+  dump(p, bytes);
+  try {
+    wal_scan(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kChecksumMismatch);
+  }
+}
+
+TEST_F(WalTest, TruncatedHeaderIsTyped) {
+  const auto p = path("w.log");
+  WalWriter::create(p, header(), WalSync::kNone);
+  auto bytes = slurp(p);
+  bytes.resize(10);
+  dump(p, bytes);
+  try {
+    wal_scan(p);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kTruncated);
+  }
+}
+
+TEST_F(WalTest, MissingFileIsOpenFailed) {
+  try {
+    wal_scan(path("nope.log"));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.kind(), IoErrorKind::kOpenFailed);
+  }
+}
+
+TEST_F(WalTest, AppendFailpointTearsTheRecordAndPoisonsTheWriter) {
+  const auto p = path("w.log");
+  WalWriter w = WalWriter::create(p, header(), WalSync::kNone);
+  w.append(record(1, WalRecordType::kInsert));
+  {
+    ScopedEnv fp("AFFOREST_FAILPOINTS", "wal.append=1");
+    failpoints_reload();
+    EXPECT_THROW(w.append(record(2, WalRecordType::kInsert)),
+                 FailpointError);
+  }
+  failpoints_reload();
+  // The tear left the file position untrustworthy: the writer refuses
+  // further appends instead of silently writing after garbage.
+  EXPECT_THROW(w.append(record(2, WalRecordType::kInsert)),
+               std::logic_error);
+  // Reopening truncates the torn prefix and resumes cleanly.
+  WalScan scan;
+  WalWriter reopened = WalWriter::open_for_append(p, WalSync::kNone, &scan);
+  EXPECT_EQ(scan.records.size(), 1u);
+  reopened.append(record(2, WalRecordType::kInsert));
+  EXPECT_EQ(wal_scan(p).records.size(), 2u);
+}
+
+TEST_F(WalTest, FsyncFailpointLeavesTheRecordIntact) {
+  const auto p = path("w.log");
+  WalWriter w = WalWriter::create(p, header(), WalSync::kFsync);
+  {
+    ScopedEnv fp("AFFOREST_FAILPOINTS", "wal.fsync=1");
+    failpoints_reload();
+    EXPECT_THROW(w.append(record(1, WalRecordType::kInsert)),
+                 FailpointError);
+  }
+  failpoints_reload();
+  // The record was fully written before the injected fsync failure:
+  // recovery sees it (crash-after-write, before-durable semantics).
+  const WalScan scan = wal_scan(p);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+}
+
+TEST_F(WalTest, StartSeqChainsAcrossSegments) {
+  const auto p = path("w.log");
+  WalWriter w = WalWriter::create(p, header(/*start_seq=*/7), WalSync::kNone);
+  EXPECT_EQ(w.last_seq(), 6u);
+  w.append(record(7, WalRecordType::kInsert));
+  const WalScan scan = wal_scan(p);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.header.start_seq, 7u);
+  EXPECT_EQ(scan.last_seq, 7u);
+}
+
+}  // namespace
+}  // namespace afforest::serve

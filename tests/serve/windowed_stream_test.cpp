@@ -1,0 +1,143 @@
+// WindowedStream (src/serve/windowed_stream.hpp): window accounting at the
+// boundaries — steady-state expiry, drain-to-empty followed by a fresh
+// push, push after full expiry via ticks, and ring restoration from a
+// checkpoint.  The drain/full-expiry cases are regressions for the window
+// accounting restarting cleanly once the ring has emptied.
+#include "serve/windowed_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/dynamic_cc.hpp"
+
+namespace afforest::serve {
+namespace {
+
+using NodeID = std::int32_t;
+
+EdgeList<NodeID> batch(std::initializer_list<std::pair<NodeID, NodeID>> es) {
+  EdgeList<NodeID> out;
+  out.reserve(es.size());
+  for (const auto& [u, v] : es) out.push_back({u, v});
+  return out;
+}
+
+TEST(WindowedStreamTest, ZeroWindowIsRejected) {
+  DynamicCC<NodeID> engine(4);
+  EXPECT_THROW(WindowedStream<NodeID>(engine, 0), std::invalid_argument);
+}
+
+TEST(WindowedStreamTest, SteadyStateExpiresExactlyOneBatch) {
+  DynamicCC<NodeID> engine(6);
+  WindowedStream<NodeID> stream(engine, 2);
+  stream.push(batch({{0, 1}}));
+  stream.push(batch({{2, 3}}));
+  EXPECT_EQ(stream.resident_batches(), 2u);
+  EXPECT_TRUE(engine.connected(0, 1));
+
+  // Third push overflows by exactly one: {0,1} expires.
+  const DeleteStats expired = stream.push(batch({{4, 5}}));
+  EXPECT_EQ(expired.requested, 1u);
+  EXPECT_EQ(stream.resident_batches(), 2u);
+  EXPECT_FALSE(engine.connected(0, 1));
+  EXPECT_TRUE(engine.connected(2, 3));
+  EXPECT_TRUE(engine.connected(4, 5));
+}
+
+TEST(WindowedStreamTest, DrainThenFreshPushRestartsAccounting) {
+  DynamicCC<NodeID> engine(6);
+  WindowedStream<NodeID> stream(engine, 2);
+  stream.push(batch({{0, 1}}));
+  stream.push(batch({{2, 3}}));
+  stream.drain();
+  EXPECT_EQ(stream.resident_batches(), 0u);
+  EXPECT_EQ(engine.component_count(), 6);  // every edge expired
+
+  // A fresh push after drain must not trigger any expiry and must count
+  // residents from zero again.
+  const DeleteStats first = stream.push(batch({{4, 5}}));
+  EXPECT_EQ(first.requested, 0u);
+  EXPECT_EQ(stream.resident_batches(), 1u);
+  EXPECT_TRUE(engine.connected(4, 5));
+  EXPECT_FALSE(engine.connected(0, 1));
+
+  const DeleteStats second = stream.push(batch({{0, 1}}));
+  EXPECT_EQ(second.requested, 0u);  // window holds 2; still no expiry
+  EXPECT_EQ(stream.resident_batches(), 2u);
+
+  // Only now does the window overflow, and by exactly one batch.
+  const DeleteStats third = stream.push(batch({{2, 3}}));
+  EXPECT_EQ(third.requested, 1u);
+  EXPECT_FALSE(engine.connected(4, 5));  // the post-drain oldest expired
+  EXPECT_TRUE(engine.connected(0, 1));
+}
+
+TEST(WindowedStreamTest, PushAfterFullExpiryViaTicks) {
+  DynamicCC<NodeID> engine(6);
+  WindowedStream<NodeID> stream(engine, 3);
+  stream.push(batch({{0, 1}}));
+  stream.push(batch({{2, 3}}));
+  // Expire everything one tick at a time (not via drain()).
+  stream.expire_oldest();
+  stream.expire_oldest();
+  EXPECT_EQ(stream.resident_batches(), 0u);
+  // Extra ticks on an empty ring are graceful no-ops.
+  const DeleteStats idle = stream.expire_oldest();
+  EXPECT_EQ(idle.requested, 0u);
+
+  const DeleteStats fresh = stream.push(batch({{4, 5}}));
+  EXPECT_EQ(fresh.requested, 0u);
+  EXPECT_EQ(stream.resident_batches(), 1u);
+  EXPECT_TRUE(engine.connected(4, 5));
+  EXPECT_EQ(engine.component_count(), 5);
+}
+
+TEST(WindowedStreamTest, RestoredRingAtCapacityExpiresOnNextPush) {
+  DynamicCC<NodeID> engine(8);
+  WindowedStream<NodeID> stream(engine, 2);
+  // Simulate recovery: the engine already holds the multiset, the ring is
+  // reinstated separately (the checkpoint path's contract).
+  engine.apply_inserts(batch({{0, 1}}));
+  engine.apply_inserts(batch({{2, 3}}));
+  engine.publish();
+  std::deque<EdgeList<NodeID>> ring;
+  ring.push_back(batch({{0, 1}}));
+  ring.push_back(batch({{2, 3}}));
+  stream.restore_ring(std::move(ring));
+  EXPECT_EQ(stream.resident_batches(), 2u);
+
+  const DeleteStats expired = stream.push(batch({{4, 5}}));
+  EXPECT_EQ(expired.requested, 1u);  // restored-oldest {0,1} fell off
+  EXPECT_FALSE(engine.connected(0, 1));
+  EXPECT_TRUE(engine.connected(2, 3));
+  EXPECT_TRUE(engine.connected(4, 5));
+}
+
+TEST(WindowedStreamTest, RestoreRingOverCapacityThrows) {
+  DynamicCC<NodeID> engine(8);
+  WindowedStream<NodeID> stream(engine, 1);
+  std::deque<EdgeList<NodeID>> ring;
+  ring.push_back(batch({{0, 1}}));
+  ring.push_back(batch({{2, 3}}));
+  EXPECT_THROW(stream.restore_ring(std::move(ring)), std::invalid_argument);
+}
+
+TEST(WindowedStreamTest, ResidentExposesBatchesOldestFirst) {
+  DynamicCC<NodeID> engine(6);
+  WindowedStream<NodeID> stream(engine, 2);
+  stream.push(batch({{0, 1}}));
+  stream.push(batch({{2, 3}, {3, 4}}));
+  const auto& resident = stream.resident();
+  ASSERT_EQ(resident.size(), 2u);
+  EXPECT_EQ(resident[0].size(), 1u);
+  EXPECT_EQ(resident[1].size(), 2u);
+  EXPECT_EQ(resident[0][0].u, 0);
+  EXPECT_EQ(resident[1][1].v, 4);
+}
+
+}  // namespace
+}  // namespace afforest::serve

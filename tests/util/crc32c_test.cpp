@@ -1,0 +1,55 @@
+// CRC32C helper (src/util/crc32c.hpp): the checksum the durability layer
+// stamps on every WAL record and checkpoint payload.
+#include "util/crc32c.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace afforest {
+namespace {
+
+TEST(Crc32cTest, StandardCheckValue) {
+  // The canonical CRC32C check value (RFC 3720 appendix, iSCSI): any
+  // implementation must produce 0xE3069283 for "123456789".
+  const std::string msg = "123456789";
+  EXPECT_EQ(crc32c(msg.data(), msg.size()), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t oneshot = crc32c(msg.data(), msg.size());
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    std::uint32_t state = crc32c_init();
+    state = crc32c_update(state, msg.data(), split);
+    state = crc32c_update(state, msg.data() + split, msg.size() - split);
+    EXPECT_EQ(crc32c_finish(state), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  std::string msg = "durability";
+  const std::uint32_t original = crc32c(msg.data(), msg.size());
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = msg;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      EXPECT_NE(crc32c(mutated.data(), mutated.size()), original)
+          << "flip byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, AllZeroBuffersOfDifferentLengthDiffer) {
+  const std::string a(8, '\0');
+  const std::string b(9, '\0');
+  EXPECT_NE(crc32c(a.data(), a.size()), crc32c(b.data(), b.size()));
+}
+
+}  // namespace
+}  // namespace afforest
