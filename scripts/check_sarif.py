@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validates afforest-lint's --sarif output (the lint_sarif_schema ctest).
+
+Stdlib-only schema subset check against SARIF 2.1.0 — the container has
+no jsonschema package, so this pins exactly the invariants CI annotation
+consumes:
+
+  * version == "2.1.0", a $schema URI, exactly one run
+  * tool.driver.name == "afforest-lint" with a version and a rules array
+    covering every --list-codes diagnostic code
+  * every result: ruleId present in driver.rules, level "error", a
+    message.text, and one physical location with a uri and startLine >= 1
+
+Drives the real CLI twice: a bad corpus fixture must exit 1 with a
+non-empty results array whose lines match the fixture's BAD markers, and
+a good fixture must exit 0 with an empty results array.
+
+Usage: check_sarif.py <repo-root>
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+_BAD_RE = re.compile(r"BAD\(([a-z*-]+)\)")
+
+
+def fail(message: str) -> None:
+    print(f"check_sarif: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_lint(repo: str, fixture: str, sarif_path: str) -> int:
+    proc = subprocess.run(
+        [sys.executable, os.path.join(repo, "tools", "afforest-lint"),
+         "--quiet", "--sarif", sarif_path, fixture],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    if proc.returncode == 2:
+        fail(f"internal error linting {fixture}:\n{proc.stderr}")
+    return proc.returncode
+
+
+def load(sarif_path: str) -> dict:
+    with open(sarif_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate_document(doc: dict) -> tuple[dict, list[dict]]:
+    """Checks the run-level invariants; returns (driver, results)."""
+    if doc.get("version") != "2.1.0":
+        fail(f"version is {doc.get('version')!r}, want '2.1.0'")
+    if not str(doc.get("$schema", "")).startswith("http"):
+        fail("$schema is missing or not a URI")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or len(runs) != 1:
+        fail("runs must be a list with exactly one run")
+    run = runs[0]
+    driver = run.get("tool", {}).get("driver", {})
+    if driver.get("name") != "afforest-lint":
+        fail(f"driver name is {driver.get('name')!r}")
+    if not driver.get("version"):
+        fail("driver has no version")
+    rules = driver.get("rules")
+    if not isinstance(rules, list) or not rules:
+        fail("driver.rules is missing or empty")
+    for rule in rules:
+        if not rule.get("id") or not rule.get("shortDescription", {}).get(
+            "text"
+        ):
+            fail(f"rule {rule!r} lacks id or shortDescription.text")
+    results = run.get("results")
+    if not isinstance(results, list):
+        fail("run.results must be a list")
+    rule_ids = {rule["id"] for rule in rules}
+    for result in results:
+        if result.get("ruleId") not in rule_ids:
+            fail(f"result ruleId {result.get('ruleId')!r} not in "
+                 f"driver.rules")
+        if result.get("level") != "error":
+            fail(f"result level {result.get('level')!r}, want 'error'")
+        if not result.get("message", {}).get("text"):
+            fail("result has no message.text")
+        locations = result.get("locations")
+        if not isinstance(locations, list) or len(locations) != 1:
+            fail("result must carry exactly one location")
+        physical = locations[0].get("physicalLocation", {})
+        if not physical.get("artifactLocation", {}).get("uri"):
+            fail("result location has no artifactLocation.uri")
+        start_line = physical.get("region", {}).get("startLine")
+        if not isinstance(start_line, int) or start_line < 1:
+            fail(f"result startLine {start_line!r} must be an int >= 1")
+    return driver, results
+
+
+def expected_markers(fixture: str) -> set[tuple[int, str]]:
+    expected: set[tuple[int, str]] = set()
+    with open(fixture, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for m in _BAD_RE.finditer(line):
+                expected.add((lineno, m.group(1)))
+    return expected
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    repo = sys.argv[1]
+    corpus = os.path.join(repo, "tests", "lint", "corpus")
+    bad_fixture = os.path.join(corpus, "bad_serve_durability_order.hpp")
+    good_fixture = os.path.join(corpus, "good_serve_durability_order.hpp")
+
+    with tempfile.TemporaryDirectory(prefix="afforest-sarif-") as tmp:
+        # A dirty fixture: exit 1, results match its BAD markers exactly.
+        bad_sarif = os.path.join(tmp, "bad.sarif")
+        code = run_lint(repo, bad_fixture, bad_sarif)
+        if code != 1:
+            fail(f"bad fixture exited {code}, want 1")
+        driver, results = validate_document(load(bad_sarif))
+        if not results:
+            fail("bad fixture produced an empty results array")
+        got = {
+            (r["locations"][0]["physicalLocation"]["region"]["startLine"],
+             r["ruleId"])
+            for r in results
+        }
+        want = expected_markers(bad_fixture)
+        if got != want:
+            fail(f"results {sorted(got)} != BAD markers {sorted(want)}")
+
+        # --list-codes and driver.rules must agree (CI renders rule help
+        # from the SARIF document alone).
+        proc = subprocess.run(
+            [sys.executable, os.path.join(repo, "tools", "afforest-lint"),
+             "--list-codes"],
+            stdout=subprocess.PIPE, text=True, check=True,
+        )
+        listed = {line.split(":", 1)[0] for line in
+                  proc.stdout.splitlines() if ":" in line}
+        rule_ids = {rule["id"] for rule in driver["rules"]}
+        if listed != rule_ids:
+            fail(f"--list-codes {sorted(listed)} != driver.rules "
+                 f"{sorted(rule_ids)}")
+
+        # A clean fixture: exit 0, document still valid, results empty.
+        good_sarif = os.path.join(tmp, "good.sarif")
+        code = run_lint(repo, good_fixture, good_sarif)
+        if code != 0:
+            fail(f"good fixture exited {code}, want 0")
+        _, results = validate_document(load(good_sarif))
+        if results:
+            fail(f"good fixture produced {len(results)} result(s), want 0")
+
+    print("check_sarif: PASS (document valid, results match BAD markers, "
+          "rules cover --list-codes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,9 +29,9 @@ fi
 echo "== afforest-lint: fixture corpus selftest =="
 "${PYTHON}" tools/afforest-lint --selftest tests/lint/corpus
 
-echo "== afforest-lint: src/ apps/ bench/ =="
+echo "== afforest-lint: src/ apps/ bench/ tools/ =="
 "${PYTHON}" tools/afforest-lint ${BUILD_DIR:+--build-dir "${BUILD_DIR}"} \
-  src apps bench
+  src apps bench tools
 
 missing_tool() {
   if [[ "${LINT_REQUIRE_TOOLS}" == "1" ]]; then

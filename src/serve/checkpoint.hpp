@@ -172,9 +172,7 @@ inline void write_checkpoint(const std::string& path,
   // Tmp is durable but the final name does not exist yet; a crash here
   // leaves an orphan .tmp that recovery ignores (manifest never names it).
   failpoint_maybe_fail("ckpt.rename");
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0)
-    throw IoError(IoErrorKind::kWriteFailed, path,
-                  std::string("rename failed: ") + std::strerror(errno));
+  rename_into_place(tmp_path, path);
   fsync_parent_dir(path);
 }
 
@@ -329,6 +327,11 @@ inline void write_manifest(const std::string& dir, const Manifest& manifest) {
   std::snprintf(hex, sizeof hex, "%08x", crc);
   body += "crc " + std::string(hex) + "\n";
   const std::string path = manifest_path(dir);
+  // The manifest is the root of trust: dying here must leave the old
+  // manifest naming the old checkpoint/WAL pair, with the new pair as
+  // unreferenced orphans that recovery GCs.  The crash sweep pins that
+  // (tests/serve/crash_sweep_test.cpp, ManifestReplaceSweep).
+  failpoint_maybe_fail("manifest.replace");
   atomic_write_file(path, path + ".tmp", body.data(), body.size());
 }
 

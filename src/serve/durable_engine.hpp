@@ -153,6 +153,10 @@ class DurableEngine {
 
   /// Serializes the full engine state at the current seq, rotates the WAL,
   /// repoints the manifest, and garbage-collects the superseded files.
+  // lint: single-writer(checkpoint() only const-reads engine state and
+  // rotates files; it inherits the caller's single-writer contract — a
+  // racing mutate() would trip require_healthy on poisoned_, and the
+  // crash sweep pins every interleaving of the rotation steps)
   void checkpoint() {
     require_healthy();
     poisoned_ = true;

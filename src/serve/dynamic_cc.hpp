@@ -380,6 +380,9 @@ class DynamicCC {
 
   /// Raises the snapshot epoch floor (see SnapshotStore::set_epoch_floor):
   /// the next publish() stamps an epoch strictly greater than `floor`.
+  // lint: single-writer(recovery-only: one forwarded store_ call made by
+  // the recovering writer before any reader can hold a snapshot; the
+  // epoch floor is writer-plane state inside SnapshotStore)
   void set_epoch_floor(std::uint64_t floor) { store_.set_epoch_floor(floor); }
 
   /// Replaces the writer state wholesale from checkpointed pieces.  The
@@ -458,6 +461,8 @@ class DynamicCC {
   /// tree edges included, so splits are silently missed.  This deliberately
   /// breaks the non-tree-edge certification; the differential suite must
   /// catch it (its "teeth" check).  Never set outside tests.
+  // lint: single-writer(test-only toggle flipped before any batch is
+  // applied; the differential teeth suite owns the engine exclusively)
   void testing_certify_all_deletes_free(bool on) {
     testing_certify_all_free_ = on;
   }

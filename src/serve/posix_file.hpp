@@ -181,6 +181,24 @@ inline void remove_file(const std::string& path) {
                   std::string("unlink failed: ") + std::strerror(errno));
 }
 
+/// rename(2) with the error path checked.  The new name is not itself
+/// durable until the caller fsyncs the parent directory — pair every call
+/// with fsync_parent_dir(path) (the S3 lint enforces the ordering).
+inline void rename_into_place(const std::string& tmp_path,
+                              const std::string& path) {
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0)
+    throw IoError(IoErrorKind::kWriteFailed, path,
+                  std::string("rename failed: ") + std::strerror(errno));
+}
+
+/// lseek(2) to an absolute offset; throws IoError(kOpenFailed) on error.
+inline void fd_seek(const FdFile& file, const std::string& path,
+                    std::uint64_t offset) {
+  if (::lseek(file.get(), static_cast<off_t>(offset), SEEK_SET) < 0)
+    throw IoError(IoErrorKind::kOpenFailed, path,
+                  std::string("lseek failed: ") + std::strerror(errno));
+}
+
 /// Writes `bytes` to `path` atomically: tmp file → fsync → rename →
 /// directory fsync.  A crash at any point leaves either the old file or
 /// the new one, never a partial.  `tmp_path` must be on the same
@@ -194,9 +212,7 @@ inline void atomic_write_file(const std::string& path,
     fd_sync(tmp, tmp_path);
     tmp.close_checked(tmp_path);
   }
-  if (::rename(tmp_path.c_str(), path.c_str()) != 0)
-    throw IoError(IoErrorKind::kWriteFailed, path,
-                  std::string("rename failed: ") + std::strerror(errno));
+  rename_into_place(tmp_path, path);
   fsync_parent_dir(path);
 }
 

@@ -237,6 +237,9 @@ class WalWriter {
  public:
   /// Creates a fresh segment at `path` (which must not exist), writes the
   /// header durably, and returns a writer positioned for `header.start_seq`.
+  // lint: failpoint(crashing before the header is durable leaves a file the
+  // manifest never references — recovery GCs it; the ckpt.rename and
+  // manifest.replace sweep cells cover exactly that orphan-segment state)
   static WalWriter create(const std::string& path, const WalHeader& header,
                           WalSync sync) {
     if (header.num_nodes == 0 || header.start_seq == 0)
@@ -254,6 +257,9 @@ class WalWriter {
   /// tail in place, and positions after the last valid record.  The scan
   /// (with the surviving records) is returned through `out_scan` so the
   /// caller can replay without reading the file twice.
+  // lint: failpoint(truncating a torn tail is idempotent — dying between
+  // truncate and sync re-enters this path on the next recovery with the
+  // same scan result; recover.replay sweep cells exercise the reopen)
   static WalWriter open_for_append(const std::string& path, WalSync sync,
                                    WalScan* out_scan = nullptr) {
     WalScan scan = wal_scan(path);
@@ -263,9 +269,7 @@ class WalWriter {
       fd_sync(fd, path);
       telemetry::on_wal_torn_tail();
     }
-    if (::lseek(fd.get(), static_cast<off_t>(scan.valid_bytes), SEEK_SET) < 0)
-      throw IoError(IoErrorKind::kOpenFailed, path,
-                    std::string("lseek failed: ") + std::strerror(errno));
+    fd_seek(fd, path, scan.valid_bytes);
     WalWriter writer(std::move(fd), path, scan.header, scan.last_seq, sync);
     if (out_scan != nullptr) *out_scan = std::move(scan);
     return writer;
@@ -306,6 +310,9 @@ class WalWriter {
 
   /// Explicit fdatasync (used before a checkpoint cuts over regardless of
   /// the per-append sync mode).
+  // lint: failpoint(dying in the pre-checkpoint sync is indistinguishable
+  // from the wal.fsync cell — the records are in the file, durability of
+  // the tail is what recovery replays; ckpt.write covers the next step)
   void sync() { fd_sync(fd_, path_); }
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }

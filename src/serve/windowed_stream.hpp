@@ -52,6 +52,9 @@ class WindowedStream {
   /// already hold the matching multiset state (DynamicCC::restore_state);
   /// this only restores the window accounting.  Throws std::invalid_argument
   /// if the checkpointed ring exceeds this stream's window.
+  // lint: single-writer(recovery-only: called from DurableEngine::recover
+  // before the stream is reachable by any reader; the paired
+  // DynamicCC::restore_state takes the writer lock for the engine state)
   void restore_ring(std::deque<EdgeList<NodeID_>> ring) {
     if (ring.size() > window_)
       throw std::invalid_argument(

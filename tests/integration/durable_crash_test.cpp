@@ -120,6 +120,14 @@ TEST_F(DurableCrashTest, KilledMidCheckpointRenameRecovers) {
   sweep_site("ckpt.rename=@1", kFlags);
 }
 
+TEST_F(DurableCrashTest, KilledMidManifestReplaceRecovers) {
+  // Killed between the new checkpoint becoming durable and the manifest
+  // swinging over: the old manifest must still name the old pair.  Hit 1
+  // is bootstrap's manifest on the fresh directory, so arm hit 2 — the
+  // first auto-checkpoint's swing.
+  sweep_site("manifest.replace=@2", kFlags);
+}
+
 TEST_F(DurableCrashTest, KilledDuringReplayRecovers) {
   // Build a directory with a WAL suffix first, then kill the NEXT run
   // mid-replay: recovery itself must be killable and re-runnable.

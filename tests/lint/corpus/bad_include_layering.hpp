@@ -1,0 +1,18 @@
+// Fixture: include-layering rule (afforest-include-layering), bad half.
+// A cc-layer file reaching up into the serving tier (or sideways into
+// bench) inverts the dependency stack; the declared layer map forbids
+// both edges.
+// lint-layer: cc
+#pragma once
+
+#include "cc/afforest.hpp"
+#include "graph/graph.hpp"
+#include "serve/query_engine.hpp"  // BAD(afforest-include-layering)
+#include "bench/harness.hpp"  // BAD(afforest-include-layering)
+#include "util/env.hpp"
+
+namespace afforest {
+
+inline int layered_helper(int x) { return x; }
+
+}  // namespace afforest

@@ -1,0 +1,37 @@
+// Fixture: rule S3 (afforest-serve-durability-order), bad half.
+// Three deliberate ordering inversions: rename before the written bytes
+// are fsynced (the classic torn-install bug), state applied before the
+// WAL record is journaled, and the manifest replaced before the
+// checkpoint it names is durable.
+// lint-scope: serve
+#pragma once
+
+#include <string>
+
+namespace afforest::serve {
+
+inline void install_fsync_after_rename(const std::string& path,
+                                       const void* data, std::size_t size) {
+  const std::string tmp_path = path + ".tmp";
+  FdFile tmp = fd_open(tmp_path, 0);
+  failpoint_maybe_fail("fixture.install");
+  fd_write_all(tmp, tmp_path, data, size);
+  rename_into_place(tmp_path, path);  // BAD(afforest-serve-durability-order)
+  fd_sync(tmp, path);
+  fsync_parent_dir(path);
+}
+
+template <typename Wal, typename Batch>
+void apply_before_journal(Wal& wal, const Batch& batch) {
+  apply_batch(batch);  // BAD(afforest-serve-durability-order)
+  wal.append(batch);
+}
+
+template <typename Manifest, typename Data>
+void manifest_before_checkpoint(const std::string& dir, const Manifest& m,
+                                const Data& data) {
+  write_manifest(dir, m);  // BAD(afforest-serve-durability-order)
+  write_checkpoint(dir + "/ckpt-1.afck", data);
+}
+
+}  // namespace afforest::serve

@@ -1,0 +1,19 @@
+// Fixture: rule S5 (afforest-serve-failpoint-coverage), bad half.
+// Durability sites (write/fsync wrapper calls) in a function that never
+// evaluates a failpoint flag per site line: a crash the sweep cannot
+// place is a recovery path that is never tested.
+// lint-scope: serve
+#pragma once
+
+#include <string>
+
+namespace afforest::serve {
+
+inline void append_header_uncovered(const std::string& path,
+                                    const void* data, std::size_t size) {
+  FdFile fd = fd_open(path, 0);
+  fd_write_all(fd, path, data, size);  // BAD(afforest-serve-failpoint-coverage)
+  fd_sync(fd, path);  // BAD(afforest-serve-failpoint-coverage)
+}
+
+}  // namespace afforest::serve

@@ -1,0 +1,23 @@
+// Fixture: rule S4 (afforest-serve-raw-posix), bad half.
+// Raw global-scope POSIX calls in serve scope outside posix_file.hpp
+// flag; the checked wrappers centralize error taxonomy and failpoints.
+// lint-scope: serve
+#pragma once
+
+#include <string>
+
+namespace afforest::serve {
+
+inline int open_raw(const std::string& path) {
+  return ::open(path.c_str(), 0);  // BAD(afforest-serve-raw-posix)
+}
+
+inline void sync_raw(int fd) {
+  ::fsync(fd);  // BAD(afforest-serve-raw-posix)
+}
+
+inline void seek_raw(int fd, long offset) {
+  ::lseek(fd, offset, 0);  // BAD(afforest-serve-raw-posix)
+}
+
+}  // namespace afforest::serve

@@ -1,0 +1,32 @@
+// Fixture: rule S1 (afforest-serve-writer-discipline), bad half.
+// A public mutating method of a serving engine that neither constructs
+// WriterLock nor delegates to a locked entry point flags; so does a const
+// (reader-path) method that touches a writer-only member.  An empty
+// single-writer() waiver still waives but earns W1.
+// lint-scope: serve
+#pragma once
+
+#include <atomic>
+
+namespace afforest::serve {
+
+class QueryEngine {
+ public:
+  void clobber_staged(int v) {  // BAD(afforest-serve-writer-discipline)
+    staged_ = v;
+  }
+
+  [[nodiscard]] int reader_peek() const {
+    return staging_cursor_;  // BAD(afforest-serve-writer-discipline)
+  }
+
+  // lint: single-writer() BAD(afforest-waiver-missing-reason)
+  void waived_without_reason(int v) { staged_ = v; }
+
+ private:
+  std::atomic<bool> writer_active_{false};
+  int staged_ = 0;
+  int staging_cursor_ = 0;  ///< writer-only
+};
+
+}  // namespace afforest::serve

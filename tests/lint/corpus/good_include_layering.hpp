@@ -1,0 +1,21 @@
+// Fixture: include-layering rule (afforest-include-layering), good half.
+// A serve-layer file may reach down (cc, analysis, graph, util) and into
+// itself; system headers and segments outside the layer map are ignored.
+// Must lint clean.
+// lint-layer: serve
+#pragma once
+
+#include <string>
+
+#include "analysis/components.hpp"
+#include "cc/afforest.hpp"
+#include "graph/graph.hpp"
+#include "serve/snapshot_store.hpp"
+#include "third_party/unmapped.h"
+#include "util/env.hpp"
+
+namespace afforest::serve {
+
+inline int layered_helper(int x) { return x; }
+
+}  // namespace afforest::serve

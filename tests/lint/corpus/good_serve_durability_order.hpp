@@ -1,0 +1,49 @@
+// Fixture: rule S3 (afforest-serve-durability-order), good half.
+// The full well-ordered chain — write -> fsync -> rename -> parent-dir
+// fsync, journal before apply, checkpoint durable before the manifest
+// names it — plus a reasoned durability-order waiver for a deliberate
+// deviation.  Must lint clean.
+// lint-scope: serve
+#pragma once
+
+#include <string>
+
+namespace afforest::serve {
+
+inline void install_well_ordered(const std::string& path,
+                                 const void* data, std::size_t size) {
+  const std::string tmp_path = path + ".tmp";
+  FdFile tmp = fd_open(tmp_path, 0);
+  failpoint_maybe_fail("fixture.install");
+  fd_write_all(tmp, tmp_path, data, size);
+  fd_sync(tmp, tmp_path);
+  rename_into_place(tmp_path, path);
+  fsync_parent_dir(path);
+}
+
+template <typename Wal, typename Batch>
+void journal_then_apply(Wal& wal, const Batch& batch) {
+  wal.append(batch);
+  apply_batch(batch);
+}
+
+template <typename Manifest, typename Data>
+void checkpoint_then_manifest(const std::string& dir, const Manifest& m,
+                              const Data& data) {
+  write_checkpoint(dir + "/ckpt-1.afck", data);
+  write_manifest(dir, m);
+}
+
+// lint: durability-order(double-buffered slot: the superseded generation
+// stays valid until the directory fsync in the caller publishes the new
+// name, so the per-slot rename needs no preceding data fsync)
+inline void waived_slot_swap(const std::string& slot,
+                             const std::string& tmp_path,
+                             const void* data, std::size_t size) {
+  FdFile tmp = fd_open(tmp_path, 0);
+  failpoint_maybe_fail("fixture.slot");
+  fd_write_all(tmp, tmp_path, data, size);
+  rename_into_place(tmp_path, slot);
+}
+
+}  // namespace afforest::serve

@@ -1,0 +1,32 @@
+// Fixture: rule S5 (afforest-serve-failpoint-coverage), good half.
+// A durability site is covered when its function evaluates a registered
+// failpoint (throwing or lethal — the sweep arms both), or when a
+// reasoned failpoint waiver explains why no coverage is needed.  Must
+// lint clean.
+// lint-scope: serve
+#pragma once
+
+#include <string>
+
+namespace afforest::serve {
+
+inline void append_header_covered(const std::string& path,
+                                  const void* data, std::size_t size) {
+  FdFile fd = fd_open(path, 0);
+  failpoint_maybe_fail("fixture.header.write");
+  fd_write_all(fd, path, data, size);
+  fd_sync(fd, path);
+}
+
+// lint: failpoint(idempotent tail truncation: dying here re-enters the
+// same recovery scan with the same result, which the recover.replay
+// sweep cells already exercise end to end)
+inline void truncate_torn_tail(const std::string& path, std::uint64_t valid) {
+  FdFile fd = fd_open(path, 0);
+  fd_truncate(fd, path, valid);
+  fd_sync(fd, path);
+}
+
+inline int no_sites_here(int x) { return x + 1; }
+
+}  // namespace afforest::serve

@@ -1,0 +1,22 @@
+// Fixture: rule S4 (afforest-serve-raw-posix), good half.
+// Everything goes through the posix_file.hpp wrappers; a qualified
+// static-member call like WalReader::open is not a raw syscall.  Must
+// lint clean.
+// lint-scope: serve
+#pragma once
+
+#include <string>
+
+namespace afforest::serve {
+
+inline void through_wrappers(const std::string& path) {
+  FdFile fd = fd_open(path, 0);
+  fd_seek(fd, path, 0);
+}
+
+template <typename WalReader>
+auto qualified_member_call(const std::string& path) {
+  return WalReader::open(path);
+}
+
+}  // namespace afforest::serve

@@ -1,0 +1,43 @@
+// Fixture: rule S1 (afforest-serve-writer-discipline), good half.
+// Public mutators either construct WriterLock themselves, delegate to a
+// locked entry point, or carry a reasoned single-writer waiver; const
+// readers only touch reader-safe members.  Must lint clean.
+// lint-scope: serve
+#pragma once
+
+#include <atomic>
+
+namespace afforest::serve {
+
+class DynamicCC {
+ public:
+  void apply_inserts(int n) {
+    WriterLock guard(writer_active_, "DynamicCC::apply_inserts");
+    staged_ += n;
+  }
+
+  void apply_and_publish(int n) {
+    apply_inserts(n);
+    publish();
+  }
+
+  void publish() {
+    WriterLock guard(writer_active_, "DynamicCC::publish");
+    ++generation_;
+  }
+
+  // lint: single-writer(recovery-only: runs before the engine is shared
+  // with any reader; the paired restore_state takes the writer lock and
+  // the recovery path is single-threaded by construction)
+  void set_epoch_floor(int floor) { floor_ = floor; }
+
+  [[nodiscard]] int generation() const { return generation_; }
+
+ private:
+  std::atomic<bool> writer_active_{false};
+  int staged_ = 0;
+  int generation_ = 0;
+  int floor_ = 0;  ///< writer-only
+};
+
+}  // namespace afforest::serve

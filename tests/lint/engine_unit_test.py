@@ -1,0 +1,539 @@
+#!/usr/bin/env python3
+"""Unit tests for afforest-lint internals (the lint_engine_units ctest).
+
+The corpus selftest pins end-to-end behavior per fixture file; these
+tests pin the models underneath on synthetic inputs: the S3
+call-sequence/ordering dataflow on token streams, the class/method model
+(access sections, const/static, constructors), waiver parsing edge cases
+(multi-line reasons, nested parens, empty reasons, NOLINT interplay),
+and the layer map.  Stdlib unittest only — run directly or via ctest.
+
+Usage: engine_unit_test.py <repo-root>
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import unittest
+
+if len(sys.argv) > 1 and not sys.argv[1].startswith("-"):
+    _REPO = sys.argv.pop(1)
+else:
+    _REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "..", "..")
+sys.path.insert(0, os.path.join(_REPO, "tools"))
+
+from afforest_lint import diagnostics as diag  # noqa: E402
+from afforest_lint import engine, serve_rules  # noqa: E402
+
+_SERVE_PATH = "src/serve/fixture.hpp"
+
+
+def lint(text: str, path: str = _SERVE_PATH) -> list:
+    return engine.analyze_text(text, path)
+
+
+def codes(diags: list) -> list[str]:
+    return [d.code for d in diags]
+
+
+class CallSequenceModel(unittest.TestCase):
+    """serve_rules.call_sequence on synthetic token streams."""
+
+    def test_categories_in_source_order(self):
+        stream = (
+            "fd_write_all(f, p, d, n); fd_sync(f, p); "
+            "rename_into_place(t, p); fsync_parent_dir(p); "
+            "wal_->append(r); apply_batch(b); "
+            "write_checkpoint(p, d); write_manifest(dir, m);"
+        )
+        cats = [c for _, c in serve_rules.call_sequence(stream)]
+        self.assertEqual(
+            cats,
+            ["write", "sync", "rename", "dirsync", "append", "apply",
+             "ckpt", "manifest"],
+        )
+
+    def test_base_offset_is_applied(self):
+        events = serve_rules.call_sequence("fd_sync(f, p);", base=100)
+        self.assertEqual(events, [(100, "sync")])
+
+    def test_wal_receiver_spellings(self):
+        for spelling in ("wal_->append(r)", "wal.append(r)",
+                         "next_wal.append(r)"):
+            events = serve_rules.call_sequence(spelling)
+            self.assertEqual([c for _, c in events], ["append"], spelling)
+
+    def test_append_definition_is_not_an_event(self):
+        # The definition `void append(...)` has no wal receiver.
+        events = serve_rules.call_sequence("void append(const Rec& r) {")
+        self.assertEqual(events, [])
+
+    def test_fd_truncate_counts_as_write(self):
+        events = serve_rules.call_sequence("fd_truncate(f, p, n);")
+        self.assertEqual([c for _, c in events], ["write"])
+
+    def test_push_back_is_not_apply(self):
+        events = serve_rules.call_sequence("out.push_back(apply_fn);")
+        self.assertEqual(events, [])
+
+
+class OrderingModel(unittest.TestCase):
+    """serve_rules.ordering_violations over event sequences."""
+
+    @staticmethod
+    def violations(stream: str) -> list[str]:
+        events = serve_rules.call_sequence(stream)
+        return [m for _, m in serve_rules.ordering_violations(events)]
+
+    def test_well_ordered_chain_is_clean(self):
+        self.assertEqual(
+            self.violations(
+                "fd_write_all(a); fd_sync(a); rename_into_place(t, p); "
+                "fsync_parent_dir(p);"
+            ),
+            [],
+        )
+
+    def test_rename_before_fsync_flags(self):
+        out = self.violations(
+            "fd_write_all(a); rename_into_place(t, p); fd_sync(a); "
+            "fsync_parent_dir(p);"
+        )
+        self.assertEqual(len(out), 1)
+        self.assertIn("write -> fsync -> rename", out[0])
+
+    def test_rename_without_dirsync_flags(self):
+        out = self.violations(
+            "fd_write_all(a); fd_sync(a); rename_into_place(t, p);"
+        )
+        self.assertEqual(len(out), 1)
+        self.assertIn("fsync_parent_dir", out[0])
+
+    def test_rename_with_no_prior_write_needs_only_dirsync(self):
+        self.assertEqual(
+            self.violations("rename_into_place(t, p); fsync_parent_dir(p);"),
+            [],
+        )
+
+    def test_manifest_before_checkpoint_flags(self):
+        out = self.violations("write_manifest(d, m); write_checkpoint(p, c);")
+        self.assertEqual(len(out), 1)
+        self.assertIn("manifest", out[0])
+
+    def test_checkpoint_then_manifest_is_clean(self):
+        self.assertEqual(
+            self.violations("write_checkpoint(p, c); write_manifest(d, m);"),
+            [],
+        )
+
+    def test_apply_before_append_flags(self):
+        out = self.violations("apply_batch(b); wal_->append(r);")
+        self.assertEqual(len(out), 1)
+        self.assertIn("journal-then-apply", out[0])
+
+    def test_apply_only_function_is_clean(self):
+        # Recovery replay applies without appending: no append, no rule.
+        self.assertEqual(self.violations("apply_batch(b); apply(t, b);"), [])
+
+    def test_violations_sorted_by_offset(self):
+        events = serve_rules.call_sequence(
+            "apply_batch(b); wal_->append(r); write_manifest(d, m); "
+            "write_checkpoint(p, c);"
+        )
+        out = serve_rules.ordering_violations(events)
+        self.assertEqual(len(out), 2)
+        self.assertEqual(out, sorted(out))
+
+
+class WriterDiscipline(unittest.TestCase):
+    """S1 on synthetic classes via the full analyze_text pipeline."""
+
+    def test_unlocked_public_mutator_flags(self):
+        src = (
+            "class DurableEngine {\n"
+            " public:\n"
+            "  void poke(int v) { staged_ = v; }\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        diags = lint(src)
+        self.assertEqual(codes(diags), [diag.SERVE_WRITER_DISCIPLINE])
+        self.assertEqual(diags[0].line, 3)
+
+    def test_writer_lock_and_delegation_are_compliant(self):
+        src = (
+            "class DurableEngine {\n"
+            " public:\n"
+            "  DurableEngine(int n) { staged_ = n; }\n"
+            "  void insert(int v) {\n"
+            "    WriterLock guard(writer_active_, \"insert\");\n"
+            "    staged_ = v;\n"
+            "  }\n"
+            "  void add_twice(int v) { insert(v); insert(v); }\n"
+            " private:\n"
+            "  std::atomic<bool> writer_active_{false};\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_static_and_private_methods_are_not_checked(self):
+        src = (
+            "class QueryEngine {\n"
+            " public:\n"
+            "  static int make(int n) { return n; }\n"
+            " private:\n"
+            "  void helper(int v) { staged_ = v; }\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_writer_flag_member_opts_a_class_in(self):
+        src = (
+            "class NotInTheNameList {\n"
+            " public:\n"
+            "  void poke(int v) { staged_ = v; }\n"
+            " private:\n"
+            "  std::atomic<bool> writer_active_{false};\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src)), [diag.SERVE_WRITER_DISCIPLINE])
+
+    def test_const_method_reading_writer_only_member_flags(self):
+        src = (
+            "class WindowedStream {\n"
+            " public:\n"
+            "  int peek() const { return cursor_; }\n"
+            " private:\n"
+            "  int cursor_ = 0;  ///< writer-only\n"
+            "};\n"
+        )
+        diags = lint(src)
+        self.assertEqual(codes(diags), [diag.SERVE_WRITER_DISCIPLINE])
+        self.assertEqual(diags[0].line, 3)
+
+    def test_const_method_reading_plain_member_is_clean(self):
+        src = (
+            "class WindowedStream {\n"
+            " public:\n"
+            "  int peek() const { return size_; }\n"
+            " private:\n"
+            "  int size_ = 0;\n"
+            "  int cursor_ = 0;  ///< writer-only\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_non_engine_class_is_not_checked(self):
+        src = (
+            "class PlainHelper {\n"
+            " public:\n"
+            "  void poke(int v) { staged_ = v; }\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_outside_serve_scope_nothing_runs(self):
+        src = (
+            "class DurableEngine {\n"
+            " public:\n"
+            "  void poke(int v) { staged_ = v; }\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src, path="src/cc/fixture.hpp")), [])
+
+
+class WaiverParsing(unittest.TestCase):
+    """Edge cases of the function-level waiver grammar."""
+
+    @staticmethod
+    def _engine_class(marker: str) -> str:
+        return (
+            "class DynamicCC {\n"
+            " public:\n"
+            + marker +
+            "  void poke(int v) { staged_ = v; }\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+
+    def test_reasoned_single_writer_waiver_suppresses(self):
+        src = self._engine_class(
+            "  // lint: single-writer(recovery-only seam)\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_empty_reason_earns_w1_at_the_marker_line(self):
+        src = self._engine_class("  // lint: single-writer()\n")
+        diags = lint(src)
+        self.assertEqual(codes(diags), [diag.WAIVER_MISSING_REASON])
+        self.assertEqual(diags[0].line, 3)
+
+    def test_multiline_reason_with_nested_parens(self):
+        src = self._engine_class(
+            "  // lint: single-writer(nested (parens) in a reason\n"
+            "  // spanning two comment lines still parse)\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_unterminated_reason_still_waives_with_text(self):
+        # A reason whose close paren is forgotten: everything to the end
+        # of the comment block is the reason (non-empty, so no W1).
+        src = self._engine_class(
+            "  // lint: single-writer(close paren forgotten\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_waiver_attaches_to_the_next_function_only(self):
+        src = (
+            "class DynamicCC {\n"
+            " public:\n"
+            "  // lint: single-writer(covers only waived_one)\n"
+            "  void waived_one(int v) { staged_ = v; }\n"
+            "  void not_waived(int v) { staged_ = v; }\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        diags = lint(src)
+        self.assertEqual(codes(diags), [diag.SERVE_WRITER_DISCIPLINE])
+        self.assertEqual(diags[0].line, 5)
+
+    def test_nolint_with_reason_suppresses_serve_codes(self):
+        src = (
+            "class DynamicCC {\n"
+            " public:\n"
+            "  void poke(int v) { staged_ = v; }"
+            "  // NOLINT(afforest-serve-writer-discipline): test seam\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_nolint_without_reason_earns_w1(self):
+        src = (
+            "class DynamicCC {\n"
+            " public:\n"
+            "  void poke(int v) { staged_ = v; }"
+            "  // NOLINT(afforest-serve-writer-discipline)\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(codes(lint(src)), [diag.WAIVER_MISSING_REASON])
+
+    def test_failpoint_waiver_covers_all_sites_in_one_function(self):
+        src = (
+            "// lint: failpoint(bootstrap header write; orphan GC covers)\n"
+            "inline void write_header(F& f) {\n"
+            "  fd_write_all(f, p, d, n);\n"
+            "  fd_sync(f, p);\n"
+            "}\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_durability_waiver_scopes_to_its_function(self):
+        src = (
+            "// lint: durability-order(slot swap; caller fsyncs the dir)\n"
+            "inline void swap_slot(F& f) {\n"
+            "  failpoint_maybe_fail(\"x\");\n"
+            "  fd_write_all(f, p, d, n);\n"
+            "  rename_into_place(t, p);\n"
+            "}\n"
+            "inline void second(F& f) {\n"
+            "  failpoint_maybe_fail(\"y\");\n"
+            "  fd_write_all(f, p, d, n);\n"
+            "  rename_into_place(t, p);\n"
+            "  fsync_parent_dir(p);\n"
+            "}\n"
+        )
+        diags = lint(src)
+        self.assertEqual(codes(diags), [diag.SERVE_DURABILITY_ORDER])
+        self.assertEqual(diags[0].line, 10)
+
+
+class RawPosixAndFailpoints(unittest.TestCase):
+    def test_raw_call_flags_and_qualified_call_does_not(self):
+        src = (
+            "inline int raw(const char* p) { return ::open(p, 0); }\n"
+            "template <typename R> auto ok(const char* p) {\n"
+            "  return R::open(p);\n"
+            "}\n"
+        )
+        diags = lint(src)
+        self.assertEqual(codes(diags), [diag.SERVE_RAW_POSIX])
+        self.assertEqual(diags[0].line, 1)
+
+    def test_posix_file_itself_is_exempt(self):
+        src = "inline int raw(const char* p) { return ::open(p, 0); }\n"
+        self.assertEqual(
+            codes(lint(src, path="src/serve/posix_file.hpp")), []
+        )
+
+    def test_uncovered_site_flags_per_line(self):
+        src = (
+            "inline void f(F& fd) {\n"
+            "  fd_write_all(fd, p, d, n);\n"
+            "  fd_sync(fd, p);\n"
+            "}\n"
+        )
+        diags = lint(src)
+        self.assertEqual(
+            codes(diags),
+            [diag.SERVE_FAILPOINT_COVERAGE, diag.SERVE_FAILPOINT_COVERAGE],
+        )
+        self.assertEqual([d.line for d in diags], [2, 3])
+
+    def test_failpoint_triggered_also_counts_as_coverage(self):
+        src = (
+            "inline void f(F& fd) {\n"
+            "  if (failpoint_triggered(\"x\")) return;\n"
+            "  fd_sync(fd, p);\n"
+            "}\n"
+        )
+        self.assertEqual(codes(lint(src)), [])
+
+
+class RcuPublication(unittest.TestCase):
+    def test_atomic_pointer_member_flags(self):
+        src = "struct S { std::atomic<Snapshot*> slot{nullptr}; };\n"
+        self.assertEqual(codes(lint(src)), [diag.SERVE_RCU_PUBLICATION])
+
+    def test_snapshot_store_is_exempt(self):
+        src = "struct S { std::atomic<Snapshot*> slot{nullptr}; };\n"
+        self.assertEqual(
+            codes(lint(src, path="src/serve/snapshot_store.hpp")), []
+        )
+
+    def test_atomic_scalar_member_is_clean(self):
+        src = "struct S { std::atomic<std::uint64_t> epoch{0}; };\n"
+        self.assertEqual(codes(lint(src)), [])
+
+    def test_label_store_flags_but_read_does_not(self):
+        src = (
+            "template <typename V> void w(V& view) "
+            "{ view.labels()[0] = 1; }\n"
+            "template <typename V> bool r(const V& view) "
+            "{ return view.labels()[0] == view.labels()[1]; }\n"
+        )
+        diags = lint(src)
+        self.assertEqual(codes(diags), [diag.SERVE_RCU_PUBLICATION])
+        self.assertEqual(diags[0].line, 1)
+
+
+class LayerMap(unittest.TestCase):
+    def test_file_layer_resolution(self):
+        self.assertEqual(serve_rules.file_layer("src/cc/x.hpp", None), "cc")
+        self.assertEqual(
+            serve_rules.file_layer("src/serve/x.hpp", None), "serve"
+        )
+        self.assertEqual(serve_rules.file_layer("apps/x.cpp", None), "apps")
+        self.assertEqual(serve_rules.file_layer("bench/x.cpp", None), "bench")
+        self.assertEqual(
+            serve_rules.file_layer("tests/lint/corpus/x.hpp", "serve"),
+            "serve",
+        )
+        self.assertIsNone(
+            serve_rules.file_layer("tests/lint/corpus/x.hpp", None)
+        )
+
+    def test_cc_including_serve_flags(self):
+        src = '#include "serve/query_engine.hpp"\n'
+        diags = lint(src, path="src/cc/x.hpp")
+        self.assertEqual(codes(diags), [diag.INCLUDE_LAYERING])
+        self.assertEqual(diags[0].line, 1)
+
+    def test_serve_including_bench_flags(self):
+        src = '#include "bench/harness.hpp"\n'
+        self.assertEqual(
+            codes(lint(src, path="src/serve/x.hpp")),
+            [diag.INCLUDE_LAYERING],
+        )
+
+    def test_downward_and_unmapped_includes_are_clean(self):
+        src = (
+            '#include <vector>\n'
+            '#include "cc/afforest.hpp"\n'
+            '#include "util/env.hpp"\n'
+            '#include "third_party/unmapped.h"\n'
+        )
+        self.assertEqual(codes(lint(src, path="src/serve/x.hpp")), [])
+
+    def test_every_layer_map_edge_is_reflexive_and_downward(self):
+        for layer, allowed in serve_rules.LAYER_ALLOWED.items():
+            self.assertIn(layer, allowed, f"{layer} cannot include itself")
+        self.assertNotIn("serve", serve_rules.LAYER_ALLOWED["cc"])
+        self.assertNotIn("serve", serve_rules.LAYER_ALLOWED["graph"])
+        self.assertNotIn("bench", serve_rules.LAYER_ALLOWED["serve"])
+        self.assertNotIn("apps", serve_rules.LAYER_ALLOWED["serve"])
+
+
+class ClassModel(unittest.TestCase):
+    def test_access_sections_and_nesting(self):
+        src = (
+            "class Outer {\n"
+            " public:\n"
+            "  class Inner {\n"
+            "    void inner_private() {}\n"
+            "  };\n"
+            "  void outer_public() {}\n"
+            " private:\n"
+            "  void outer_private() {}\n"
+            "};\n"
+            "struct DefaultPublic { void m() {} };\n"
+        )
+        fa = engine.FileAnalysis("x.hpp", src)
+        by_name = {f.name: f for f in fa.functions}
+        outer = next(c for c in fa.classes if c.name == "Outer")
+        inner = next(c for c in fa.classes if c.name == "Inner")
+        pub = next(c for c in fa.classes if c.name == "DefaultPublic")
+        self.assertIs(
+            fa.class_of(by_name["inner_private"].sig_start), inner
+        )
+        self.assertEqual(
+            inner.access_at(by_name["inner_private"].sig_start), "private"
+        )
+        self.assertEqual(
+            outer.access_at(by_name["outer_public"].sig_start), "public"
+        )
+        self.assertEqual(
+            outer.access_at(by_name["outer_private"].sig_start), "private"
+        )
+        self.assertEqual(pub.access_at(by_name["m"].sig_start), "public")
+
+    def test_enum_class_is_not_a_class(self):
+        fa = engine.FileAnalysis(
+            "x.hpp", "enum class WalSync { kNone, kFsync };\n"
+        )
+        self.assertEqual(fa.classes, [])
+
+    def test_const_and_static_detection(self):
+        src = (
+            "struct S {\n"
+            "  int get() const noexcept { return v_; }\n"
+            "  static int make(int x) { return x; }\n"
+            "  void set(int x) { v_ = x; }\n"
+            "  int v_ = 0;\n"
+            "};\n"
+        )
+        fa = engine.FileAnalysis("x.hpp", src)
+        by_name = {f.name: f for f in fa.functions}
+        self.assertTrue(by_name["get"].is_const)
+        self.assertFalse(by_name["get"].is_static)
+        self.assertTrue(by_name["make"].is_static)
+        self.assertFalse(by_name["set"].is_const)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

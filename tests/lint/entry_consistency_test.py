@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Drift guard for the afforest-lint entry points (lint_entry_consistency).
+
+`tools/afforest-lint` (the executable shim) and `tools/afforest_lint/`
+(the package) look like a near-duplicate pair but are an intentional
+pairing: the shim is what scripts/CI invoke, the package is what tests
+import.  This test pins the invariants that keep them one tool:
+
+  * the shim sits next to the package, is executable, and resolves the
+    adjacent package (not a stale copy elsewhere on sys.path)
+  * `--version` output equals the package's `__version__`
+  * `--list-codes` output equals `diagnostics.ALL_CODES`, in order, and
+    every code has a non-empty description
+
+Usage: entry_consistency_test.py <repo-root>
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import unittest
+
+if len(sys.argv) > 1 and not sys.argv[1].startswith("-"):
+    _REPO = sys.argv.pop(1)
+else:
+    _REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                         "..", "..")
+_REPO = os.path.abspath(_REPO)
+_SHIM = os.path.join(_REPO, "tools", "afforest-lint")
+_PACKAGE = os.path.join(_REPO, "tools", "afforest_lint")
+
+sys.path.insert(0, os.path.join(_REPO, "tools"))
+
+import afforest_lint  # noqa: E402
+from afforest_lint import diagnostics as diag  # noqa: E402
+
+
+def shim(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, _SHIM, *args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+class EntryConsistency(unittest.TestCase):
+    def test_shim_and_package_are_adjacent(self):
+        self.assertTrue(os.path.isfile(_SHIM), _SHIM)
+        self.assertTrue(os.path.isdir(_PACKAGE), _PACKAGE)
+        self.assertTrue(os.access(_SHIM, os.X_OK),
+                        "shim must stay executable")
+        # The import above must have resolved the adjacent package, not
+        # some other afforest_lint on sys.path.
+        self.assertEqual(
+            os.path.dirname(os.path.abspath(afforest_lint.__file__)),
+            _PACKAGE,
+        )
+
+    def test_shim_imports_the_package_by_name(self):
+        with open(_SHIM, encoding="utf-8") as f:
+            text = f.read()
+        self.assertIn("from afforest_lint.cli import main", text)
+
+    def test_version_matches_package(self):
+        proc = shim("--version")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(proc.stdout.strip(), afforest_lint.__version__)
+
+    def test_list_codes_matches_diagnostics_in_order(self):
+        proc = shim("--list-codes")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        listed = [line.split(":", 1)[0]
+                  for line in proc.stdout.splitlines() if ":" in line]
+        self.assertEqual(listed, list(diag.ALL_CODES))
+
+    def test_every_code_has_a_description(self):
+        self.assertEqual(set(diag.ALL_CODES), set(diag.DESCRIPTIONS))
+        for code, text in diag.DESCRIPTIONS.items():
+            self.assertTrue(text.strip(), f"{code} has an empty description")
+
+    def test_serve_rules_are_listed(self):
+        expected = {
+            "afforest-serve-writer-discipline",
+            "afforest-serve-rcu-publication",
+            "afforest-serve-durability-order",
+            "afforest-serve-raw-posix",
+            "afforest-serve-failpoint-coverage",
+            "afforest-include-layering",
+        }
+        self.assertLessEqual(expected, set(diag.ALL_CODES))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -252,6 +252,25 @@ TEST_F(CrashSweepTest, CheckpointRenameSweep) {
   }
 }
 
+TEST_F(CrashSweepTest, ManifestReplaceSweep) {
+  // Crash between the new checkpoint becoming durable and the manifest
+  // swinging over to it: the old manifest must still name the old
+  // checkpoint/WAL pair, the new pair is an unreferenced orphan that
+  // recovery GCs, and no .tmp survives (the site fires before the
+  // manifest's atomic_write_file even creates one).  Hit 1 is bootstrap's
+  // write_manifest on the fresh directory, so the sweep starts at hit 2 —
+  // the first auto-checkpoint's manifest swing.
+  for (const SweepCell& cell : std::vector<SweepCell>{
+           {"manifest.replace", 2, 701, false, 3, WalSync::kNone},
+           {"manifest.replace", 3, 702, false, 3, WalSync::kNone},
+           {"manifest.replace", 4, 703, false, 3, WalSync::kNone},
+           {"manifest.replace", 2, 704, true, 3, WalSync::kNone},
+       }) {
+    SetUp();
+    run_workload_cell(cell);
+  }
+}
+
 TEST_F(CrashSweepTest, RecoveryReplaySweep) {
   // checkpoint_every=0 keeps every record in the replay suffix, so the hit
   // index picks how deep into replay the second crash lands.

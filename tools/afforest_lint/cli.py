@@ -2,6 +2,7 @@
 
 Usage:
   afforest-lint [options] <file-or-dir>...      lint sources
+  afforest-lint --sarif out.sarif <paths>...    also emit SARIF 2.1.0
   afforest-lint --selftest <corpus-dir>         run the fixture corpus
   afforest-lint --list-codes                    print every diagnostic code
 
@@ -15,7 +16,7 @@ import argparse
 import os
 import sys
 
-from . import __version__, clang_backend, engine
+from . import __version__, clang_backend, engine, sarif
 from . import diagnostics as diag
 from .selftest import run_selftest
 
@@ -56,6 +57,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--build-dir", default=None,
                         help="build dir with compile_commands.json for the "
                         "clang backend")
+    parser.add_argument("--sarif", metavar="PATH", default=None,
+                        help="additionally write the diagnostics as a "
+                        "SARIF 2.1.0 document to PATH (lint mode only)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the summary line")
     parser.add_argument("--version", action="version", version=__version__)
@@ -105,6 +109,14 @@ def main(argv: list[str] | None = None) -> int:
             print("afforest-lint: clang backend requested but the clang "
                   "python bindings are not importable; structural results "
                   "only", file=sys.stderr)
+
+    if args.sarif:
+        try:
+            sarif.write_sarif(args.sarif, all_diags)
+        except OSError as e:
+            print(f"afforest-lint: cannot write SARIF to {args.sarif}: {e}",
+                  file=sys.stderr)
+            return 2
 
     for d in all_diags:
         print(d.render())

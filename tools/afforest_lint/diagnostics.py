@@ -15,6 +15,18 @@ RNG_SEED = "afforest-rng-seed"
 RAW_GETENV = "afforest-raw-getenv"
 # W1: a waiver (NOLINT or lint: bounded) without a reason string.
 WAIVER_MISSING_REASON = "afforest-waiver-missing-reason"
+# S1: single-writer discipline for the serving-tier engine classes.
+SERVE_WRITER_DISCIPLINE = "afforest-serve-writer-discipline"
+# S2: reader-visible state may only be published through SnapshotStore.
+SERVE_RCU_PUBLICATION = "afforest-serve-rcu-publication"
+# S3: intra-function ordering over the WAL/checkpoint/manifest chain.
+SERVE_DURABILITY_ORDER = "afforest-serve-durability-order"
+# S4: raw POSIX calls outside the posix_file.hpp wrapper layer.
+SERVE_RAW_POSIX = "afforest-serve-raw-posix"
+# S5: durability sites without failpoint coverage.
+SERVE_FAILPOINT_COVERAGE = "afforest-serve-failpoint-coverage"
+# Layering: includes must respect the declared layer map.
+INCLUDE_LAYERING = "afforest-include-layering"
 
 ALL_CODES = (
     PLAIN_SHARED_ACCESS,
@@ -24,6 +36,12 @@ ALL_CODES = (
     RNG_SEED,
     RAW_GETENV,
     WAIVER_MISSING_REASON,
+    SERVE_WRITER_DISCIPLINE,
+    SERVE_RCU_PUBLICATION,
+    SERVE_DURABILITY_ORDER,
+    SERVE_RAW_POSIX,
+    SERVE_FAILPOINT_COVERAGE,
+    INCLUDE_LAYERING,
 )
 
 DESCRIPTIONS = {
@@ -55,6 +73,39 @@ DESCRIPTIONS = {
     WAIVER_MISSING_REASON: (
         "waiver without a reason string; write "
         "'// NOLINT(<code>): <why>' or '// lint: bounded(<why>)'"
+    ),
+    SERVE_WRITER_DISCIPLINE: (
+        "public mutating methods of the serving engines must construct "
+        "WriterLock, delegate to a locked entry point, or carry a "
+        "'// lint: single-writer(<reason>)' waiver; const (reader-path) "
+        "methods must not touch writer-only members"
+    ),
+    SERVE_RCU_PUBLICATION: (
+        "reader-visible label/forest state may only be published through "
+        "the SnapshotStore swap; no roll-your-own std::atomic<T*> "
+        "publication or direct stores to published-snapshot fields"
+    ),
+    SERVE_DURABILITY_ORDER: (
+        "durability chain out of order: WAL append before apply, file "
+        "write -> fsync -> rename -> parent-dir fsync, and the manifest "
+        "replaced only after the checkpoint it names is durable"
+    ),
+    SERVE_RAW_POSIX: (
+        "raw ::open/::write/::fsync/::rename etc. in src/serve outside "
+        "posix_file.hpp; go through the checked wrappers so error paths "
+        "and failpoints stay centralized"
+    ),
+    SERVE_FAILPOINT_COVERAGE: (
+        "durability site (write/fsync/rename wrapper call) without "
+        "failpoint coverage in its function; declare a registered "
+        "failpoint or waive with '// lint: failpoint(<reason>)' so the "
+        "crash sweep stays exhaustive by construction"
+    ),
+    INCLUDE_LAYERING: (
+        "include crosses the declared layer map (e.g. src/cc or "
+        "src/graph including src/serve, or src/serve including "
+        "bench/apps); invert the dependency or move the shared piece "
+        "down a layer"
     ),
 }
 

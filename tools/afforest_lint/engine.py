@@ -37,6 +37,7 @@ import os
 import re
 
 from . import diagnostics as diag
+from . import serve_rules
 from .lexer import lex
 
 # Helpers whose first argument may be (and must be, inside parallel code) a
@@ -80,11 +81,21 @@ _NON_FUNCTION_NAMES = frozenset(
 _FUNC_RE = re.compile(
     r"([A-Za-z_][\w:]*)\s*"  # function name (possibly qualified)
     r"\(((?:[^()]|\([^()]*\))*)\)"  # params, one nesting level
-    r"\s*(?:const\s*)?(?:noexcept(?:\s*\([^()]*\))?\s*)?"
+    r"\s*(?P<cv>const\b\s*)?(?:noexcept(?:\s*\([^()]*\))?\s*)?"
     r"(?:->\s*[\w:<>&*,\s]+?)?"
     r"(?::\s*[^{};]*)?\s*\{",  # optional constructor member-init list
     re.DOTALL,
 )
+
+_CLASS_RE = re.compile(
+    r"\b(class|struct)\s+([A-Za-z_]\w*)(?:\s+final\b)?\s*(?::[^{;]*)?\{"
+)
+_ACCESS_RE = re.compile(r"\b(public|private|protected)\s*:(?!:)")
+# Member declarations are recognized as "the first identifier directly
+# followed by '=', '{' or ';'" on the declaration line (types and nested
+# template arguments are always followed by another token first).
+_MEMBER_NAME_RE = re.compile(r"([A-Za-z_]\w*)\s*[={;]")
+_WRITER_ONLY_RE = re.compile(r"\bwriter-only\b")
 
 _TRACKED_PARAM_RE = re.compile(
     r"(const\s+)?pvector<[^<>;&]*NodeID[^<>;&]*>\s*&\s*([A-Za-z_]\w*)"
@@ -103,6 +114,13 @@ _NOLINTNEXT_RE = re.compile(r"NOLINTNEXTLINE\(([^)]*)\)(?:\s*:\s*(\S.*))?")
 _BOUNDED_RE = re.compile(r"lint:\s*bounded\((.*)\)")
 _PARALLEL_CONTEXT_RE = re.compile(r"lint:\s*parallel-context")
 _CC_SCOPE_RE = re.compile(r"lint-scope:\s*cc")
+_SERVE_SCOPE_RE = re.compile(r"lint-scope:\s*serve")
+# The reason may continue across following comment-only lines until the
+# parens balance (see _multiline_reason); these match the opening only.
+_SINGLE_WRITER_OPEN_RE = re.compile(r"lint:\s*single-writer\(")
+_DURABILITY_WAIVER_OPEN_RE = re.compile(r"lint:\s*durability-order\(")
+_FAILPOINT_WAIVER_OPEN_RE = re.compile(r"lint:\s*failpoint\(")
+_LAYER_MARKER_RE = re.compile(r"lint-layer:\s*([a-z]+)")
 
 _WS_RE = re.compile(r"\s+$")
 
@@ -115,6 +133,30 @@ class Function:
     body_start: int  # offset of the opening brace
     body_end: int  # offset just past the closing brace
     parallel_context: bool = False
+    is_const: bool = False  # trailing const (member-function read path)
+    is_static: bool = False  # `static` storage class before the return type
+
+
+@dataclasses.dataclass
+class CxxClass:
+    """A class/struct definition with enough structure for the serve-tier
+    method-scope rules: access sections and writer-only member names."""
+
+    name: str
+    kind: str  # "class" | "struct"
+    body_start: int  # offset of the opening brace
+    body_end: int  # offset just past the closing brace
+    access_specs: list[tuple[int, str]] = dataclasses.field(default_factory=list)
+    writer_only_members: list[str] = dataclasses.field(default_factory=list)
+
+    def access_at(self, offset: int) -> str:
+        """Access level in effect at `offset` inside this class's body."""
+        access = "public" if self.kind == "struct" else "private"
+        for spec_offset, spec in self.access_specs:
+            if spec_offset >= offset:
+                break
+            access = spec
+        return access
 
 
 @dataclasses.dataclass
@@ -130,6 +172,9 @@ class FileAnalysis:
     def __init__(self, path: str, text: str, display_path: str | None = None):
         self.path = path
         self.display = display_path or path
+        # Raw lines are kept for the include-layering scan: the lexer
+        # blanks string-literal contents, which include targets are.
+        self.raw_lines = text.split("\n")
         self.code_lines, self.comment_lines = lex(text)
         self.code = "\n".join(self.code_lines)
         self.line_starts = [0]
@@ -142,6 +187,17 @@ class FileAnalysis:
         self.parallel_ranges = self._find_parallel_ranges()
         self.excluded_ranges = self._find_excluded_ranges()
         self.tracked = self._find_tracked_arrays()
+        self.classes = self._find_classes()
+        self._collect_writer_only_members()
+        self.single_writer_by_func = self._attach_function_markers(
+            self.single_writer
+        )
+        self.durability_by_func = self._attach_function_markers(
+            self.durability_waivers
+        )
+        self.failpoint_by_func = self._attach_function_markers(
+            self.failpoint_waivers
+        )
 
     # -- geometry -----------------------------------------------------------
 
@@ -246,8 +302,13 @@ class FileAnalysis:
     def _collect_markers(self) -> None:
         self.nolint: dict[int, _Nolint] = {}  # line -> suppression
         self.bounded: dict[int, str] = {}  # line -> reason ('' if missing)
+        self.single_writer: dict[int, str] = {}  # line -> reason
+        self.durability_waivers: dict[int, str] = {}  # line -> reason
+        self.failpoint_waivers: dict[int, str] = {}  # line -> reason
         self.parallel_context_lines: list[int] = []
         self.cc_scope_marker = False
+        self.serve_scope_marker = False
+        self.layer_marker: str | None = None
         for idx, comment in enumerate(self.comment_lines):
             line = idx + 1
             if not comment:
@@ -262,10 +323,53 @@ class FileAnalysis:
             m = _BOUNDED_RE.search(comment)
             if m:
                 self.bounded[line] = m.group(1).strip()
+            for rx, table in (
+                (_SINGLE_WRITER_OPEN_RE, self.single_writer),
+                (_DURABILITY_WAIVER_OPEN_RE, self.durability_waivers),
+                (_FAILPOINT_WAIVER_OPEN_RE, self.failpoint_waivers),
+            ):
+                m = rx.search(comment)
+                if m:
+                    table[line] = self._multiline_reason(
+                        comment[m.end():], idx
+                    )
+            m = _LAYER_MARKER_RE.search(comment)
+            if m:
+                self.layer_marker = m.group(1)
             if _PARALLEL_CONTEXT_RE.search(comment):
                 self.parallel_context_lines.append(line)
             if _CC_SCOPE_RE.search(comment):
                 self.cc_scope_marker = True
+            if _SERVE_SCOPE_RE.search(comment):
+                self.serve_scope_marker = True
+
+    def _multiline_reason(self, first: str, idx: int) -> str:
+        """Reason text of a `lint: <kind>(...)` waiver whose parenthesized
+        reason may continue across following comment-only lines.  `first`
+        is the text after the opening paren on line idx (0-based)."""
+        parts: list[str] = []
+        text = first
+        depth = 1
+        line_idx = idx
+        while True:
+            for pos, ch in enumerate(text):
+                if ch == "(":
+                    depth += 1
+                elif ch == ")":
+                    depth -= 1
+                    if depth == 0:
+                        parts.append(text[:pos])
+                        return " ".join(p.strip() for p in parts).strip()
+            parts.append(text)
+            line_idx += 1
+            if line_idx >= len(self.comment_lines) or line_idx - idx > 20:
+                break
+            if self.code_lines[line_idx].strip():
+                break  # a code line ends the comment block
+            text = self.comment_lines[line_idx]
+            if not text.strip():
+                break  # blank line ends the waiver comment
+        return " ".join(p.strip() for p in parts).strip()
 
     def _add_nolint(self, line: int, m: re.Match) -> None:
         codes = frozenset(
@@ -289,10 +393,91 @@ class FileAnalysis:
                     sig_start=m.start(1),
                     body_start=body_start,
                     body_end=self._match_brace(body_start),
+                    is_const=bool(m.group("cv")),
+                    is_static=self._has_static_before(m.start(1)),
                 )
             )
         functions.sort(key=lambda f: f.sig_start)
         return functions
+
+    def _has_static_before(self, sig_start: int) -> bool:
+        """True iff `static` appears between the previous declaration
+        boundary (';', '{', '}') and the function name — i.e. in this
+        declaration's specifier sequence."""
+        window = self.code[max(0, sig_start - 200) : sig_start]
+        tail = re.split(r"[;{}]", window)[-1]
+        return re.search(r"\bstatic\b", tail) is not None
+
+    def _find_classes(self) -> list[CxxClass]:
+        classes = []
+        for m in _CLASS_RE.finditer(self.code):
+            if re.search(r"\benum\s*\Z", self.code[: m.start()]):
+                continue  # `enum class`/`enum struct` is not a class
+            body_start = m.end() - 1
+            classes.append(
+                CxxClass(
+                    name=m.group(2),
+                    kind=m.group(1),
+                    body_start=body_start,
+                    body_end=self._match_brace(body_start),
+                )
+            )
+        # Access specifiers belong to the innermost class containing them.
+        for m in _ACCESS_RE.finditer(self.code):
+            owner = self._innermost_class(m.start(), classes)
+            if owner is not None:
+                owner.access_specs.append((m.start(), m.group(1)))
+        for c in classes:
+            c.access_specs.sort()
+        return classes
+
+    @staticmethod
+    def _innermost_class(
+        offset: int, classes: list[CxxClass] | None = None
+    ) -> CxxClass | None:
+        best = None
+        for c in classes or ():
+            if c.body_start < offset < c.body_end:
+                if best is None or c.body_start > best.body_start:
+                    best = c
+        return best
+
+    def class_of(self, offset: int) -> CxxClass | None:
+        """Innermost class whose body contains `offset`, if any."""
+        return self._innermost_class(offset, self.classes)
+
+    def _collect_writer_only_members(self) -> None:
+        """Members whose declaration line carries a `writer-only` comment
+        register as writer-plane state: const (reader-path) methods of the
+        same class must not reference them (rule S1, reader half)."""
+        func_bodies = [(f.body_start, f.body_end) for f in self.functions]
+        for idx, comment in enumerate(self.comment_lines):
+            if not _WRITER_ONLY_RE.search(comment):
+                continue
+            code_line = self.code_lines[idx].strip()
+            m = _MEMBER_NAME_RE.search(code_line)
+            if not m:
+                continue
+            offset = self.line_starts[idx]
+            if self._in_ranges(offset, func_bodies):
+                continue  # a local, not a member declaration
+            owner = self.class_of(offset)
+            if owner is not None:
+                owner.writer_only_members.append(m.group(1))
+
+    def _attach_function_markers(
+        self, table: dict[int, str]
+    ) -> dict[int, tuple[int, str]]:
+        """Attach line->reason markers to functions the way parallel-context
+        attaches: each marker covers the first function whose signature is
+        at or below the marker line.  Returns sig_start -> (line, reason)."""
+        out: dict[int, tuple[int, str]] = {}
+        for marker_line in sorted(table):
+            for f in self.functions:
+                if self.line_of(f.sig_start) >= marker_line:
+                    out[f.sig_start] = (marker_line, table[marker_line])
+                    break
+        return out
 
     def _attach_parallel_context(self) -> None:
         for marker_line in self.parallel_context_lines:
@@ -583,4 +768,5 @@ def analyze_text(
     fa.check_atomic_ref(exempt=_exempt_suffix(path, "util/parallel.hpp"))
     fa.check_rng_seed(exempt=_exempt_suffix(path, "util/rng.hpp"))
     fa.check_raw_getenv(exempt=False)
+    serve_rules.run(fa, path)
     return fa.apply_suppressions()

@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 emission for CI annotation.
+
+`afforest-lint --sarif <path> <sources>` writes one run per invocation:
+the tool component carries every diagnostic code as a reportingDescriptor
+(so viewers can render rule help without a side channel), and each
+diagnostic becomes a `result` with a physical location.  The document is
+emitted in lint mode only — selftest failures are corpus bugs, not source
+findings.  tests/lint validates the emitted document against the schema
+subset in scripts/check_sarif.py (the `lint_sarif_schema` ctest).
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import __version__
+from . import diagnostics as diag
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "docs/STATIC_ANALYSIS.md"
+
+
+def to_sarif(diagnostics: list[diag.Diagnostic]) -> dict:
+    """The SARIF 2.1.0 document for one lint run, as a JSON-ready dict."""
+    rule_index = {code: i for i, code in enumerate(diag.ALL_CODES)}
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": diag.DESCRIPTIONS[code]},
+            "helpUri": _INFO_URI,
+        }
+        for code in diag.ALL_CODES
+    ]
+    results = []
+    for d in diagnostics:
+        result = {
+            "ruleId": d.code,
+            "level": "error",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace("\\", "/"),
+                        },
+                        "region": {"startLine": d.line},
+                    }
+                }
+            ],
+        }
+        if d.code in rule_index:
+            result["ruleIndex"] = rule_index[d.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "afforest-lint",
+                        "version": __version__,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: str, diagnostics: list[diag.Diagnostic]) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(to_sarif(diagnostics), f, indent=2, sort_keys=False)
+        f.write("\n")
