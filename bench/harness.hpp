@@ -220,6 +220,9 @@ inline std::string render_json(const std::string& experiment,
       w.key("wal_records_replayed").value(c.wal_records_replayed);
       w.key("wal_checkpoints_written").value(c.wal_checkpoints_written);
       w.key("wal_torn_tail_truncations").value(c.wal_torn_tail_truncations);
+      w.key("shard_boundary_msgs").value(c.shard_boundary_msgs);
+      w.key("shard_quotient_edges").value(c.shard_quotient_edges);
+      w.key("shard_epoch_publishes").value(c.shard_epoch_publishes);
       w.key("failpoints_fired").value(c.failpoints_fired);
       w.end_object();
       w.key("phases").begin_array();

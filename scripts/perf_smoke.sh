@@ -54,6 +54,20 @@ SERVE_READ_FRACTION=0.9
 SERVE_SKEW=zipfian
 SERVE_STEADY=1048576
 
+# Sharded serving tier, pinned the same way: the gated record is the
+# compute-bound steady-state query pass "shard-query-steady" on graph
+# "shard-urand" (own serial-uf anchor); the per-shard-count mixed records
+# land on the anchor-less "shard-urand-mixed" graph and ride along as
+# notes (scheduler-sensitive, like the serve mixed phase).
+SHARD_SCALE=16
+SHARD_TRIALS=5
+SHARD_SWEEP=1,2,4,7
+SHARD_READERS=2
+SHARD_READ_FRACTION=0.9
+SHARD_SKEW=zipfian
+SHARD_STEADY=1048576
+SHARD_STEADY_SHARDS=4
+
 # Streaming (decremental) suite.  The gated record is the compute-bound
 # delete-free pass on graph "stream-urand" (own serial-uf anchor): every
 # deletion there is a certified-free non-tree edge, so the bench itself
@@ -74,8 +88,9 @@ WAL_OVERHEAD_BOUND="${AFFOREST_WAL_OVERHEAD_BOUND:-1.15}"
 
 BIN="${BUILD_DIR}/bench/bench_fig8a_performance"
 SERVE_BIN="${BUILD_DIR}/bench/bench_serving"
+SHARD_BIN="${BUILD_DIR}/bench/bench_sharded"
 STREAM_BIN="${BUILD_DIR}/bench/bench_streaming"
-for bin in "$BIN" "$SERVE_BIN" "$STREAM_BIN"; do
+for bin in "$BIN" "$SERVE_BIN" "$SHARD_BIN" "$STREAM_BIN"; do
   if [[ ! -x "$bin" ]]; then
     echo "perf_smoke: $bin not built (cmake --build $BUILD_DIR --target $(basename "$bin"))" >&2
     exit 2
@@ -106,6 +121,16 @@ run_suite() {
     --read-fraction "$SERVE_READ_FRACTION" --skew "$SERVE_SKEW" \
     --steady-queries "$SERVE_STEADY" \
     --json "$1.serving" >/dev/null
+  echo "perf_smoke: running pinned sharded sweep (scale=$SHARD_SCALE trials=$SHARD_TRIALS shards=$SHARD_SWEEP)"
+  # bench_sharded exits nonzero on its own if any reader observes mixed
+  # shard epochs or a non-monotone epoch — that correctness gate rides
+  # inside the perf gate.
+  OMP_NUM_THREADS="$THREADS" "$SHARD_BIN" \
+    --scale "$SHARD_SCALE" --trials "$SHARD_TRIALS" \
+    --shards "$SHARD_SWEEP" --readers "$SHARD_READERS" \
+    --read-fraction "$SHARD_READ_FRACTION" --skew "$SHARD_SKEW" \
+    --steady-queries "$SHARD_STEADY" --steady-shards "$SHARD_STEADY_SHARDS" \
+    --json "$1.sharded" >/dev/null
   echo "perf_smoke: running pinned streaming suite (scale=$STREAM_SCALE trials=$STREAM_TRIALS window=$STREAM_WINDOW)"
   # bench_streaming exits nonzero on its own if the delete-free pass ever
   # triggers a rebuild — that correctness gate rides inside the perf gate.
@@ -118,7 +143,7 @@ run_suite() {
   rm -rf "$1.waldir"
   # Merge into one afforest-bench-1 document: host/build metadata from the
   # fig8a run (same binary toolchain), records concatenated.
-  python3 - "$1.fig8a" "$1.serving" "$1.streaming" "$1" <<'PY'
+  python3 - "$1.fig8a" "$1.serving" "$1.sharded" "$1.streaming" "$1" <<'PY'
 import json, sys
 fig8a = json.load(open(sys.argv[1]))
 fig8a["experiment"] = "perf-smoke"
@@ -141,11 +166,25 @@ medians = {rec["algorithm"]: rec["trials"]["median_s"]
 if "stream-ingest" not in medians or "stream-ingest-wal" not in medians:
     sys.exit("perf_smoke: WAL-overhead records missing from the streaming "
              "run (bench_streaming --wal-dir did not emit them)")
+# The gated sharded record must be present and carry the promoted
+# communication-volume counters (the simulation-to-live promotion's
+# telemetry contract).
+sharded = [rec for rec in fig8a["records"]
+           if rec["algorithm"] == "shard-query-steady"]
+if not sharded:
+    sys.exit("perf_smoke: shard-query-steady record missing from the "
+             "sharded run")
+mixed = [rec for rec in fig8a["records"]
+         if rec.get("graph") == "shard-urand-mixed"]
+if not all("shard_epoch_publishes" in rec.get("counters", {})
+           for rec in mixed):
+    sys.exit("perf_smoke: sharded mixed records are missing the "
+             "shard_* telemetry counters")
 with open(sys.argv[-1], "w") as f:
     json.dump(fig8a, f, indent=1)
     f.write("\n")
 PY
-  rm -f "$1.fig8a" "$1.serving" "$1.streaming"
+  rm -f "$1.fig8a" "$1.serving" "$1.sharded" "$1.streaming"
 }
 
 compare() {

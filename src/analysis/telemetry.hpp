@@ -103,6 +103,9 @@ struct Counters {
   std::uint64_t wal_records_replayed = 0;  ///< WAL records re-applied in recovery
   std::uint64_t wal_checkpoints_written = 0;  ///< checkpoints durably installed
   std::uint64_t wal_torn_tail_truncations = 0;  ///< torn WAL tails discarded
+  std::uint64_t shard_boundary_msgs = 0;   ///< cross-shard boundary edges routed
+  std::uint64_t shard_quotient_edges = 0;  ///< deduped root-pair messages merged
+  std::uint64_t shard_epoch_publishes = 0;  ///< cross-shard epochs published
   std::uint64_t failpoints_fired = 0;      ///< injected faults fired (live total,
                                            ///< not reset by telemetry::reset)
 };
@@ -133,6 +136,9 @@ struct alignas(kCacheLineBytes) ThreadCounters {
   std::atomic<std::uint64_t> wal_records_replayed{0};
   std::atomic<std::uint64_t> wal_checkpoints_written{0};
   std::atomic<std::uint64_t> wal_torn_tail_truncations{0};
+  std::atomic<std::uint64_t> shard_boundary_msgs{0};
+  std::atomic<std::uint64_t> shard_quotient_edges{0};
+  std::atomic<std::uint64_t> shard_epoch_publishes{0};
 };
 
 struct BlockRegistry {
@@ -277,6 +283,26 @@ inline void on_wal_torn_tail() {
   detail::local().wal_torn_tail_truncations.fetch_add(1, detail::kRelaxed);
 }
 
+// Sharded-tier hooks (src/shard/sharded_engine.hpp).  All fire from the
+// coordinator's single writer thread, tallied once per batch or publish —
+// these are the PartitionedCCStats communication-volume quantities promoted
+// to live counters (boundary message volume, deduped quotient size, epochs).
+
+inline void on_shard_boundary_msgs(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().shard_boundary_msgs, n);
+}
+
+inline void on_shard_quotient_edges(std::uint64_t n) {
+  if (!enabled()) return;
+  detail::add(detail::local().shard_quotient_edges, n);
+}
+
+inline void on_shard_epoch_publish() {
+  if (!enabled()) return;
+  detail::local().shard_epoch_publishes.fetch_add(1, detail::kRelaxed);
+}
+
 // ---- aggregation ----------------------------------------------------------
 
 /// Sums every thread block.  Safe to call concurrently with running
@@ -319,6 +345,11 @@ inline Counters snapshot() {
         b->wal_checkpoints_written.load(detail::kRelaxed);
     total.wal_torn_tail_truncations +=
         b->wal_torn_tail_truncations.load(detail::kRelaxed);
+    total.shard_boundary_msgs += b->shard_boundary_msgs.load(detail::kRelaxed);
+    total.shard_quotient_edges +=
+        b->shard_quotient_edges.load(detail::kRelaxed);
+    total.shard_epoch_publishes +=
+        b->shard_epoch_publishes.load(detail::kRelaxed);
   }
   // Failpoint fire counts live in the failpoint registry (util/failpoint.hpp
   // must stay include-light, so the dependency points this way).  They are
@@ -446,6 +477,9 @@ inline void reset() {
       b->wal_records_replayed.store(0, detail::kRelaxed);
       b->wal_checkpoints_written.store(0, detail::kRelaxed);
       b->wal_torn_tail_truncations.store(0, detail::kRelaxed);
+      b->shard_boundary_msgs.store(0, detail::kRelaxed);
+      b->shard_quotient_edges.store(0, detail::kRelaxed);
+      b->shard_epoch_publishes.store(0, detail::kRelaxed);
     }
   }
   detail::PhaseTable& t = detail::phase_table();

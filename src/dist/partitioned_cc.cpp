@@ -1,88 +1,26 @@
 #include "dist/partitioned_cc.hpp"
 
-#include <stdexcept>
-#include <unordered_set>
-
-#include "cc/afforest.hpp"
-#include "util/parallel.hpp"
-
 namespace afforest {
 
 int partition_of(std::int64_t v, std::int64_t num_nodes, int num_parts) {
   if (num_nodes == 0) return 0;
-  const auto p = static_cast<int>((v * num_parts) / num_nodes);
+  // 128-bit intermediate: v * num_parts overflows int64 once n crosses
+  // ~2^63 / P, and the whole point of the templatized kernel is that n is
+  // no longer capped at int32.
+  const auto p = static_cast<int>(
+      (static_cast<__int128>(v) * num_parts) / num_nodes);
   return p >= num_parts ? num_parts - 1 : p;
 }
 
-ComponentLabels<std::int32_t> partitioned_cc(const Graph& g, int num_parts,
-                                             PartitionedCCStats* stats) {
-  using NodeID = std::int32_t;
-  if (num_parts < 1) throw std::invalid_argument("num_parts must be >= 1");
-  const std::int64_t n = g.num_nodes();
-  auto comp = identity_labels<NodeID>(n);
-
-  // Superstep 1: link internal edges.  Each rank touches only its own
-  // block of comp, so ranks can be simulated by one parallel loop; the
-  // lock-free link keeps the simulation faithful to per-rank concurrency.
-  std::int64_t internal = 0, boundary = 0;
-#pragma omp parallel for reduction(+ : internal, boundary) \
-    schedule(dynamic, 2048)
-  for (std::int64_t u = 0; u < n; ++u) {
-    const int pu = partition_of(u, n, num_parts);
-    for (NodeID v : g.out_neigh(static_cast<NodeID>(u))) {
-      if (static_cast<NodeID>(u) >= v) continue;  // each unordered edge once
-      if (partition_of(v, n, num_parts) == pu) {
-        link(static_cast<NodeID>(u), v, comp);
-        ++internal;
-      } else {
-        ++boundary;
-      }
-    }
-  }
-  compress_all(comp);
-
-  // Superstep 2: translate boundary edges into root-pair messages and
-  // deduplicate (a real implementation aggregates messages per rank pair).
-  struct PairHash {
-    std::size_t operator()(const std::uint64_t& k) const noexcept {
-      return std::hash<std::uint64_t>{}(k);
-    }
-  };
-  std::unordered_set<std::uint64_t, PairHash> quotient;
-  std::unordered_set<NodeID> roots;
-  for (std::int64_t u = 0; u < n; ++u) {
-    const int pu = partition_of(u, n, num_parts);
-    for (NodeID v : g.out_neigh(static_cast<NodeID>(u))) {
-      if (static_cast<NodeID>(u) >= v) continue;
-      if (partition_of(v, n, num_parts) == pu) continue;
-      const NodeID ru = comp[u];
-      const NodeID rv = comp[v];
-      if (ru == rv) continue;
-      const NodeID lo = std::min(ru, rv);
-      const NodeID hi = std::max(ru, rv);
-      quotient.insert((static_cast<std::uint64_t>(hi) << 32) |
-                      static_cast<std::uint32_t>(lo));
-      roots.insert(ru);
-      roots.insert(rv);
-    }
-  }
-
-  // Superstep 3: merge the quotient and finalize.
-  for (const auto key : quotient) {
-    const auto hi = static_cast<NodeID>(key >> 32);
-    const auto lo = static_cast<NodeID>(key & 0xFFFFFFFFu);
-    link(hi, lo, comp);
-  }
-  compress_all(comp);
-
-  if (stats != nullptr) {
-    stats->num_parts = num_parts;
-    stats->internal_edges = internal;
-    stats->boundary_edges = boundary;
-    stats->quotient_vertices = static_cast<std::int64_t>(roots.size());
-    stats->quotient_edges = static_cast<std::int64_t>(quotient.size());
-  }
-  return comp;
+std::int64_t partition_first(int p, std::int64_t num_nodes, int num_parts) {
+  // ceil(p * n / P) — the least v with floor(v * P / n) == p.
+  const auto num = static_cast<__int128>(p) * num_nodes;
+  return static_cast<std::int64_t>((num + num_parts - 1) / num_parts);
 }
+
+template ComponentLabels<std::int32_t> partitioned_cc<std::int32_t>(
+    const CSRGraph<std::int32_t>&, int, PartitionedCCStats*);
+template ComponentLabels<std::int64_t> partitioned_cc<std::int64_t>(
+    const CSRGraph<std::int64_t>&, int, PartitionedCCStats*);
 
 }  // namespace afforest

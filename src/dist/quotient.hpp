@@ -1,0 +1,167 @@
+// Quotient-graph helpers shared by the BSP simulation (dist/partitioned_cc)
+// and the sharded serving coordinator (shard/sharded_engine.hpp).
+//
+// After local work collapses each block to a handful of roots (the paper's
+// subgraph-sampling insight carried to the distributed setting, and the
+// FastSV/ConnectIt observation in PAPERS.md), cross-block connectivity is a
+// tiny graph over those roots.  Two pieces implement that exchange:
+//
+//   RootPairSet<NodeID_>  — deduplicates (root_u, root_v) messages.  For
+//                           labels up to 32 bits the pair packs into one
+//                           64-bit key (half the memory, one hash); wider
+//                           labels take the width-safe two-word path — the
+//                           packed fast path previously forced the whole
+//                           simulation down to int32 labels.
+//   QuotientUF<NodeID_>   — union-find over a sparse set of root ids with
+//                           union-by-min, so the quotient preserves the
+//                           min-vertex-id label convention every kernel in
+//                           this repo shares (labels compose exactly).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "cc/guards.hpp"
+
+namespace afforest {
+
+/// Deduplicated set of unordered root pairs.  insert() normalizes (lo, hi);
+/// for_each replays each distinct pair once.
+template <typename NodeID_>
+class RootPairSet {
+  static constexpr bool kPacked = sizeof(NodeID_) <= 4;
+
+  struct WideHash {
+    std::size_t operator()(
+        const std::pair<std::int64_t, std::int64_t>& p) const noexcept {
+      // splitmix-style mix of both words; the packed path's single-word
+      // hash cannot cover 64-bit ids without collapsing high bits.
+      auto mix = [](std::uint64_t x) {
+        x += 0x9E3779B97F4A7C15ull;
+        x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+        x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+        return x ^ (x >> 31);
+      };
+      return static_cast<std::size_t>(
+          mix(static_cast<std::uint64_t>(p.first)) ^
+          (mix(static_cast<std::uint64_t>(p.second)) << 1));
+    }
+  };
+
+ public:
+  /// Records the unordered pair {a, b} (a != b expected but not required);
+  /// returns true when the pair was not present yet.
+  bool insert(NodeID_ a, NodeID_ b) {
+    const NodeID_ lo = a < b ? a : b;
+    const NodeID_ hi = a < b ? b : a;
+    if constexpr (kPacked) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi)) << 32) |
+          static_cast<std::uint32_t>(lo);
+      return packed_.insert(key).second;
+    } else {
+      return wide_
+          .insert({static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)})
+          .second;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    if constexpr (kPacked) return packed_.size();
+    else return wide_.size();
+  }
+
+  /// Invokes fn(lo, hi) for every distinct pair (iteration order is
+  /// unspecified — callers must not depend on it).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if constexpr (kPacked) {
+      for (const std::uint64_t key : packed_)
+        fn(static_cast<NodeID_>(key & 0xFFFFFFFFull),
+           static_cast<NodeID_>(key >> 32));
+    } else {
+      for (const auto& [lo, hi] : wide_)
+        fn(static_cast<NodeID_>(lo), static_cast<NodeID_>(hi));
+    }
+  }
+
+  void clear() {
+    if constexpr (kPacked) packed_.clear();
+    else wide_.clear();
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> packed_;
+  std::unordered_set<std::pair<std::int64_t, std::int64_t>, WideHash> wide_;
+};
+
+/// Union-find over a sparse id universe (only roots that appear in quotient
+/// messages are materialized).  union-by-min: the representative of a set is
+/// always its minimum id, so composing quotient roots over shard-local
+/// min-id labels yields exactly the global min-id labels.
+template <typename NodeID_>
+class QuotientUF {
+ public:
+  /// Representative (minimum id) of x's set; x itself when untracked.
+  /// Compresses the visited path.
+  NodeID_ find(NodeID_ x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) return x;
+    // Chase to the root, then point every visited node straight at it.
+    NodeID_ root = x;
+    std::int64_t hops = 0;
+    // lint: bounded(parent chains strictly decrease toward the set minimum and the map is finite)
+    while (true) {
+      const auto pit = parent_.find(root);
+      if (pit == parent_.end() || pit->second == root) break;
+      root = pit->second;
+      check_convergence_guard("quotient.find", ++hops,
+                              static_cast<std::int64_t>(parent_.size()) + 1);
+    }
+    NodeID_ cur = x;
+    // lint: bounded(re-walks the chain just chased; same strictly-decreasing bound)
+    while (cur != root) {
+      auto cit = parent_.find(cur);
+      const NodeID_ next = cit->second;
+      cit->second = root;
+      cur = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets of a and b (inserting either if untracked); returns
+  /// true when they were previously disjoint.
+  bool unite(NodeID_ a, NodeID_ b) {
+    const NodeID_ ra = find_or_insert(a);
+    const NodeID_ rb = find_or_insert(b);
+    if (ra == rb) return false;
+    const NodeID_ lo = ra < rb ? ra : rb;
+    const NodeID_ hi = ra < rb ? rb : ra;
+    parent_[hi] = lo;
+    return true;
+  }
+
+  /// Number of ids ever touched by unite().
+  [[nodiscard]] std::size_t tracked() const { return parent_.size(); }
+
+  /// Fully-resolved view: every tracked id mapped to its set minimum.
+  [[nodiscard]] std::unordered_map<NodeID_, NodeID_> resolve() {
+    std::unordered_map<NodeID_, NodeID_> out;
+    out.reserve(parent_.size());
+    for (const auto& [id, unused] : parent_) out.emplace(id, NodeID_{});
+    for (auto& [id, root] : out) root = find(id);
+    return out;
+  }
+
+ private:
+  NodeID_ find_or_insert(NodeID_ x) {
+    parent_.emplace(x, x);
+    return find(x);
+  }
+
+  std::unordered_map<NodeID_, NodeID_> parent_;
+};
+
+}  // namespace afforest

@@ -258,4 +258,122 @@ class SnapshotStore {
   std::uint64_t epoch_counter_ = 1;    ///< writer-only
 };
 
+/// Generic epoch-stamped RCU double buffer over an arbitrary payload —
+/// SnapshotStore's pointer-flip/refcount protocol factored out so composite
+/// engines (the sharded coordinator, src/shard/sharded_engine.hpp) can
+/// publish one atom holding MANY pinned shard snapshots plus derived state,
+/// giving readers a single consistent cross-shard epoch.
+///
+/// Writer protocol (single writer, two steps):
+///
+///   1. begin_publish()  — waits for the stale buffer's readers to drain,
+///      then DESTROYS its payload and returns a pointer to the emptied
+///      slot.  The destruction order is the point: a composite payload
+///      pins resources (e.g. shard Views from epoch e−1), and those pins
+///      must drop BEFORE the caller asks the underlying stores to publish
+///      again, or the inner grace period would wait on a pin the outer
+///      buffer still holds — a self-deadlock.
+///   2. commit_publish() — stamps the next epoch and release-stores the
+///      pointer.  A writer failure between the two steps (exception from
+///      building the new payload) leaves the previous epoch published and
+///      the publisher fully serviceable — identical to SnapshotStore's
+///      failpoint discipline.
+///
+/// Readers acquire() a Ref with the same pin/re-check/back-off loop as
+/// SnapshotStore::acquire, under the same spin ceiling.
+template <typename PayloadT>
+class EpochPublisher {
+  struct Cell {
+    PayloadT payload{};
+    std::uint64_t epoch = 0;
+    mutable std::atomic<std::int64_t> readers{0};
+  };
+
+ public:
+  /// A pinned payload + its epoch.  Movable, not copyable; keep it
+  /// short-lived (one query or one batch), like SnapshotStore::View.
+  class Ref {
+   public:
+    Ref(Ref&& other) noexcept : cell_(other.cell_) { other.cell_ = nullptr; }
+    Ref& operator=(Ref&& other) noexcept {
+      if (this != &other) {
+        release();
+        cell_ = other.cell_;
+        other.cell_ = nullptr;
+      }
+      return *this;
+    }
+    Ref(const Ref&) = delete;
+    Ref& operator=(const Ref&) = delete;
+    ~Ref() { release(); }
+
+    [[nodiscard]] std::uint64_t epoch() const { return cell_->epoch; }
+    [[nodiscard]] const PayloadT& operator*() const { return cell_->payload; }
+    [[nodiscard]] const PayloadT* operator->() const {
+      return &cell_->payload;
+    }
+
+   private:
+    friend class EpochPublisher;
+    explicit Ref(const Cell* cell) : cell_(cell) {}
+    void release() {
+      if (cell_ != nullptr)
+        cell_->readers.fetch_sub(1, std::memory_order_acq_rel);
+      cell_ = nullptr;
+    }
+
+    const Cell* cell_;
+  };
+
+  EpochPublisher() { published_.store(&cells_[0], std::memory_order_release); }
+
+  /// Epoch of the currently published payload (0 until the first commit).
+  [[nodiscard]] std::uint64_t epoch() const { return acquire().epoch(); }
+
+  /// Pins the current payload.  Concurrency-safe; any number of readers.
+  [[nodiscard]] Ref acquire() const {
+    std::int64_t spins = 0;
+    for (;;) {
+      Cell* cell = published_.load(std::memory_order_acquire);
+      cell->readers.fetch_add(1, std::memory_order_acq_rel);
+      if (published_.load(std::memory_order_acquire) == cell)
+        return Ref(cell);
+      cell->readers.fetch_sub(1, std::memory_order_acq_rel);
+      check_convergence_guard("serve.epoch.acquire", ++spins,
+                              serve_spin_ceiling());
+      std::this_thread::yield();
+    }
+  }
+
+  /// Step 1 of a publish: drains the stale buffer's grace period, destroys
+  /// its payload (releasing everything epoch e−1 pinned), and returns the
+  /// emptied slot for the caller to fill.  Single-writer only.
+  PayloadT* begin_publish() {
+    Cell& next = cells_[1 - published_index_];
+    std::int64_t spins = 0;
+    const std::int64_t ceiling = serve_spin_ceiling();
+    while (next.readers.load(std::memory_order_acquire) != 0) {
+      check_convergence_guard("serve.epoch.drain", ++spins, ceiling);
+      std::this_thread::yield();
+    }
+    next.payload = PayloadT{};
+    return &next.payload;
+  }
+
+  /// Step 2: stamps epoch +1 on the slot begin_publish() returned and
+  /// atomically publishes it.  Single-writer only.
+  void commit_publish() {
+    Cell& next = cells_[1 - published_index_];
+    next.epoch = ++epoch_counter_;
+    published_index_ = 1 - published_index_;
+    published_.store(&next, std::memory_order_release);
+  }
+
+ private:
+  Cell cells_[2];
+  std::atomic<Cell*> published_{nullptr};
+  std::int32_t published_index_ = 0;  ///< writer-only
+  std::uint64_t epoch_counter_ = 0;   ///< writer-only
+};
+
 }  // namespace afforest::serve

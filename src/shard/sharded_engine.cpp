@@ -1,0 +1,11 @@
+#include "shard/sharded_engine.hpp"
+
+namespace afforest::shard {
+
+// The widths the rest of the library ships (Graph defaults to int32; the
+// int64 instantiation is what the label-width fix buys).  Keeps every
+// consumer of the coordinator out of template-instantiation cost.
+template class ShardedEngine<std::int32_t>;
+template class ShardedEngine<std::int64_t>;
+
+}  // namespace afforest::shard

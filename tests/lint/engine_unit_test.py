@@ -438,6 +438,9 @@ class LayerMap(unittest.TestCase):
         self.assertEqual(
             serve_rules.file_layer("src/serve/x.hpp", None), "serve"
         )
+        self.assertEqual(
+            serve_rules.file_layer("src/shard/x.hpp", None), "shard"
+        )
         self.assertEqual(serve_rules.file_layer("apps/x.cpp", None), "apps")
         self.assertEqual(serve_rules.file_layer("bench/x.cpp", None), "bench")
         self.assertEqual(
@@ -470,6 +473,40 @@ class LayerMap(unittest.TestCase):
         )
         self.assertEqual(codes(lint(src, path="src/serve/x.hpp")), [])
 
+    def test_shard_composes_serve_and_dist_but_not_vice_versa(self):
+        # The coordinator may reach down into both planes it composes...
+        src = (
+            '#include "serve/query_engine.hpp"\n'
+            '#include "dist/partitioned_cc.hpp"\n'
+            '#include "shard/sharded_engine.hpp"\n'
+        )
+        self.assertEqual(codes(lint(src, path="src/shard/x.hpp")), [])
+        # ...but neither plane may reach up into the coordinator.
+        up = '#include "shard/sharded_engine.hpp"\n'
+        self.assertEqual(
+            codes(lint(up, path="src/serve/x.hpp")),
+            [diag.INCLUDE_LAYERING],
+        )
+        self.assertEqual(
+            codes(lint(up, path="src/dist/x.hpp")),
+            [diag.INCLUDE_LAYERING],
+        )
+
+    def test_shard_scope_enforces_writer_discipline(self):
+        # src/shard is serve-scope: S1 runs on the coordinator class too.
+        src = (
+            "class ShardedEngine {\n"
+            " public:\n"
+            "  void poke(int v) { staged_ = v; }\n"
+            " private:\n"
+            "  int staged_ = 0;\n"
+            "};\n"
+        )
+        self.assertEqual(
+            codes(lint(src, path="src/shard/fixture.hpp")),
+            [diag.SERVE_WRITER_DISCIPLINE],
+        )
+
     def test_every_layer_map_edge_is_reflexive_and_downward(self):
         for layer, allowed in serve_rules.LAYER_ALLOWED.items():
             self.assertIn(layer, allowed, f"{layer} cannot include itself")
@@ -477,6 +514,9 @@ class LayerMap(unittest.TestCase):
         self.assertNotIn("serve", serve_rules.LAYER_ALLOWED["graph"])
         self.assertNotIn("bench", serve_rules.LAYER_ALLOWED["serve"])
         self.assertNotIn("apps", serve_rules.LAYER_ALLOWED["serve"])
+        self.assertNotIn("shard", serve_rules.LAYER_ALLOWED["serve"])
+        self.assertNotIn("shard", serve_rules.LAYER_ALLOWED["dist"])
+        self.assertIn("ShardedEngine", serve_rules.SERVE_ENGINE_CLASSES)
 
 
 class ClassModel(unittest.TestCase):

@@ -1,0 +1,132 @@
+// Cross-shard consistency under a concurrent writer (std::thread drivers
+// so the TSan preset observes real histories):
+//
+//   * readers can NEVER observe mixed epochs — every shard snapshot inside
+//     one acquired atom carries the same epoch;
+//   * epochs are monotone per reader;
+//   * every answered batch matches the ground-truth labels of exactly the
+//     epoch it was stamped with (published-prefix snapshot semantics);
+//   * connectivity is monotone across epochs (edges are only added).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cc/union_find.hpp"
+#include "graph/generators/uniform.hpp"
+#include "serve/query_batch.hpp"
+#include "shard/sharded_engine.hpp"
+#include "util/rng.hpp"
+
+namespace afforest {
+namespace {
+
+using NodeID = std::int32_t;
+using Engine = shard::ShardedEngine<NodeID>;
+
+class ShardLinearizability : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardLinearizability, ReadersNeverObserveMixedEpochs) {
+  const int num_shards = GetParam();
+  const std::int64_t n = 1 << 10;
+  const int kBatches = 24;
+  const std::size_t kBatchEdges = 256;
+
+  const auto all_edges =
+      generate_uniform_edges<NodeID>(n, kBatches * kBatchEdges, 1234);
+  Engine engine(n, num_shards);
+
+  // ground_truth[e] = expected labels at epoch e.  Slot e is written by the
+  // writer BEFORE the publish that stamps epoch e; the atom's release-store
+  // publishes the slot to any reader that observes epoch e.
+  std::vector<ComponentLabels<NodeID>> ground_truth(
+      static_cast<std::size_t>(kBatches) + 2);
+  ground_truth[1] = union_find_cc(EdgeList<NodeID>{}, n);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::thread writer([&] {
+    EdgeList<NodeID> prefix;
+    for (int b = 0; b < kBatches; ++b) {
+      EdgeList<NodeID> batch;
+      for (std::size_t i = 0; i < kBatchEdges; ++i) {
+        const auto& e = all_edges[b * kBatchEdges + i];
+        batch.push_back(e);
+        prefix.push_back(e);
+      }
+      ground_truth[static_cast<std::size_t>(b) + 2] =
+          union_find_cc(prefix, n);
+      engine.apply_batch(batch);
+      engine.publish();  // stamps epoch b + 2
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  const auto reader = [&](std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::uint64_t last_epoch = 0;
+    std::vector<std::pair<NodeID, NodeID>> seen_connected;
+    while (!done.load(std::memory_order_acquire)) {
+      // Probe 1: the mixed-epoch criterion, straight off the atom.
+      {
+        const auto ref = engine.acquire();
+        const auto epochs = Engine::shard_epochs(ref);
+        for (const std::uint64_t e : epochs)
+          if (e != epochs.front()) violations.fetch_add(1);
+        if (ref.epoch() < last_epoch) violations.fetch_add(1);
+        last_epoch = ref.epoch();
+      }
+      // Probe 2: batch answers match the stamped epoch's ground truth.
+      serve::QueryBatch<NodeID> batch;
+      for (int q = 0; q < 32; ++q)
+        batch.add(static_cast<NodeID>(
+                      rng.next_bounded(static_cast<std::uint64_t>(n))),
+                  static_cast<NodeID>(
+                      rng.next_bounded(static_cast<std::uint64_t>(n))));
+      engine.answer(batch);
+      if (batch.epoch < last_epoch) violations.fetch_add(1);
+      last_epoch = batch.epoch;
+      const auto& truth = ground_truth[batch.epoch];
+      for (std::size_t q = 0; q < batch.count(); ++q) {
+        const bool want = truth[batch.u[q]] == truth[batch.v[q]];
+        if (static_cast<bool>(batch.connected[q]) != want)
+          violations.fetch_add(1);
+        if (batch.component[q] != truth[batch.u[q]]) violations.fetch_add(1);
+        if (batch.connected[q])
+          seen_connected.push_back({batch.u[q], batch.v[q]});
+      }
+      // Probe 3: monotone connectivity — anything once connected stays so.
+      if (!seen_connected.empty()) {
+        const auto& uv =
+            seen_connected[rng.next_bounded(seen_connected.size())];
+        if (!engine.connected(uv.first, uv.second)) violations.fetch_add(1);
+      }
+    }
+  };
+
+  std::thread r1(reader, 7);
+  std::thread r2(reader, 99);
+  writer.join();
+  r1.join();
+  r2.join();
+
+  EXPECT_EQ(violations.load(), 0);
+
+  // Final state agrees with the serial oracle exactly.
+  const auto labels = engine.labels();
+  const auto& truth = ground_truth[static_cast<std::size_t>(kBatches) + 1];
+  for (std::int64_t v = 0; v < n; ++v)
+    ASSERT_EQ(labels[static_cast<std::size_t>(v)],
+              truth[static_cast<std::size_t>(v)])
+        << v;
+  EXPECT_EQ(engine.epoch(), static_cast<std::uint64_t>(kBatches) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardLinearizability,
+                         ::testing::Values(1, 2, 4, 7));
+
+}  // namespace
+}  // namespace afforest

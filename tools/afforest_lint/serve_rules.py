@@ -38,10 +38,11 @@ to hit it.  These rules make the disciplines mechanically checkable:
       src/graph never include src/serve; src/serve never includes
       bench/ or apps/.  Corpus fixtures opt in via '// lint-layer: <x>'.
 
-Scope: a file is serve-scope when its path contains src/serve/ or it
-carries a '// lint-scope: serve' marker (fixtures).  posix_file.hpp is
-the wrapper layer itself and is exempt from S3/S4/S5; snapshot_store.hpp
-IS the publication mechanism and is exempt from S2.
+Scope: a file is serve-scope when its path contains src/serve/ or
+src/shard/ (the sharded coordinator obeys the same single-writer + RCU
+disciplines) or it carries a '// lint-scope: serve' marker (fixtures).
+posix_file.hpp is the wrapper layer itself and is exempt from S3/S4/S5;
+snapshot_store.hpp IS the publication mechanism and is exempt from S2.
 """
 
 from __future__ import annotations
@@ -54,7 +55,8 @@ from . import diagnostics as diag
 # The serving-tier engine classes under the single-writer protocol.  A
 # class also opts in structurally by declaring the writer flag member.
 SERVE_ENGINE_CLASSES = frozenset(
-    {"QueryEngine", "DynamicCC", "DurableEngine", "WindowedStream"}
+    {"QueryEngine", "DynamicCC", "DurableEngine", "WindowedStream",
+     "ShardedEngine"}
 )
 _WRITER_FLAG_RE = re.compile(r"\bstd::atomic<\s*bool\s*>\s+writer_active_")
 
@@ -141,17 +143,25 @@ LAYER_ALLOWED: dict[str, frozenset[str]] = {
     "exec": frozenset({"exec", "cc", "graph", "util"}),
     "dist": frozenset({"dist", "cc", "analysis", "graph", "util"}),
     "serve": frozenset({"serve", "cc", "analysis", "graph", "util"}),
+    # The sharded coordinator composes serve engines with the dist layer's
+    # partition map and quotient structures; it sits above both.
+    "shard": frozenset(
+        {"shard", "serve", "dist", "cc", "analysis", "graph", "util"}
+    ),
     "bench": frozenset(
-        {"bench", "exec", "dist", "serve", "cc", "analysis", "graph", "util"}
+        {"bench", "shard", "exec", "dist", "serve", "cc", "analysis",
+         "graph", "util"}
     ),
     "apps": frozenset(
-        {"apps", "bench", "exec", "dist", "serve", "cc", "analysis", "graph",
-         "util"}
+        {"apps", "bench", "shard", "exec", "dist", "serve", "cc", "analysis",
+         "graph", "util"}
     ),
 }
 
 _INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
-_SRC_LAYER_RE = re.compile(r"/src/(util|graph|analysis|cc|exec|dist|serve)/")
+_SRC_LAYER_RE = re.compile(
+    r"/src/(util|graph|analysis|cc|exec|dist|serve|shard)/"
+)
 
 
 def _norm(path: str) -> str:
@@ -159,7 +169,9 @@ def _norm(path: str) -> str:
 
 
 def is_serve_scope(path: str, fa) -> bool:
-    return "/src/serve/" in _norm(path) or fa.serve_scope_marker
+    norm = _norm(path)
+    return ("/src/serve/" in norm or "/src/shard/" in norm
+            or fa.serve_scope_marker)
 
 
 def _exempt(path: str, suffix: str) -> bool:
